@@ -1,0 +1,131 @@
+// Command datagen generates and inspects the calibrated synthetic traces
+// that stand in for the paper's datasets (§VI.A): MSN-like filter queries
+// and TREC-WT/TREC-AP-like document corpora.
+//
+//	datagen -kind msn -n 10000 -out filters.txt
+//	datagen -kind wt  -n 1000  -out docs.txt
+//	datagen -kind ap  -n 100   -out docs.txt
+//	datagen -kind msn -n 10000 -inspect   # print trace statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/movesys/move/internal/dataset"
+	"github.com/movesys/move/internal/stats"
+	"github.com/movesys/move/internal/text"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "msn", "trace kind: msn, wt, ap")
+	n := flag.Int("n", 10_000, "number of items to generate")
+	vocab := flag.Int("vocab", 0, "vocabulary size (0 = kind default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output trace file ('' = stdout unless -inspect)")
+	inspect := flag.Bool("inspect", false, "print trace statistics instead of the trace")
+	from := flag.String("from", "", "convert a raw-text file (one document/query per line) into a preprocessed trace instead of generating")
+	flag.Parse()
+
+	var items [][]string
+	if *from != "" {
+		// Real-data path: run the paper's preprocessing (lower-casing,
+		// stop-word removal, Porter stemming) over raw lines — how actual
+		// TREC/MSN dumps become traces for `movebench -fig trace`.
+		raw, err := os.ReadFile(*from)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			terms := text.Terms(line, text.Options{})
+			if len(terms) == 0 {
+				continue
+			}
+			items = append(items, terms)
+		}
+		if len(items) == 0 {
+			return fmt.Errorf("no indexable lines in %s", *from)
+		}
+		*kind = "converted"
+	} else {
+		next, err := generator(*kind, *vocab, *seed)
+		if err != nil {
+			return err
+		}
+		items = dataset.Generate(*n, next)
+	}
+
+	if *inspect {
+		return printStats(*kind, items)
+	}
+	if *out == "" {
+		return dataset.WriteTrace(os.Stdout, items)
+	}
+	if err := dataset.SaveTrace(*out, items); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d items to %s\n", len(items), *out)
+	return nil
+}
+
+func generator(kind string, vocab int, seed int64) (func() []string, error) {
+	switch kind {
+	case "msn":
+		v := vocab
+		if v == 0 {
+			v = 50_000
+		}
+		g, err := dataset.NewFilterGen(dataset.FilterConfig{DistinctTerms: v, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return g.Next, nil
+	case "wt", "ap":
+		ck := dataset.CorpusWT
+		if kind == "ap" {
+			ck = dataset.CorpusAP
+		}
+		v := vocab
+		if v == 0 {
+			v = 50_000
+		}
+		g, err := dataset.NewDocGen(dataset.CorpusConfig{Kind: ck, DistinctTerms: v, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return g.Next, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want msn, wt, ap)", kind)
+	}
+}
+
+func printStats(kind string, items [][]string) error {
+	c := stats.NewTermCounter()
+	total := 0
+	for _, terms := range items {
+		c.Observe(terms)
+		total += len(terms)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "kind\t%s\n", kind)
+	fmt.Fprintf(w, "items\t%d\n", len(items))
+	fmt.Fprintf(w, "distinct terms\t%d\n", c.Distinct())
+	fmt.Fprintf(w, "mean terms/item\t%.3f\n", float64(total)/float64(len(items)))
+	fmt.Fprintf(w, "entropy (bits)\t%.4f\n", c.Entropy())
+	fmt.Fprintf(w, "top-100 mass\t%.4f\n", c.TopKMass(100))
+	ranked := c.Ranked(5)
+	for _, r := range ranked {
+		fmt.Fprintf(w, "rank %d\t%s (%.4f)\n", r.Rank, r.Term, r.Rate)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,329 @@
+// Command movectl is the client for a moved cluster: it registers filters
+// on the home nodes of their terms (§III.B) and publishes documents through
+// the §V dissemination path, printing the matching subscribers.
+//
+//	movectl -peers n0=...,n1=... register -sub alice -query "breaking news"
+//	movectl -peers n0=...,n1=... publish -text "breaking news tonight"
+//	movectl -peers n0=...,n1=... watch -sub alice
+//	movectl -peers n0=...,n1=... allocate          # run a §IV allocation round
+//	movectl -peers n0=...,n1=... stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/text"
+	"github.com/movesys/move/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "movectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client is a thin entry-point: it shares the ring computation with the
+// servers so it can route directly to home nodes (O(1)-hop, no proxy).
+type client struct {
+	ring *ring.Ring
+	tn   *transport.TCPNode
+}
+
+func newClient(peersFlag string) (*client, error) {
+	peers, err := transport.ParsePeers(peersFlag)
+	if err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	r := ring.New(ring.Config{})
+	for pid := range peers {
+		if err := r.Add(ring.Member{ID: pid, Rack: "rack-0"}); err != nil {
+			return nil, err
+		}
+	}
+	tn, err := transport.NewTCP("movectl-client", "127.0.0.1:0", rejectInbound, transport.StaticResolver(peers))
+	if err != nil {
+		return nil, err
+	}
+	return &client{ring: r, tn: tn}, nil
+}
+
+func rejectInbound(context.Context, ring.NodeID, []byte) ([]byte, error) {
+	return nil, fmt.Errorf("movectl is a client; it serves no requests")
+}
+
+func (c *client) close() {
+	_ = c.tn.Close()
+}
+
+func run() error {
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port cluster map")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: movectl -peers ... <register|publish|watch|allocate|stats> [options]")
+	}
+
+	c, err := newClient(*peersFlag)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "register":
+		fs := flag.NewFlagSet("register", flag.ExitOnError)
+		sub := fs.String("sub", "", "subscriber name")
+		query := fs.String("query", "", "keyword query")
+		id := fs.Uint64("id", uint64(time.Now().UnixNano()), "filter id (default derived from time)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *sub == "" || *query == "" {
+			return fmt.Errorf("register requires -sub and -query")
+		}
+		return c.register(ctx, model.FilterID(*id), *sub, *query)
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		content := fs.String("text", "", "document text")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *content == "" {
+			return fmt.Errorf("publish requires -text")
+		}
+		return c.publish(ctx, *content)
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		sub := fs.String("sub", "", "subscriber name")
+		since := fs.Uint64("since", 0, "fetch deliveries after this sequence number")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *sub == "" {
+			return fmt.Errorf("watch requires -sub")
+		}
+		return c.watch(ctx, *sub, *since)
+	case "allocate":
+		fs := flag.NewFlagSet("allocate", flag.ExitOnError)
+		capacity := fs.Int("capacity", 3_000_000, "per-node filter capacity C")
+		epoch := fs.Uint64("epoch", uint64(time.Now().Unix()), "allocation epoch")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return c.allocate(ctx, *capacity, *epoch)
+	case "stats":
+		return c.stats(ctx)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// allocate runs one §IV allocation round from the client acting as the
+// paper's dedicated coordinator node: pull per-node statistics, solve the
+// MOVE optimization problem, and command each hot home node to migrate its
+// filters onto an allocation grid.
+func (c *client) allocate(ctx context.Context, capacity int, epoch uint64) error {
+	members := c.ring.Members()
+	type load struct {
+		id    ring.NodeID
+		stats node.StatsResp
+	}
+	var loads []load
+	var totalFilters, totalPublishes, totalScanned int64
+	for _, m := range members {
+		raw, err := c.tn.Send(ctx, m.ID, node.EncodeStatsPull())
+		if err != nil {
+			return fmt.Errorf("stats pull from %s: %w", m.ID, err)
+		}
+		s, err := node.DecodeStatsResp(raw)
+		if err != nil {
+			return err
+		}
+		loads = append(loads, load{id: m.ID, stats: s})
+		totalFilters += s.Filters
+		totalPublishes += s.HomePublishes
+		totalScanned += s.PostingsScanned
+	}
+	if totalFilters == 0 {
+		return fmt.Errorf("no filters registered; nothing to allocate")
+	}
+
+	units := make([]alloc.Unit, 0, len(loads))
+	for _, l := range loads {
+		u := alloc.Unit{Key: string(l.id)}
+		u.Popularity = float64(l.stats.Filters) / float64(totalFilters)
+		if totalPublishes > 0 {
+			u.Frequency = float64(l.stats.HomePublishes) / float64(totalPublishes)
+		}
+		if totalScanned > 0 {
+			u.Load = float64(l.stats.PostingsScanned) / float64(totalScanned)
+		}
+		units = append(units, u)
+	}
+	factors, err := alloc.Compute(alloc.Input{
+		Units:        units,
+		TotalFilters: int(totalFilters),
+		TotalDocs:    int(maxI64(totalPublishes, 1)),
+		Nodes:        len(members),
+		Capacity:     capacity,
+	}, alloc.StrategyGeneral, nil)
+	if err != nil {
+		return err
+	}
+
+	installed := 0
+	for _, f := range factors {
+		if f.Rows*f.Cols <= 1 {
+			continue
+		}
+		home := ring.NodeID(f.Key)
+		peers, err := c.ring.AllocationNodesOf(home, f.Rows*f.Cols, ring.PlacementHybrid)
+		if err != nil {
+			return err
+		}
+		grid, err := alloc.FitGrid(f.Rows, f.Cols, peers)
+		if err != nil || grid.Size() <= 1 {
+			continue
+		}
+		if _, err := c.tn.Send(ctx, home, node.EncodeAllocate(epoch, grid)); err != nil {
+			return fmt.Errorf("allocate on %s: %w", home, err)
+		}
+		fmt.Printf("allocated %s onto a %dx%d grid (r=%.2f)\n", home, grid.Rows(), grid.Cols(), f.Ratio)
+		installed++
+	}
+	fmt.Printf("allocation epoch %d: %d grid(s) installed across %d nodes\n", epoch, installed, len(members))
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// watch fetches a subscriber's queued deliveries from its mailbox node.
+func (c *client) watch(ctx context.Context, sub string, since uint64) error {
+	home, err := c.ring.HomeNode("subscriber/" + sub)
+	if err != nil {
+		return err
+	}
+	raw, err := c.tn.Send(ctx, home, node.EncodeFetch(sub, since, 100))
+	if err != nil {
+		return fmt.Errorf("fetch from %s: %w", home, err)
+	}
+	ds, err := node.DecodeDeliveries(raw)
+	if err != nil {
+		return err
+	}
+	if len(ds) == 0 {
+		fmt.Printf("no deliveries for %s after seq %d\n", sub, since)
+		return nil
+	}
+	for _, d := range ds {
+		fmt.Printf("seq=%d doc=%d filter=%s terms=%v\n", d.Seq, d.DocID, d.Filter, d.Terms)
+	}
+	return nil
+}
+
+// register places the filter on the home node of each of its terms.
+func (c *client) register(ctx context.Context, id model.FilterID, sub, query string) error {
+	terms := text.Terms(query, text.Options{})
+	if len(terms) == 0 {
+		return fmt.Errorf("query has no indexable terms")
+	}
+	f := model.Filter{ID: id, Subscriber: sub, Terms: terms, Mode: model.MatchAny}
+	byHome := make(map[ring.NodeID][]string)
+	for _, t := range terms {
+		home, err := c.ring.HomeNode(t)
+		if err != nil {
+			return err
+		}
+		byHome[home] = append(byHome[home], t)
+	}
+	for home, postingTerms := range byHome {
+		payload := node.EncodeRegister(node.RegisterReq{Filter: f, PostingTerms: postingTerms})
+		if _, err := c.tn.Send(ctx, home, payload); err != nil {
+			return fmt.Errorf("register on %s: %w", home, err)
+		}
+	}
+	fmt.Printf("registered filter %s for %s: terms=%v on %d home node(s)\n", f.ID, sub, terms, len(byHome))
+	return nil
+}
+
+// publish routes the document to the home node of each term and merges the
+// matches.
+func (c *client) publish(ctx context.Context, content string) error {
+	terms := text.Terms(content, text.Options{})
+	if len(terms) == 0 {
+		return fmt.Errorf("document has no indexable terms")
+	}
+	doc := model.Document{ID: uint64(time.Now().UnixNano()), Terms: terms}
+	seen := make(map[model.FilterID]string)
+	for _, t := range terms {
+		home, err := c.ring.HomeNode(t)
+		if err != nil {
+			return err
+		}
+		raw, err := c.tn.Send(ctx, home, node.EncodePublishHome(node.PublishReq{Doc: doc, Term: t}))
+		if err != nil {
+			return fmt.Errorf("publish term %q to %s: %w", t, home, err)
+		}
+		resp, err := node.DecodeMatchResp(raw)
+		if err != nil {
+			return err
+		}
+		for _, m := range resp.Matches {
+			seen[m.Filter] = m.Subscriber
+		}
+	}
+	fmt.Printf("published doc with %d terms; %d matching filter(s)\n", len(terms), len(seen))
+	for id, sub := range seen {
+		fmt.Printf("  -> %s (%s)\n", sub, id)
+		// Queue the delivery in the subscriber's mailbox so `movectl
+		// watch -sub <name>` picks it up.
+		home, err := c.ring.HomeNode("subscriber/" + sub)
+		if err != nil {
+			return err
+		}
+		if _, err := c.tn.Send(ctx, home, node.EncodeDeliver(sub, doc.ID, id, doc.Terms)); err != nil {
+			return fmt.Errorf("deliver to mailbox of %s: %w", sub, err)
+		}
+	}
+	return nil
+}
+
+// stats pulls and prints every node's counters.
+func (c *client) stats(ctx context.Context) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "node\tfilters\tpostings\tdocs\tpostings-scanned\n")
+	for _, m := range c.ring.Members() {
+		raw, err := c.tn.Send(ctx, m.ID, node.EncodeStatsPull())
+		if err != nil {
+			fmt.Fprintf(w, "%s\t(down: %v)\n", m.ID, err)
+			continue
+		}
+		s, err := node.DecodeStatsResp(raw)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", m.ID, s.Filters, s.Postings, s.DocsProcessed, s.PostingsScanned)
+	}
+	return w.Flush()
+}

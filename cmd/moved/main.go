@@ -1,0 +1,130 @@
+// Command moved runs one MOVE server node over real TCP — the deployment
+// mode of the system (the in-process cluster used by the benchmarks lives
+// behind the same node implementation).
+//
+// A three-node cluster on one machine:
+//
+//	moved -id n0 -listen 127.0.0.1:7000 -peers n0=127.0.0.1:7000,n1=127.0.0.1:7001,n2=127.0.0.1:7002 &
+//	moved -id n1 -listen 127.0.0.1:7001 -peers n0=127.0.0.1:7000,n1=127.0.0.1:7001,n2=127.0.0.1:7002 &
+//	moved -id n2 -listen 127.0.0.1:7002 -peers n0=127.0.0.1:7000,n1=127.0.0.1:7001,n2=127.0.0.1:7002 &
+//
+// then drive it with movectl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/movesys/move/internal/gossip"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/store"
+	"github.com/movesys/move/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "moved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.String("id", "", "node id (must appear in -peers)")
+	listen := flag.String("listen", "", "listen address host:port")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port cluster map")
+	rack := flag.String("rack", "rack-0", "rack label for placement")
+	dir := flag.String("dir", "", "data directory ('' = in-memory)")
+	gossipEvery := flag.Duration("gossip", time.Second, "gossip interval")
+	flag.Parse()
+
+	if *id == "" || *listen == "" {
+		return fmt.Errorf("-id and -listen are required")
+	}
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if _, ok := peers[ring.NodeID(*id)]; !ok {
+		peers[ring.NodeID(*id)] = *listen
+	}
+
+	// Static ring from the peer table. Rack labels default to the local
+	// rack for the local node and rack-0 for others; a production
+	// deployment would carry racks in the peer table.
+	r := ring.New(ring.Config{})
+	for pid := range peers {
+		prack := "rack-0"
+		if pid == ring.NodeID(*id) {
+			prack = *rack
+		}
+		if err := r.Add(ring.Member{ID: pid, Rack: prack}); err != nil {
+			return err
+		}
+	}
+
+	st, err := store.Open(*dir, store.Options{})
+	if err != nil {
+		return err
+	}
+
+	var g *gossip.Gossiper
+	nd, err := node.New(node.Config{
+		ID:    ring.NodeID(*id),
+		Rack:  *rack,
+		Ring:  r,
+		Store: st,
+		Gossip: func(from ring.NodeID, digest []byte) ([]byte, error) {
+			return g.Handle(from, digest)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	tn, err := transport.NewTCP(ring.NodeID(*id), *listen, nd.Handle, transport.StaticResolver(peers))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = tn.Close()
+	}()
+	nd.Attach(tn)
+
+	g, err = gossip.New(gossip.Config{
+		Self:     gossip.Member{ID: ring.NodeID(*id), Rack: *rack, Addr: *listen},
+		Interval: *gossipEvery,
+		Send: func(ctx context.Context, to ring.NodeID, digest []byte) ([]byte, error) {
+			return tn.Send(ctx, to, node.EncodeGossip(digest))
+		},
+		OnLeave: func(dead ring.NodeID) {
+			fmt.Printf("moved: peer %s declared dead\n", dead)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	seeds := make([]gossip.Member, 0, len(peers))
+	for pid, addr := range peers {
+		if pid == ring.NodeID(*id) {
+			continue
+		}
+		seeds = append(seeds, gossip.Member{ID: pid, Addr: addr})
+	}
+	g.SeedPeers(seeds...)
+	g.Start()
+	defer g.Stop()
+
+	fmt.Printf("moved: node %s listening on %s (%d peers)\n", *id, tn.Addr(), len(peers))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("moved: shutting down")
+	return nil
+}

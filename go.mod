@@ -1,0 +1,3 @@
+module github.com/movesys/move
+
+go 1.22

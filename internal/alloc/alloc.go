@@ -1,0 +1,435 @@
+// Package alloc implements §IV of the paper: the MOVE optimization problem
+// of allocating (replicating + separating) filters across nodes so that
+// match throughput is maximized under the cluster-wide storage constraint
+// Σ n_i·p_i·P = N·C.
+//
+// For each allocation unit i (a term, or — per the §V maintenance
+// optimization — a whole home node) the optimizer chooses:
+//
+//   - n_i — how many nodes receive allocated copies of the unit's filters,
+//     from the continuous Lagrange solutions of Theorem 1 (n_i ∝ √q_i),
+//     Theorem 2 (n_i ∝ √(1+β·q_i), β = y_p·P/y_d) or the general
+//     capacity-limited form n_i ∝ √(p_i·q_i), made integral by randomized
+//     rounding;
+//   - r_i ∈ [1/n_i, 1] — the allocation ratio: the n_i nodes form 1/r_i
+//     partitions (replica rows) of r_i·n_i nodes each (separation columns).
+//     r_i starts at the throughput-optimal 1/n_i (pure replication) and is
+//     tuned up by α_i just enough that each node's share p_i·P/(n_i·r_i)
+//     fits the per-node capacity C (§IV-B2).
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Strategy selects the allocation-factor formula.
+type Strategy int
+
+// Allocation strategies. General is the paper's deployed choice (§V:
+// "we use the general result ni ∝ √(pi·qi)"); Uniform is the ablation
+// baseline that spreads capacity evenly regardless of skew.
+const (
+	// StrategyTheorem1 sets n_i ∝ √q_i (match-latency-only model, Eq. 1).
+	StrategyTheorem1 Strategy = iota + 1
+	// StrategyTheorem2 sets n_i ∝ √(1+β·q_i) (transfer+match model, Eq. 3).
+	StrategyTheorem2
+	// StrategyGeneral sets n_i ∝ √(p_i·q_i) (capacity-limited general case).
+	StrategyGeneral
+	// StrategyUniform gives every unit the same n_i (ablation baseline).
+	StrategyUniform
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyTheorem1:
+		return "theorem1"
+	case StrategyTheorem2:
+		return "theorem2"
+	case StrategyGeneral:
+		return "general"
+	case StrategyUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Unit is one allocation unit: a term t_i, or a home node m_i whose terms
+// were aggregated (§V: p'_i = Σ p_t, q'_i = Σ q_t over terms t on m_i).
+type Unit struct {
+	// Key identifies the unit (term or node ID).
+	Key string
+	// Popularity is p_i: the fraction of all filters containing the unit's
+	// term(s).
+	Popularity float64
+	// Frequency is q_i: the fraction of documents containing the unit's
+	// term(s).
+	Frequency float64
+	// Load is the unit's measured share of the cluster's matching work
+	// (posting entries scanned), maintained by the §V meta-data store.
+	// The p'_i·q'_i product systematically misestimates per-node work when
+	// one term dominates a node (the aggregation Jensen gap), so the
+	// separation width prefers this measured share when available; zero
+	// falls back to the p·q model.
+	Load float64
+}
+
+// Input is the optimizer's world view.
+type Input struct {
+	// Units are the allocation units with their statistics.
+	Units []Unit
+	// TotalFilters is P.
+	TotalFilters int
+	// TotalDocs is Q, the number of documents per measurement period.
+	TotalDocs int
+	// Nodes is N, the cluster size.
+	Nodes int
+	// Capacity is C, the max number of filters (incl. replicas) per node.
+	Capacity int
+	// YP is y_p, the average latency to match a document against one
+	// filter; YD is y_d, the average latency to transfer a document to a
+	// node. Only their ratio matters (β = y_p·P/y_d). Zero values default
+	// to the measured single-node constants (YP 2µs, YD 500µs).
+	YP, YD float64
+	// NoSeparation disables the load-balancing separation columns,
+	// leaving only the capacity-forced ones — the pure paper formulas
+	// (rows-only ablation).
+	NoSeparation bool
+	// ForceRatio overrides the allocation-ratio choice for every unit
+	// (§IV-B's r_i): RatioAuto (default) lets the optimizer pick,
+	// RatioReplicate forces r=1/n (pure replication: n partition rows of
+	// one node each), RatioSeparate forces r=1 (pure separation: one
+	// partition of n subset columns). Used by the ratio ablation.
+	ForceRatio RatioMode
+}
+
+// RatioMode selects how r_i is chosen.
+type RatioMode int
+
+// Ratio modes.
+const (
+	// RatioAuto lets the optimizer balance replication and separation.
+	RatioAuto RatioMode = iota
+	// RatioReplicate forces the pure replication scheme of §IV-A.
+	RatioReplicate
+	// RatioSeparate forces the pure separation scheme of §IV-A.
+	RatioSeparate
+)
+
+// Factor is the optimizer's decision for one unit.
+type Factor struct {
+	// Key mirrors Unit.Key.
+	Key string
+	// N is n_i, the number of allocation nodes granted.
+	N int
+	// Ratio is r_i ∈ [1/N, 1].
+	Ratio float64
+	// Rows is the number of partitions (replica rows), ≈ 1/r_i.
+	Rows int
+	// Cols is the number of separation columns per partition, ≈ r_i·n_i.
+	Cols int
+	// PerNodeFilters is the expected filter share per allocated node,
+	// p_i·P/(n_i·r_i).
+	PerNodeFilters float64
+	// PerNodeDocs is the expected document share per allocated node,
+	// q_i·Q·r_i.
+	PerNodeDocs float64
+}
+
+// Validation errors.
+var (
+	// ErrBadInput reports inconsistent optimizer input.
+	ErrBadInput = errors.New("alloc: invalid input")
+)
+
+// Compute solves the MOVE problem for the given strategy. rng drives the
+// randomized rounding of the continuous n_i; a nil rng uses deterministic
+// half-up rounding.
+func Compute(in Input, s Strategy, rng *rand.Rand) ([]Factor, error) {
+	if err := validate(in); err != nil {
+		return nil, err
+	}
+	weights, err := weights(in, s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scale λ so the storage constraint Σ n_i·p_i·P = N·C holds:
+	// n_i = λ·w_i ⇒ λ = N·C / (P·Σ w_i·p_i).
+	var wp float64
+	for i, u := range in.Units {
+		wp += weights[i] * u.Popularity
+	}
+	budget := float64(in.Nodes) * float64(in.Capacity)
+	P := float64(in.TotalFilters)
+	lambda := math.Inf(1)
+	if wp > 0 {
+		lambda = budget / (P * wp)
+	}
+
+	// Load shares drive the storage-free separation width: splitting a
+	// unit's filters into column subsets spreads its matching work without
+	// extra copies (only replica rows consume the Σ n_i·p_i·P budget), at
+	// the price of more per-document transfers and posting-list
+	// retrievals — the trade Eq. 2's y_d·r term prices. Measured load is
+	// preferred; the p·q product is the fallback model.
+	var sumLoad, sumPQ float64
+	for _, u := range in.Units {
+		sumLoad += u.Load
+		sumPQ += u.Popularity * u.Frequency
+	}
+	shareOf := func(u Unit) float64 {
+		if sumLoad > 0 {
+			return u.Load / sumLoad
+		}
+		if sumPQ > 0 {
+			return u.Popularity * u.Frequency / sumPQ
+		}
+		return 0
+	}
+
+	out := make([]Factor, 0, len(in.Units))
+	for i, u := range in.Units {
+		cont := lambda * weights[i]
+		n := round(cont, rng)
+		if n < 1 {
+			n = 1
+		}
+		if n > in.Nodes {
+			n = in.Nodes
+		}
+		var f Factor
+		switch in.ForceRatio {
+		case RatioReplicate:
+			// Pure replication (§IV-A): n full copies, one per partition.
+			f = fixedFactor(u, n, 1, in)
+		case RatioSeparate:
+			// Pure separation (§IV-A): one copy split across n subsets.
+			f = fixedFactor(u, 1, n, in)
+		default:
+			f = buildFactor(u, n, shareOf(u), in)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// fixedFactor builds a factor with an imposed grid shape.
+func fixedFactor(u Unit, rows, cols int, in Input) Factor {
+	if rows*cols > in.Nodes {
+		if cols > 1 {
+			cols = in.Nodes
+			rows = 1
+		} else {
+			rows = in.Nodes
+		}
+	}
+	P := float64(in.TotalFilters)
+	Q := float64(in.TotalDocs)
+	return Factor{
+		Key:            u.Key,
+		N:              rows * cols,
+		Ratio:          1.0 / float64(rows),
+		Rows:           rows,
+		Cols:           cols,
+		PerNodeFilters: u.Popularity * P / float64(cols),
+		PerNodeDocs:    u.Frequency * Q / float64(rows),
+	}
+}
+
+func validate(in Input) error {
+	switch {
+	case len(in.Units) == 0:
+		return fmt.Errorf("%w: no units", ErrBadInput)
+	case in.Nodes < 1:
+		return fmt.Errorf("%w: nodes = %d", ErrBadInput, in.Nodes)
+	case in.Capacity < 1:
+		return fmt.Errorf("%w: capacity = %d", ErrBadInput, in.Capacity)
+	case in.TotalFilters < 1:
+		return fmt.Errorf("%w: total filters = %d", ErrBadInput, in.TotalFilters)
+	case in.TotalDocs < 0:
+		return fmt.Errorf("%w: total docs = %d", ErrBadInput, in.TotalDocs)
+	}
+	for _, u := range in.Units {
+		if u.Popularity < 0 || u.Frequency < 0 ||
+			math.IsNaN(u.Popularity) || math.IsNaN(u.Frequency) {
+			return fmt.Errorf("%w: unit %q has p=%v q=%v", ErrBadInput, u.Key, u.Popularity, u.Frequency)
+		}
+	}
+	return nil
+}
+
+// weights returns the unnormalized allocation weights w_i per strategy.
+func weights(in Input, s Strategy) ([]float64, error) {
+	out := make([]float64, len(in.Units))
+	switch s {
+	case StrategyTheorem1:
+		for i, u := range in.Units {
+			out[i] = math.Sqrt(u.Frequency)
+		}
+	case StrategyTheorem2:
+		yp, yd := in.YP, in.YD
+		if yp == 0 {
+			yp = DefaultYP
+		}
+		if yd == 0 {
+			yd = DefaultYD
+		}
+		beta := yp * float64(in.TotalFilters) / yd
+		for i, u := range in.Units {
+			out[i] = math.Sqrt(1 + beta*u.Frequency)
+		}
+	case StrategyGeneral:
+		for i, u := range in.Units {
+			out[i] = math.Sqrt(u.Popularity * u.Frequency)
+		}
+	case StrategyUniform:
+		for i := range in.Units {
+			out[i] = 1
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %v", ErrBadInput, s)
+	}
+	return out, nil
+}
+
+// separationBoost widens the storage-free separation beyond the exact
+// load-proportional share, compensating for the overlap of allocation
+// grids on the same peers (several hot homes inevitably share successors
+// and rack peers, so a node's realized load exceeds its modeled share).
+const separationBoost = 2.0
+
+// Default latency constants (seconds), calibrated against the single-node
+// measurements of Figures 6–7: ~2µs to match one document against one
+// stored filter's posting entry, ~500µs to push one document to a peer.
+const (
+	DefaultYP = 2e-6
+	DefaultYD = 5e-4
+)
+
+// round makes a continuous allocation integral. With rng it applies
+// randomized rounding (⌊x⌋ + Bernoulli(frac x), the classic technique the
+// paper cites [12]); without, half-up rounding.
+func round(x float64, rng *rand.Rand) int {
+	if math.IsInf(x, 1) {
+		return math.MaxInt32
+	}
+	fl := math.Floor(x)
+	frac := x - fl
+	if rng != nil {
+		if rng.Float64() < frac {
+			return int(fl) + 1
+		}
+		return int(fl)
+	}
+	return int(math.Round(x))
+}
+
+// buildFactor derives the grid shape for a unit granted `rows` replica
+// partitions by the storage budget. The separation width (columns) is
+// storage-free, so it is set from two pressures:
+//
+//   - capacity (§IV-B2's α_i tuning): each node's share p_i·P/cols must
+//     fit C;
+//   - balance: a unit carrying an s fraction of the cluster's matching
+//     load (s = p_i·q_i/Σp_j·q_j) deserves ≈ s·N nodes in total, so its
+//     per-window per-node work p_i·P·q_i·Q/(rows·cols) approaches the
+//     balanced optimum the Lagrange solution targets.
+//
+// The resulting allocation ratio is r_i = 1/rows ∈ [1/n_i, 1], with
+// n_i = rows·cols.
+func buildFactor(u Unit, rows int, share float64, in Input) Factor {
+	P := float64(in.TotalFilters)
+	Q := float64(in.TotalDocs)
+	C := float64(in.Capacity)
+
+	colsCapacity := int(math.Ceil(u.Popularity * P / C))
+	colsBalance := 0
+	if !in.NoSeparation {
+		colsBalance = int(math.Round(separationBoost * share * float64(in.Nodes) / float64(rows)))
+	}
+	cols := colsCapacity
+	if colsBalance > cols {
+		cols = colsBalance
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	// The grid cannot exceed the cluster.
+	if rows*cols > in.Nodes {
+		cols = in.Nodes / rows
+		if cols < 1 {
+			cols = 1
+			rows = in.Nodes
+		}
+	}
+	n := rows * cols
+	return Factor{
+		Key:            u.Key,
+		N:              n,
+		Ratio:          1.0 / float64(rows),
+		Rows:           rows,
+		Cols:           cols,
+		PerNodeFilters: u.Popularity * P / float64(cols),
+		PerNodeDocs:    u.Frequency * Q / float64(rows),
+	}
+}
+
+// PredictLatency evaluates the Eq. 2 latency model for a set of factors:
+// Y = Σ_i (q_i·Q)·(y_d·r_i + y_p·p_i·P/n_i). Used to verify optimality
+// properties in tests and by the ablation benches.
+func PredictLatency(in Input, factors []Factor) (float64, error) {
+	if len(factors) != len(in.Units) {
+		return 0, fmt.Errorf("%w: %d factors for %d units", ErrBadInput, len(factors), len(in.Units))
+	}
+	yp, yd := in.YP, in.YD
+	if yp == 0 {
+		yp = DefaultYP
+	}
+	if yd == 0 {
+		yd = DefaultYD
+	}
+	P := float64(in.TotalFilters)
+	Q := float64(in.TotalDocs)
+	var y float64
+	for i, u := range in.Units {
+		f := factors[i]
+		y += u.Frequency * Q * (yd*f.Ratio + yp*u.Popularity*P/float64(f.N))
+	}
+	return y, nil
+}
+
+// PredictMatchLatency evaluates the Eq. 1 objective Theorem 1 minimizes:
+// Y = (1/T)·Σ_i p_i·P·q_i·Q/n_i — the pure match latency with transfer
+// cost ignored.
+func PredictMatchLatency(in Input, factors []Factor) (float64, error) {
+	if len(factors) != len(in.Units) {
+		return 0, fmt.Errorf("%w: %d factors for %d units", ErrBadInput, len(factors), len(in.Units))
+	}
+	P := float64(in.TotalFilters)
+	Q := float64(in.TotalDocs)
+	var y float64
+	for i, u := range in.Units {
+		y += u.Popularity * P * u.Frequency * Q / float64(factors[i].N)
+	}
+	return y / float64(len(in.Units)), nil
+}
+
+// StorageOverhead returns the replicated-filter footprint Σ rows_i·p_i·P
+// (each partition row holds one full copy; separation columns split a copy
+// without duplicating it), which the constraint bounds by N·C.
+func StorageOverhead(in Input, factors []Factor) (float64, error) {
+	if len(factors) != len(in.Units) {
+		return 0, fmt.Errorf("%w: %d factors for %d units", ErrBadInput, len(factors), len(in.Units))
+	}
+	P := float64(in.TotalFilters)
+	var s float64
+	for i, u := range in.Units {
+		s += float64(factors[i].Rows) * u.Popularity * P
+	}
+	return s, nil
+}

@@ -1,0 +1,439 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+)
+
+// skewedInput builds an optimizer input with Zipf-like p_i and q_i.
+func skewedInput(units int) Input {
+	in := Input{
+		TotalFilters: 1_000_000,
+		TotalDocs:    10_000,
+		Nodes:        20,
+		Capacity:     3_000_000,
+	}
+	var pSum, qSum float64
+	raw := make([]Unit, units)
+	for i := range raw {
+		p := 1 / math.Pow(float64(i+1), 1.1)
+		q := 1 / math.Pow(float64(units-i), 0.9) // anti-correlated skew
+		raw[i] = Unit{Key: "u" + strconv.Itoa(i), Popularity: p, Frequency: q}
+		pSum += p
+		qSum += q
+	}
+	for i := range raw {
+		raw[i].Popularity /= pSum
+		raw[i].Frequency /= qSum
+	}
+	in.Units = raw
+	return in
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(Input{}, StrategyGeneral, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", err)
+	}
+	in := skewedInput(4)
+	if _, err := Compute(in, Strategy(99), nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("unknown strategy: %v", err)
+	}
+	bad := skewedInput(2)
+	bad.Units[0].Popularity = math.NaN()
+	if _, err := Compute(bad, StrategyGeneral, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("NaN unit: %v", err)
+	}
+	bad2 := skewedInput(2)
+	bad2.Nodes = 0
+	if _, err := Compute(bad2, StrategyGeneral, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("zero nodes: %v", err)
+	}
+}
+
+func TestFactorsWithinBounds(t *testing.T) {
+	in := skewedInput(50)
+	for _, s := range []Strategy{StrategyTheorem1, StrategyTheorem2, StrategyGeneral, StrategyUniform} {
+		factors, err := Compute(in, s, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(factors) != len(in.Units) {
+			t.Fatalf("%v: %d factors", s, len(factors))
+		}
+		for _, f := range factors {
+			if f.N < 1 || f.N > in.Nodes {
+				t.Fatalf("%v: n=%d outside [1,%d]", s, f.N, in.Nodes)
+			}
+			if f.Ratio < 1/float64(f.N)-1e-9 || f.Ratio > 1+1e-9 {
+				t.Fatalf("%v: ratio %v outside [1/%d, 1]", s, f.Ratio, f.N)
+			}
+			if f.Rows < 1 || f.Cols < 1 || f.Rows*f.Cols > f.N {
+				t.Fatalf("%v: grid %dx%d exceeds n=%d", s, f.Rows, f.Cols, f.N)
+			}
+		}
+	}
+}
+
+func TestTheorem1MonotoneInFrequency(t *testing.T) {
+	// n_i ∝ √q_i: a unit with higher q must never get (meaningfully) fewer
+	// nodes. Use deterministic rounding to avoid randomized-rounding noise.
+	in := skewedInput(30)
+	factors, err := Compute(in, StrategyTheorem1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(in.Units); i++ {
+		qi, qj := in.Units[i-1].Frequency, in.Units[i].Frequency
+		ri, rj := factors[i-1].Rows, factors[i].Rows
+		if qi < qj && ri > rj+1 {
+			t.Fatalf("q=%v got rows=%d while q=%v got rows=%d", qi, ri, qj, rj)
+		}
+	}
+}
+
+func TestStorageConstraintRespected(t *testing.T) {
+	in := skewedInput(100)
+	for _, s := range []Strategy{StrategyTheorem1, StrategyTheorem2, StrategyGeneral} {
+		factors, err := Compute(in, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead, err := StorageOverhead(in, factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := float64(in.Nodes) * float64(in.Capacity)
+		// Rounding and the n_i ≥ 1 floor can exceed the continuous optimum
+		// slightly; allow 25% slack.
+		if overhead > budget*1.25 {
+			t.Fatalf("%v: overhead %v exceeds budget %v", s, overhead, budget)
+		}
+	}
+}
+
+func TestTheorem1BeatsUniformOnItsObjective(t *testing.T) {
+	// Theorem 1's continuous solution minimizes the Eq. 1 objective under
+	// the storage constraint; after rounding it must still be no worse
+	// than the uniform allocation on the same budget (small slack for the
+	// integrality clamps).
+	in := skewedInput(200)
+	uniform, err := Compute(in, StrategyUniform, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Compute(in, StrategyTheorem1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yOpt, err := PredictMatchLatency(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yUni, err := PredictMatchLatency(in, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yOpt > yUni*1.05 {
+		t.Fatalf("theorem1 latency %v worse than uniform %v", yOpt, yUni)
+	}
+}
+
+func TestGeneralFavorsHotUnits(t *testing.T) {
+	// The general √(p·q) rule must grant (weakly) more nodes to units with
+	// a larger p·q product.
+	in := skewedInput(50)
+	factors, err := Compute(in, StrategyGeneral, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		pq float64
+		n  int
+	}
+	pairs := make([]pair, len(in.Units))
+	for i, u := range in.Units {
+		pairs[i] = pair{pq: u.Popularity * u.Frequency, n: factors[i].N}
+	}
+	for i := range pairs {
+		for j := range pairs {
+			if pairs[i].pq > 4*pairs[j].pq && pairs[i].n+1 < pairs[j].n {
+				t.Fatalf("unit with pq=%v got n=%d, cooler pq=%v got n=%d",
+					pairs[i].pq, pairs[i].n, pairs[j].pq, pairs[j].n)
+			}
+		}
+	}
+}
+
+func TestTheorem2ConvergesToTheorem1ForLargeP(t *testing.T) {
+	// β = y_p·P/y_d ≫ 1 ⇒ √(1+β·q) ≈ √(β·q) ∝ √q.
+	in := skewedInput(20)
+	in.TotalFilters = 100_000_000 // huge P ⇒ huge β
+	t1, err := Compute(in, StrategyTheorem1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Compute(in, StrategyTheorem2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		diff := math.Abs(float64(t1[i].N - t2[i].N))
+		if diff > 1+0.15*float64(t1[i].N) {
+			t.Fatalf("unit %d: theorem1 n=%d vs theorem2 n=%d", i, t1[i].N, t2[i].N)
+		}
+	}
+}
+
+func TestCapacityTuningRaisesRatio(t *testing.T) {
+	// One popular unit whose full replica does not fit a node: r must rise
+	// above 1/n so the per-node share fits C.
+	in := Input{
+		Units:        []Unit{{Key: "hot", Popularity: 1.0, Frequency: 1.0}},
+		TotalFilters: 10_000_000,
+		TotalDocs:    1000,
+		Nodes:        10,
+		Capacity:     2_000_000,
+	}
+	factors, err := Compute(in, StrategyGeneral, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := factors[0]
+	if f.Ratio <= 1/float64(f.N) {
+		t.Fatalf("ratio %v not tuned above 1/n=%v", f.Ratio, 1/float64(f.N))
+	}
+	if f.PerNodeFilters > float64(in.Capacity)*1.001 {
+		t.Fatalf("per-node share %v exceeds capacity %d", f.PerNodeFilters, in.Capacity)
+	}
+}
+
+func TestPureReplicationWhenCapacityAmple(t *testing.T) {
+	in := Input{
+		Units:        []Unit{{Key: "u", Popularity: 0.001, Frequency: 0.5}},
+		TotalFilters: 1000,
+		TotalDocs:    1000,
+		Nodes:        8,
+		Capacity:     1_000_000,
+	}
+	factors, err := Compute(in, StrategyGeneral, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := factors[0]
+	if math.Abs(f.Ratio-1/float64(f.N)) > 1e-9 {
+		t.Fatalf("ample capacity should keep r=1/n, got r=%v n=%d", f.Ratio, f.N)
+	}
+	if f.Rows != f.N || f.Cols != 1 {
+		t.Fatalf("pure replication grid should be n×1, got %dx%d", f.Rows, f.Cols)
+	}
+}
+
+func TestRandomizedRoundingUnbiasedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(xRaw uint16) bool {
+		x := float64(xRaw%1000)/100 + 0.5
+		const draws = 2000
+		sum := 0
+		for i := 0; i < draws; i++ {
+			sum += round(x, rng)
+		}
+		mean := float64(sum) / draws
+		return math.Abs(mean-x) < 0.15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictLatencyMismatch(t *testing.T) {
+	in := skewedInput(3)
+	if _, err := PredictLatency(in, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := StorageOverhead(in, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		StrategyTheorem1: "theorem1",
+		StrategyTheorem2: "theorem2",
+		StrategyGeneral:  "general",
+		StrategyUniform:  "uniform",
+		Strategy(42):     "strategy(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func gridNodes(n int) []ring.NodeID {
+	out := make([]ring.NodeID, n)
+	for i := range out {
+		out[i] = ring.NodeID("n" + strconv.Itoa(i))
+	}
+	return out
+}
+
+// TestGridPaperExample reproduces Figure 2: n=12, r=1/3 → 3 partitions of
+// 4 nodes; 8 filters → 4 subsets of 2, each replicated 3×.
+func TestGridPaperExample(t *testing.T) {
+	g, err := NewGrid(3, 4, gridNodes(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != 3 || g.Cols() != 4 || g.Size() != 12 {
+		t.Fatalf("grid shape %dx%d size %d", g.Rows(), g.Cols(), g.Size())
+	}
+	// Every filter is stored on exactly 3 nodes (one per partition), in the
+	// same column.
+	for id := model.FilterID(1); id <= 8; id++ {
+		nodes := g.FilterNodes(id)
+		if len(nodes) != 3 {
+			t.Fatalf("filter %v on %d nodes, want 3", id, len(nodes))
+		}
+		col := g.Column(id)
+		for row, nd := range nodes {
+			if g.Node(row, col) != nd {
+				t.Fatalf("filter %v row %d node mismatch", id, row)
+			}
+		}
+	}
+	// A document goes to all 4 nodes of one partition.
+	rng := rand.New(rand.NewSource(3))
+	row := g.PickRow(77, rng)
+	if row < 0 || row >= 3 {
+		t.Fatalf("row %d outside grid", row)
+	}
+	if nodes := g.RowNodes(row); len(nodes) != 4 {
+		t.Fatalf("row has %d nodes, want 4", len(nodes))
+	}
+}
+
+func TestGridCoverageInvariant(t *testing.T) {
+	// Any (row, filter) pair intersects: the node at (row, col(filter))
+	// holds the filter and receives any document routed to that row. This
+	// is the correctness core of the allocation scheme — no matching filter
+	// is ever missed.
+	g, err := NewGrid(4, 5, gridNodes(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := model.FilterID(1); id <= 100; id++ {
+		stored := make(map[ring.NodeID]struct{})
+		for _, nd := range g.FilterNodes(id) {
+			stored[nd] = struct{}{}
+		}
+		for row := 0; row < g.Rows(); row++ {
+			hit := false
+			for _, nd := range g.RowNodes(row) {
+				if _, ok := stored[nd]; ok {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("filter %v unreachable from row %d", id, row)
+			}
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 1, gridNodes(1)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewGrid(2, 3, gridNodes(5)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("too few nodes: %v", err)
+	}
+}
+
+func TestFitGridShrinks(t *testing.T) {
+	g, err := FitGrid(4, 3, gridNodes(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() > 7 {
+		t.Fatalf("grid size %d exceeds node count", g.Size())
+	}
+	if g.Cols() != 3 {
+		t.Fatalf("cols = %d, want 3 preserved", g.Cols())
+	}
+	g1, err := FitGrid(9, 9, gridNodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Rows() != 1 || g1.Cols() != 1 {
+		t.Fatalf("degenerate grid = %dx%d", g1.Rows(), g1.Cols())
+	}
+	if _, err := FitGrid(1, 1, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("no nodes: %v", err)
+	}
+}
+
+func TestGridEncodeDecode(t *testing.T) {
+	g, err := NewGrid(2, 3, gridNodes(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DecodeGrid(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Rows() != 2 || g2.Cols() != 3 {
+		t.Fatalf("decoded shape %dx%d", g2.Rows(), g2.Cols())
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if g.Node(r, c) != g2.Node(r, c) {
+				t.Fatalf("node (%d,%d) mismatch", r, c)
+			}
+		}
+	}
+	if _, err := DecodeGrid([]byte{1}); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := DecodeGrid(nil); err == nil {
+		t.Fatal("expected decode error for empty input")
+	}
+}
+
+func TestPickRowDeterministicWithoutRng(t *testing.T) {
+	g, err := NewGrid(5, 2, gridNodes(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := g.PickRow(42, nil)
+	r2 := g.PickRow(42, nil)
+	if r1 != r2 {
+		t.Fatal("PickRow without rng must be deterministic")
+	}
+}
+
+func TestPickRowSpreadsLoad(t *testing.T) {
+	g, err := NewGrid(4, 2, gridNodes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, 4)
+	const docs = 8000
+	for i := 0; i < docs; i++ {
+		counts[g.PickRow(uint64(i), rng)]++
+	}
+	for row, c := range counts {
+		ratio := float64(c) / (docs / 4.0)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("row %d received %.2fx its fair share", row, ratio)
+		}
+	}
+}

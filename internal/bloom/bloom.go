@@ -1,0 +1,172 @@
+// Package bloom provides a Bloom filter over string keys. MOVE uses it to
+// summarize the set of all terms appearing in registered filters (§V
+// "Document Dissemination"): a document term is forwarded to its home node
+// only if the Bloom filter reports it may be a filter term, which prunes
+// forwarding for the long tail of document-only terms.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a standard Bloom filter using Kirsch–Mitzenmacher double
+// hashing over a 64-bit FNV-1a digest. It is not safe for concurrent
+// mutation; concurrent readers are safe once building has finished, which
+// matches MOVE's usage (built at registration/refresh time, read on every
+// publish).
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      uint32 // number of hash functions
+	n      uint64 // number of inserted keys
+	hashed uint64 // salt mixed into the digest so independent filters differ
+}
+
+// ErrInvalidParams reports an impossible filter geometry.
+var ErrInvalidParams = errors.New("bloom: capacity and false-positive rate must be positive")
+
+// New creates a filter sized for the given expected number of keys and
+// target false-positive probability p (0 < p < 1), using the optimal
+// m = -n·ln p / (ln 2)^2 and k = (m/n)·ln 2.
+func New(expected int, p float64) (*Filter, error) {
+	if expected <= 0 || p <= 0 || p >= 1 {
+		return nil, ErrInvalidParams
+	}
+	ln2 := math.Ln2
+	mf := -float64(expected) * math.Log(p) / (ln2 * ln2)
+	m := uint64(math.Ceil(mf))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(mf / float64(expected) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+	}, nil
+}
+
+// MustNew is New for static parameters known to be valid; it panics on
+// invalid input and is intended for package-level construction in tests and
+// examples only.
+func MustNew(expected int, p float64) *Filter {
+	f, err := New(expected, p)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// digest returns the two base hashes for double hashing.
+func digest(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	// Writing to fnv never fails.
+	_, _ = h.Write([]byte(key))
+	h1 := h.Sum64()
+	// Derive the second hash by hashing the first digest's bytes; this
+	// gives an independent-enough stream for double hashing.
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], h1)
+	h2 := fnv.New64a()
+	_, _ = h2.Write(buf[:])
+	return h1, h2.Sum64()
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key string) {
+	h1, h2 := digest(key)
+	for i := uint32(0); i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may have been added. False positives occur
+// with roughly the configured probability; false negatives never occur.
+func (f *Filter) Contains(key string) bool {
+	h1, h2 := digest(key)
+	for i := uint32(0); i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the number of bits in the filter.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() uint32 { return f.k }
+
+// EstimatedFalsePositiveRate returns the expected false-positive
+// probability given the number of keys inserted so far:
+// (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Union merges other into f. Both filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return errors.New("bloom: union of filters with different geometry")
+	}
+	for i, w := range other.bits {
+		f.bits[i] |= w
+	}
+	f.n += other.n
+	return nil
+}
+
+// Marshal serializes the filter to a compact binary form suitable for
+// gossiping the term summary between nodes.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 8+4+8+len(f.bits)*8)
+	binary.LittleEndian.PutUint64(out[0:], f.m)
+	binary.LittleEndian.PutUint32(out[8:], f.k)
+	binary.LittleEndian.PutUint64(out[12:], f.n)
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(out[20+i*8:], w)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a filter serialized by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 20 {
+		return nil, errors.New("bloom: truncated filter data")
+	}
+	m := binary.LittleEndian.Uint64(data[0:])
+	k := binary.LittleEndian.Uint32(data[8:])
+	n := binary.LittleEndian.Uint64(data[12:])
+	words := int((m + 63) / 64)
+	if len(data) != 20+words*8 {
+		return nil, errors.New("bloom: filter data length mismatch")
+	}
+	if k == 0 || k > 64 {
+		return nil, errors.New("bloom: invalid hash count")
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: k, n: n}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[20+i*8:])
+	}
+	return f, nil
+}

@@ -1,0 +1,192 @@
+package bloom
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	cases := []struct {
+		expected int
+		p        float64
+	}{
+		{0, 0.01}, {-1, 0.01}, {100, 0}, {100, 1}, {100, -0.5}, {100, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := New(c.expected, c.p); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("New(%d, %v) error = %v, want ErrInvalidParams", c.expected, c.p, err)
+		}
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := MustNew(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add("term-" + strconv.Itoa(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains("term-" + strconv.Itoa(i)) {
+			t.Fatalf("false negative for term-%d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", f.Count())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 10000
+	f := MustNew(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.Add("in-" + strconv.Itoa(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains("out-" + strconv.Itoa(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("observed false-positive rate %.4f exceeds 3x the 0.01 target", rate)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est <= 0 || est > 0.02 {
+		t.Fatalf("EstimatedFalsePositiveRate = %v, want in (0, 0.02]", est)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := MustNew(100, 0.01)
+	for i := 0; i < 100; i++ {
+		if f.Contains("x" + strconv.Itoa(i)) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Fatal("empty filter should report zero FPR")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := MustNew(100, 0.01)
+	b := MustNew(100, 0.01)
+	a.Add("alpha")
+	b.Add("beta")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains("alpha") || !a.Contains("beta") {
+		t.Fatal("union lost a key")
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count after union = %d, want 2", a.Count())
+	}
+}
+
+func TestUnionGeometryMismatch(t *testing.T) {
+	a := MustNew(100, 0.01)
+	b := MustNew(100000, 0.01)
+	if err := a.Union(b); err == nil {
+		t.Fatal("expected geometry mismatch error")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := MustNew(500, 0.02)
+	keys := []string{"breaking", "news", "cassandra", "dht"}
+	for _, k := range keys {
+		f.Add(k)
+	}
+	data := f.Marshal()
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Hashes() != f.Hashes() || g.Count() != f.Count() {
+		t.Fatal("round trip changed geometry")
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatalf("round-tripped filter lost %q", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("expected error for nil data")
+	}
+	if _, err := Unmarshal(make([]byte, 19)); err == nil {
+		t.Fatal("expected error for short data")
+	}
+	f := MustNew(100, 0.01)
+	data := f.Marshal()
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Fatal("expected error for truncated data")
+	}
+}
+
+// TestContainsAfterAddProperty: anything added is always found, for
+// arbitrary keys.
+func TestContainsAfterAddProperty(t *testing.T) {
+	f := MustNew(1<<12, 0.01)
+	prop := func(key string) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalRoundTripProperty: serialization preserves membership for
+// arbitrary key sets.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	prop := func(keys []string) bool {
+		f := MustNew(256, 0.01)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		g, err := Unmarshal(f.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !g.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := MustNew(1<<20, 0.01)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = "term-" + strconv.Itoa(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := MustNew(1<<20, 0.01)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = "term-" + strconv.Itoa(i)
+		f.Add(keys[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(keys[i%len(keys)])
+	}
+}

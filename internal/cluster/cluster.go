@@ -1,0 +1,679 @@
+// Package cluster wires nodes, transport, ring, and coordinator into the
+// three dissemination systems evaluated in §VI:
+//
+//   - SchemeMove — distributed inverted list + §IV adaptive filter
+//     allocation driven by a coordinator (the paper's "dedicated node").
+//   - SchemeIL — the pure distributed inverted list of §III (no
+//     allocation): the baseline that suffers hot spots and skewed storage.
+//   - SchemeRS — the distributed rendezvous comparator [5][16]: filters
+//     hashed uniformly across nodes, every document flooded to all nodes
+//     and matched with the centralized SIFT algorithm [25].
+//
+// The cluster also performs the experiment bookkeeping the figures need:
+// per-node storage/matching cost, transfer accounting with rack locality,
+// failure injection, and filter-availability measurement.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/bloom"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/stats"
+	"github.com/movesys/move/internal/transport"
+)
+
+// Scheme selects the dissemination system.
+type Scheme int
+
+// The three evaluated schemes.
+const (
+	// SchemeMove is the full system: inverted-list registration plus
+	// adaptive allocation.
+	SchemeMove Scheme = iota + 1
+	// SchemeIL is the distributed inverted list without allocation.
+	SchemeIL
+	// SchemeRS is the rendezvous/flooding baseline.
+	SchemeRS
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeMove:
+		return "Move"
+	case SchemeIL:
+		return "IL"
+	case SchemeRS:
+		return "RS"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Scheme selects Move, IL, or RS.
+	Scheme Scheme
+	// Nodes is N, the cluster size.
+	Nodes int
+	// RackSize is the number of nodes per rack (default 5, giving the
+	// paper's 20-node default cluster 4 racks).
+	RackSize int
+	// Capacity is C, the per-node filter capacity (definitions incl.
+	// replicas). Default 3e6 as in §VI.C.
+	Capacity int
+	// Placement selects where allocated filters go (Move only).
+	Placement ring.Placement
+	// AllocStrategy selects the §IV allocation-factor formula (Move only).
+	AllocStrategy alloc.Strategy
+	// AllocNoSeparation disables balance-driven separation columns in the
+	// optimizer (rows-only ablation).
+	AllocNoSeparation bool
+	// AllocRatio overrides the §IV-B allocation-ratio choice (ablation:
+	// pure replication vs pure separation vs optimizer-chosen).
+	AllocRatio alloc.RatioMode
+	// BloomFPR is the false-positive rate of the filter-term Bloom filter;
+	// default 0.01.
+	BloomFPR float64
+	// BloomCapacity sizes the Bloom filter; default 1<<20 distinct terms.
+	BloomCapacity int
+	// Seed makes the cluster deterministic.
+	Seed int64
+	// OnDeliver, if set, receives every (document, matches) delivery.
+	OnDeliver func(doc *model.Document, matches []node.Match)
+}
+
+// Cluster is an in-process MOVE deployment over the in-memory transport.
+type Cluster struct {
+	cfg  Config
+	net  *transport.Network
+	ring *ring.Ring
+	rng  *rand.Rand
+
+	nodes    map[ring.NodeID]*node.Node
+	nodeIDs  []ring.NodeID // stable order
+	rackOf   map[ring.NodeID]string
+	alive    map[ring.NodeID]bool
+	aliveMu  sync.RWMutex
+	entrySeq atomic.Uint64
+
+	// Coordinator state (the paper's dedicated master node).
+	filterSeq   atomic.Uint64
+	docSeq      atomic.Uint64
+	pCounter    *stats.TermCounter // term popularity over registered filters
+	qCounter    *stats.TermCounter // term frequency over published documents
+	qSketch     *stats.SpaceSaving // bounded-memory hot-term detection
+	bloomMu     sync.Mutex
+	bloomTerms  map[string]struct{}
+	allocEpoch  atomic.Uint64
+	placementMu sync.RWMutex
+	// filterHolders maps each filter to the nodes storing its definition —
+	// maintained for availability measurement (Figure 9 d).
+	filterHolders map[model.FilterID][]ring.NodeID
+	filterTerms   map[model.FilterID][]string
+
+	// Transfer accounting for the virtual-time cost model.
+	transferMu       sync.Mutex
+	transferTotal    int64
+	transferLocal    int64 // intra-rack transfers
+	perNodeRecv      map[ring.NodeID]int64
+	perNodeRecvLocal map[ring.NodeID]int64
+}
+
+// hotTermSketchCapacity bounds the coordinator's hot-term sketch: §V's
+// maintenance concern is exactly that exact per-term state over millions
+// of terms is too big, so hot-term detection runs on a SpaceSaving sketch.
+const hotTermSketchCapacity = 4096
+
+// mustSketch builds the hot-term sketch (the capacity constant is valid).
+func mustSketch() *stats.SpaceSaving {
+	s, err := stats.NewSpaceSaving(hotTermSketchCapacity)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// rsReplicas is the key/value platform's standard replication factor
+// applied to RS-registered filters (§VI.C).
+const rsReplicas = 3
+
+// Validation errors.
+var (
+	// ErrBadConfig reports unusable cluster parameters.
+	ErrBadConfig = errors.New("cluster: invalid config")
+	// ErrNoMatchPath reports a publish that could not reach any node.
+	ErrNoMatchPath = errors.New("cluster: no reachable node")
+)
+
+// New boots a cluster: ring, transport fabric, and one node goroutine-less
+// server per member (handlers run on caller goroutines of the in-memory
+// fabric).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("%w: nodes=%d", ErrBadConfig, cfg.Nodes)
+	}
+	switch cfg.Scheme {
+	case SchemeMove, SchemeIL, SchemeRS:
+	default:
+		return nil, fmt.Errorf("%w: scheme=%v", ErrBadConfig, cfg.Scheme)
+	}
+	if cfg.RackSize == 0 {
+		cfg.RackSize = 5
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 3_000_000
+	}
+	if cfg.Placement == 0 {
+		cfg.Placement = ring.PlacementHybrid
+	}
+	if cfg.AllocStrategy == 0 {
+		cfg.AllocStrategy = alloc.StrategyGeneral
+	}
+	if cfg.BloomFPR == 0 {
+		cfg.BloomFPR = 0.01
+	}
+	if cfg.BloomCapacity == 0 {
+		cfg.BloomCapacity = 1 << 20
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	c := &Cluster{
+		cfg:              cfg,
+		net:              transport.NewNetwork(transport.NetworkConfig{}),
+		ring:             ring.New(ring.Config{}),
+		rng:              rand.New(rand.NewSource(seed)),
+		nodes:            make(map[ring.NodeID]*node.Node, cfg.Nodes),
+		rackOf:           make(map[ring.NodeID]string, cfg.Nodes),
+		alive:            make(map[ring.NodeID]bool, cfg.Nodes),
+		pCounter:         stats.NewTermCounter(),
+		qCounter:         stats.NewTermCounter(),
+		qSketch:          mustSketch(),
+		bloomTerms:       make(map[string]struct{}),
+		filterHolders:    make(map[model.FilterID][]ring.NodeID),
+		filterTerms:      make(map[model.FilterID][]string),
+		perNodeRecv:      make(map[ring.NodeID]int64),
+		perNodeRecvLocal: make(map[ring.NodeID]int64),
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		id := ring.NodeID("node-" + strconv.Itoa(i))
+		rack := "rack-" + strconv.Itoa(i/cfg.RackSize)
+		if err := c.ring.Add(ring.Member{ID: id, Rack: rack}); err != nil {
+			return nil, err
+		}
+		nd, err := node.New(node.Config{
+			ID:         id,
+			Rack:       rack,
+			Ring:       c.ring,
+			Seed:       seed + int64(i) + 1,
+			OnDeliver:  cfg.OnDeliver,
+			OnTransfer: c.recordTransfer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr := c.net.Join(id, nd.Handle)
+		nd.Attach(tr)
+		c.nodes[id] = nd
+		c.nodeIDs = append(c.nodeIDs, id)
+		c.rackOf[id] = rack
+		c.alive[id] = true
+	}
+	return c, nil
+}
+
+// Scheme returns the configured scheme.
+func (c *Cluster) Scheme() Scheme { return c.cfg.Scheme }
+
+// Size returns the cluster size.
+func (c *Cluster) Size() int { return len(c.nodeIDs) }
+
+// NodeIDs returns the member IDs in creation order.
+func (c *Cluster) NodeIDs() []ring.NodeID {
+	return append([]ring.NodeID(nil), c.nodeIDs...)
+}
+
+// Node returns a member server (tests and load accounting).
+func (c *Cluster) Node(id ring.NodeID) *node.Node { return c.nodes[id] }
+
+// recordTransfer tallies one document transfer for the cost model.
+func (c *Cluster) recordTransfer(from, to ring.NodeID) {
+	c.transferMu.Lock()
+	defer c.transferMu.Unlock()
+	c.transferTotal++
+	if c.rackOf[from] == c.rackOf[to] {
+		c.transferLocal++
+		c.perNodeRecvLocal[to]++
+	}
+	c.perNodeRecv[to]++
+}
+
+// Register creates a filter from subscriber + terms and registers it
+// according to the scheme. Terms must be preprocessed (text.Terms).
+func (c *Cluster) Register(ctx context.Context, subscriber string, terms []string, mode model.MatchMode, threshold float64) (model.FilterID, error) {
+	id := model.FilterID(c.filterSeq.Add(1))
+	f := model.Filter{
+		ID:         id,
+		Subscriber: subscriber,
+		Terms:      model.SortTerms(append([]string(nil), terms...)),
+		Mode:       mode,
+		Threshold:  threshold,
+	}
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	holders, err := c.registerFilter(ctx, f)
+	if err != nil {
+		return 0, err
+	}
+
+	// Coordinator-side bookkeeping: popularity statistics, Bloom terms,
+	// placement for availability accounting.
+	c.pCounter.Observe(f.Terms)
+	c.bloomMu.Lock()
+	for _, t := range f.Terms {
+		c.bloomTerms[t] = struct{}{}
+	}
+	c.bloomMu.Unlock()
+	c.placementMu.Lock()
+	c.filterHolders[id] = holders
+	c.filterTerms[id] = f.Terms
+	c.placementMu.Unlock()
+	return id, nil
+}
+
+// registerFilter places the filter per scheme and returns the holder nodes.
+func (c *Cluster) registerFilter(ctx context.Context, f model.Filter) ([]ring.NodeID, error) {
+	switch c.cfg.Scheme {
+	case SchemeMove, SchemeIL:
+		// Home node of every term stores the full filter and builds the
+		// posting list for its own term only (§III.B).
+		holders := make([]ring.NodeID, 0, len(f.Terms))
+		seen := make(map[ring.NodeID][]string)
+		for _, t := range f.Terms {
+			home, err := c.ring.HomeNode(t)
+			if err != nil {
+				return nil, err
+			}
+			seen[home] = append(seen[home], t)
+		}
+		for home, postingTerms := range seen {
+			payload := node.EncodeRegister(node.RegisterReq{Filter: f, PostingTerms: postingTerms})
+			if _, err := c.sendTo(ctx, home, payload); err != nil {
+				return nil, fmt.Errorf("cluster: register %s on %s: %w", f.ID, home, err)
+			}
+			holders = append(holders, home)
+		}
+		return holders, nil
+	case SchemeRS:
+		// Uniform placement by filter ID with the key/value platform's
+		// standard three-fold replication (§VI.C: RS's per-node storage C
+		// "contain[s] three folds of replicas of filters"). The primary
+		// indexes every term so SIFT can match locally; the two passive
+		// replicas store the definition for durability only (reads at
+		// consistency ONE), so flooding matches each filter exactly once.
+		n := len(c.nodeIDs)
+		replicas := rsReplicas
+		if replicas > n {
+			replicas = n
+		}
+		base := int(ring.HashKey(f.ID.String()) % uint64(n))
+		holders := make([]ring.NodeID, 0, replicas)
+		for i := 0; i < replicas; i++ {
+			target := c.nodeIDs[(base+i)%n]
+			postingTerms := f.Terms
+			if i > 0 {
+				postingTerms = nil // passive replica: definition only
+			}
+			payload := node.EncodeRegister(node.RegisterReq{Filter: f, PostingTerms: postingTerms})
+			if _, err := c.sendTo(ctx, target, payload); err != nil {
+				return nil, fmt.Errorf("cluster: register %s on %s: %w", f.ID, target, err)
+			}
+			holders = append(holders, target)
+		}
+		return holders, nil
+	default:
+		return nil, fmt.Errorf("%w: scheme=%v", ErrBadConfig, c.cfg.Scheme)
+	}
+}
+
+// sendTo routes through an arbitrary live endpoint (the in-memory fabric
+// delivers directly).
+func (c *Cluster) sendTo(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
+	nd, ok := c.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %s: %w", to, ErrNoMatchPath)
+	}
+	if c.net.Failed(to) {
+		return nil, fmt.Errorf("cluster: node %s down: %w", to, transport.ErrNodeDown)
+	}
+	return nd.Handle(ctx, "coordinator", payload)
+}
+
+// Unregister removes a filter's definition from every live node. The
+// removal is broadcast rather than holder-targeted because allocation
+// rounds and post-allocation registrations replicate definitions onto grid
+// nodes; a broadcast reaches every copy regardless of how it got there.
+// Posting entries are cleaned lazily on match (§III.B design: posting
+// lists are append-only; a missing definition drops the candidate).
+func (c *Cluster) Unregister(ctx context.Context, id model.FilterID) error {
+	c.placementMu.Lock()
+	_, known := c.filterHolders[id]
+	delete(c.filterHolders, id)
+	delete(c.filterTerms, id)
+	c.placementMu.Unlock()
+	if !known {
+		return fmt.Errorf("cluster: unregister %s: unknown filter", id)
+	}
+	payload := node.EncodeUnregister(id)
+	var firstErr error
+	for _, h := range c.nodeIDs {
+		if c.net.Failed(h) {
+			continue
+		}
+		if _, err := c.sendTo(ctx, h, payload); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: unregister %s on %s: %w", id, h, err)
+		}
+	}
+	return firstErr
+}
+
+// PublishResult reports one document's dissemination outcome.
+type PublishResult struct {
+	// Matches are the deduplicated (filter, subscriber) hits.
+	Matches []node.Match
+	// Complete is true when every match request succeeded — the paper's
+	// throughput counts a document only "if all matching filters are
+	// found" (§VI.A).
+	Complete bool
+	// PostingsScanned is the total matching cost incurred cluster-wide.
+	PostingsScanned int
+	// PostingLists is the number of posting lists retrieved cluster-wide.
+	PostingLists int
+}
+
+// Publish disseminates one document. Terms must be preprocessed.
+func (c *Cluster) Publish(ctx context.Context, terms []string) (PublishResult, error) {
+	doc := model.Document{
+		ID:    c.docSeq.Add(1),
+		Terms: model.SortTerms(append([]string(nil), terms...)),
+	}
+	if err := doc.Validate(); err != nil {
+		return PublishResult{}, err
+	}
+	c.qCounter.Observe(doc.Terms)
+	c.qSketch.ObserveSet(doc.Terms)
+
+	switch c.cfg.Scheme {
+	case SchemeMove, SchemeIL:
+		return c.publishInverted(ctx, &doc)
+	case SchemeRS:
+		return c.publishFlood(ctx, &doc)
+	default:
+		return PublishResult{}, fmt.Errorf("%w: scheme=%v", ErrBadConfig, c.cfg.Scheme)
+	}
+}
+
+// publishInverted enters through a rotating live entry node and runs the
+// §V dissemination (Bloom gate + home-node routing + grid fan-out).
+func (c *Cluster) publishInverted(ctx context.Context, doc *model.Document) (PublishResult, error) {
+	entry := c.pickEntry()
+	if entry == nil {
+		return PublishResult{}, ErrNoMatchPath
+	}
+	matches, total, err := entry.PublishEntry(ctx, doc)
+	res := PublishResult{
+		Matches:         matches,
+		Complete:        err == nil,
+		PostingsScanned: total.PostingsScanned,
+		PostingLists:    total.PostingLists,
+	}
+	if err != nil && !errors.Is(err, transport.ErrNodeDown) && !errors.Is(err, transport.ErrRemote) {
+		return res, err
+	}
+	return res, nil
+}
+
+// publishFlood implements RS: the document goes to every live node, each of
+// which runs the SIFT matcher over its local filters.
+func (c *Cluster) publishFlood(ctx context.Context, doc *model.Document) (PublishResult, error) {
+	payload := node.EncodeSIFT(doc)
+	entry := c.pickEntry()
+	if entry == nil {
+		return PublishResult{}, ErrNoMatchPath
+	}
+	entryID := entry.ID()
+
+	type result struct {
+		resp node.MatchResp
+		err  error
+	}
+	results := make([]result, len(c.nodeIDs))
+	var wg sync.WaitGroup
+	for i, id := range c.nodeIDs {
+		c.recordTransfer(entryID, id)
+		wg.Add(1)
+		go func(i int, id ring.NodeID) {
+			defer wg.Done()
+			raw, err := c.sendTo(ctx, id, payload)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			resp, err := node.DecodeMatchResp(raw)
+			results[i] = result{resp: resp, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	res := PublishResult{Complete: true}
+	seen := make(map[model.FilterID]struct{})
+	for _, r := range results {
+		if r.err != nil {
+			res.Complete = false
+			continue
+		}
+		res.PostingsScanned += r.resp.PostingsScanned
+		res.PostingLists += r.resp.PostingLists
+		for _, m := range r.resp.Matches {
+			if _, dup := seen[m.Filter]; dup {
+				continue
+			}
+			seen[m.Filter] = struct{}{}
+			res.Matches = append(res.Matches, m)
+		}
+	}
+	if c.cfg.OnDeliver != nil && len(res.Matches) > 0 {
+		c.cfg.OnDeliver(doc, res.Matches)
+	}
+	return res, nil
+}
+
+// pickEntry rotates over live nodes.
+func (c *Cluster) pickEntry() *node.Node {
+	n := len(c.nodeIDs)
+	start := int(c.entrySeq.Add(1))
+	for i := 0; i < n; i++ {
+		id := c.nodeIDs[(start+i)%n]
+		if !c.net.Failed(id) {
+			return c.nodes[id]
+		}
+	}
+	return nil
+}
+
+// RefreshBloom rebuilds the global filter-term Bloom filter and installs it
+// on every live node.
+func (c *Cluster) RefreshBloom(ctx context.Context) error {
+	c.bloomMu.Lock()
+	terms := make([]string, 0, len(c.bloomTerms))
+	for t := range c.bloomTerms {
+		terms = append(terms, t)
+	}
+	c.bloomMu.Unlock()
+
+	capacity := c.cfg.BloomCapacity
+	if len(terms) > capacity {
+		capacity = len(terms)
+	}
+	bf, err := bloom.New(capacity, c.cfg.BloomFPR)
+	if err != nil {
+		return err
+	}
+	for _, t := range terms {
+		bf.Add(t)
+	}
+	payload := node.EncodeInstallBloom(bf.Marshal())
+	for _, id := range c.nodeIDs {
+		if c.net.Failed(id) {
+			continue
+		}
+		if _, err := c.sendTo(ctx, id, payload); err != nil {
+			return fmt.Errorf("cluster: install bloom on %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// FailNodes crashes the given nodes and evicts them from the ring, exactly
+// as the gossip failure detector would: subsequent publishes re-home the
+// dead nodes' terms onto live successors (which lack the lost filters —
+// that loss is what the availability metric measures), so dissemination
+// keeps completing.
+func (c *Cluster) FailNodes(ids ...ring.NodeID) {
+	c.aliveMu.Lock()
+	defer c.aliveMu.Unlock()
+	for _, id := range ids {
+		c.net.Fail(id)
+		c.alive[id] = false
+		// Removal is idempotent-enough: an unknown-node error only means
+		// the node was already evicted.
+		_ = c.ring.Remove(id)
+	}
+}
+
+// RecoverNodes restores crashed nodes and rejoins them to the ring (their
+// virtual-node tokens are deterministic, so they reclaim their old
+// positions).
+func (c *Cluster) RecoverNodes(ids ...ring.NodeID) {
+	c.aliveMu.Lock()
+	defer c.aliveMu.Unlock()
+	for _, id := range ids {
+		c.net.Recover(id)
+		c.alive[id] = true
+		if !c.ring.Contains(id) {
+			_ = c.ring.Add(ring.Member{ID: id, Rack: c.rackOf[id]})
+		}
+	}
+}
+
+// FailFraction crashes frac of the cluster. With byRack the failure is
+// rack-correlated (whole racks at a time) — the failure mode that penalizes
+// rack-local placement (§V, §VI.D).
+func (c *Cluster) FailFraction(frac float64, byRack bool) []ring.NodeID {
+	want := int(frac * float64(len(c.nodeIDs)))
+	var victims []ring.NodeID
+	if byRack {
+		racks := make(map[string][]ring.NodeID)
+		var rackOrder []string
+		for _, id := range c.nodeIDs {
+			r := c.rackOf[id]
+			if _, ok := racks[r]; !ok {
+				rackOrder = append(rackOrder, r)
+			}
+			racks[r] = append(racks[r], id)
+		}
+		c.rng.Shuffle(len(rackOrder), func(i, j int) { rackOrder[i], rackOrder[j] = rackOrder[j], rackOrder[i] })
+		for _, r := range rackOrder {
+			if len(victims) >= want {
+				break
+			}
+			victims = append(victims, racks[r]...)
+		}
+		if len(victims) > want {
+			victims = victims[:want]
+		}
+	} else {
+		perm := c.rng.Perm(len(c.nodeIDs))
+		for _, i := range perm[:want] {
+			victims = append(victims, c.nodeIDs[i])
+		}
+	}
+	c.FailNodes(victims...)
+	return victims
+}
+
+// AliveCount returns the number of live nodes.
+func (c *Cluster) AliveCount() int {
+	n := 0
+	for _, id := range c.nodeIDs {
+		if !c.net.Failed(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// AvailableFilterFraction returns the fraction of registered filters with
+// at least one live holder — the availability metric of Figure 9(d).
+func (c *Cluster) AvailableFilterFraction() float64 {
+	c.placementMu.RLock()
+	defer c.placementMu.RUnlock()
+	if len(c.filterHolders) == 0 {
+		return 1
+	}
+	avail := 0
+	for _, holders := range c.filterHolders {
+		for _, h := range holders {
+			if !c.net.Failed(h) {
+				avail++
+				break
+			}
+		}
+	}
+	return float64(avail) / float64(len(c.filterHolders))
+}
+
+// ringHome resolves the home node of a term (exposed for tests and the
+// experiment harness).
+func (c *Cluster) ringHome(term string) (ring.NodeID, error) {
+	return c.ring.HomeNode(term)
+}
+
+// HomeNode resolves the home node of a term.
+func (c *Cluster) HomeNode(term string) (ring.NodeID, error) { return c.ringHome(term) }
+
+// RackOf returns the rack of a node.
+func (c *Cluster) RackOf(id ring.NodeID) string { return c.rackOf[id] }
+
+// PCounter exposes the coordinator's filter-term popularity statistics.
+func (c *Cluster) PCounter() *stats.TermCounter { return c.pCounter }
+
+// QCounter exposes the coordinator's document-term frequency statistics.
+func (c *Cluster) QCounter() *stats.TermCounter { return c.qCounter }
+
+// TotalFilters returns the number of registered filters.
+func (c *Cluster) TotalFilters() int { return int(c.filterSeq.Load()) }
+
+// TotalDocs returns the number of published documents.
+func (c *Cluster) TotalDocs() int { return int(c.docSeq.Load()) }
+
+// withTimeout wraps a context for internal control RPCs.
+func withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 30*time.Second)
+}

@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/ring"
+)
+
+// NodeLoad is one node's Figure 9 load sample.
+type NodeLoad struct {
+	ID ring.NodeID
+	// StorageFilters is the number of filter definitions stored (incl.
+	// replicas) — the storage cost of Figure 9(a).
+	StorageFilters int64
+	// DocsProcessed is the number of match requests served — the matching
+	// cost of Figure 9(b).
+	DocsProcessed int64
+	// PostingsScanned is the cumulative posting entries read while
+	// matching, the y_p work unit.
+	PostingsScanned int64
+	// PostingLists is the cumulative posting-list retrievals, the y_seek
+	// work unit.
+	PostingLists int64
+	// HomePublishes counts home-node document arrivals.
+	HomePublishes int64
+}
+
+// PullLoads fetches the per-node statistics (live nodes only).
+func (c *Cluster) PullLoads(ctx context.Context) ([]NodeLoad, error) {
+	ctx, cancel := withTimeout(ctx)
+	defer cancel()
+	out := make([]NodeLoad, 0, len(c.nodeIDs))
+	for _, id := range c.nodeIDs {
+		if c.net.Failed(id) {
+			continue
+		}
+		raw, err := c.sendTo(ctx, id, node.EncodeStatsPull())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats pull from %s: %w", id, err)
+		}
+		s, err := node.DecodeStatsResp(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NodeLoad{
+			ID:              id,
+			StorageFilters:  s.Filters,
+			DocsProcessed:   s.DocsProcessed,
+			PostingsScanned: s.PostingsScanned,
+			PostingLists:    s.PostingLists,
+			HomePublishes:   s.HomePublishes,
+		})
+	}
+	return out, nil
+}
+
+// AllocationReport summarizes one §IV allocation round.
+type AllocationReport struct {
+	// Epoch is the allocation round number.
+	Epoch uint64
+	// Factors are the optimizer decisions per home node.
+	Factors []alloc.Factor
+	// GridsInstalled counts home nodes that received a (non-trivial) grid.
+	GridsInstalled int
+	// FiltersReplicated is the number of filter copies created by
+	// migration (approximate, from placement bookkeeping).
+	FiltersReplicated int
+}
+
+// Allocate runs one coordinator allocation round (SchemeMove only):
+//
+//  1. Pull per-node statistics and aggregate them into node popularity
+//     p'_i and node frequency q'_i (§V: all terms of a node share one
+//     allocation unit, keeping the forwarding table O(1) per node).
+//  2. Solve the MOVE optimization problem for n_i and r_i.
+//  3. For every home node with n_i > 1, choose allocation nodes by the
+//     configured placement, build the (1/r)×(r·n) grid, and command the
+//     home node to migrate its filters and install the grid.
+func (c *Cluster) Allocate(ctx context.Context) (AllocationReport, error) {
+	if c.cfg.Scheme != SchemeMove {
+		return AllocationReport{}, fmt.Errorf("%w: allocation requires SchemeMove, have %v", ErrBadConfig, c.cfg.Scheme)
+	}
+	ctx, cancel := withTimeout(ctx)
+	defer cancel()
+
+	loads, err := c.PullLoads(ctx)
+	if err != nil {
+		return AllocationReport{}, err
+	}
+	P := c.TotalFilters()
+	Q := c.TotalDocs()
+	if P == 0 {
+		return AllocationReport{}, fmt.Errorf("%w: no filters registered", ErrBadConfig)
+	}
+
+	var totalPublishes, totalScanned int64
+	for _, l := range loads {
+		totalPublishes += l.HomePublishes
+		totalScanned += l.PostingsScanned
+	}
+	units := make([]alloc.Unit, 0, len(loads))
+	for _, l := range loads {
+		u := alloc.Unit{Key: string(l.ID)}
+		// p'_i = Σ_{t on node} p_t = (posting entries on node)/P. Filter
+		// definitions stored ≈ posting entries here because each home node
+		// stores the definition once per owned term.
+		u.Popularity = float64(l.StorageFilters) / float64(P)
+		if totalPublishes > 0 {
+			u.Frequency = float64(l.HomePublishes) / float64(totalPublishes)
+		}
+		// The measured matching-work share drives separation (the
+		// meta-data store's statistics, §V).
+		if totalScanned > 0 {
+			u.Load = float64(l.PostingsScanned) / float64(totalScanned)
+		}
+		units = append(units, u)
+	}
+
+	in := alloc.Input{
+		Units:        units,
+		TotalFilters: P,
+		TotalDocs:    maxInt(Q, 1),
+		Nodes:        c.AliveCount(),
+		Capacity:     c.cfg.Capacity,
+		NoSeparation: c.cfg.AllocNoSeparation,
+		ForceRatio:   c.cfg.AllocRatio,
+	}
+	factors, err := alloc.Compute(in, c.cfg.AllocStrategy, c.rng)
+	if err != nil {
+		return AllocationReport{}, err
+	}
+
+	epoch := c.allocEpoch.Add(1)
+	report := AllocationReport{Epoch: epoch, Factors: factors}
+	for _, f := range factors {
+		if f.Rows*f.Cols <= 1 {
+			continue // nothing to allocate for this node
+		}
+		home := ring.NodeID(f.Key)
+		peers, err := c.ring.AllocationNodesOf(home, f.Rows*f.Cols, c.cfg.Placement)
+		if err != nil {
+			return report, fmt.Errorf("cluster: allocation nodes for %s: %w", home, err)
+		}
+		grid, err := alloc.FitGrid(f.Rows, f.Cols, peers)
+		if err != nil || grid.Size() <= 1 {
+			continue // cluster too small to allocate this unit
+		}
+		if _, err := c.sendTo(ctx, home, node.EncodeAllocate(epoch, grid)); err != nil {
+			return report, fmt.Errorf("cluster: allocate on %s: %w", home, err)
+		}
+		report.GridsInstalled++
+		c.recordGridPlacement(home, grid)
+	}
+	report.FiltersReplicated = c.countReplicas()
+	return report, nil
+}
+
+// AllocateByTerm runs a per-term allocation round for the hottest topK
+// terms — the fine-grained alternative to §V's per-node aggregation, kept
+// as an ablation (BenchmarkAblationGrid). Each hot term's p_t and q_t come
+// from the coordinator's exact term statistics; the home node migrates only
+// that term's posting-list filters onto the grid. Per-term grids are
+// precise but cost one forwarding-table entry per hot term and one
+// optimizer unit per term, which is what the paper's aggregation avoids.
+func (c *Cluster) AllocateByTerm(ctx context.Context, topK int) (AllocationReport, error) {
+	if c.cfg.Scheme != SchemeMove {
+		return AllocationReport{}, fmt.Errorf("%w: allocation requires SchemeMove, have %v", ErrBadConfig, c.cfg.Scheme)
+	}
+	if topK < 1 {
+		return AllocationReport{}, fmt.Errorf("%w: topK=%d", ErrBadConfig, topK)
+	}
+	ctx, cancel := withTimeout(ctx)
+	defer cancel()
+
+	P := c.TotalFilters()
+	Q := c.TotalDocs()
+	if P == 0 {
+		return AllocationReport{}, fmt.Errorf("%w: no filters registered", ErrBadConfig)
+	}
+
+	// Hot terms come from the bounded-memory sketch (§V's maintenance
+	// concern rules out exact per-term state); the popularity of each
+	// candidate is then read exactly from the filter-side counter.
+	hot := c.qSketch.Top(topK)
+	units := make([]alloc.Unit, 0, len(hot))
+	terms := make([]string, 0, len(hot))
+	for _, h := range hot {
+		p := c.pCounter.Rate(h.Term)
+		if p == 0 {
+			continue // not a filter term; nothing to allocate
+		}
+		q := float64(h.Count) / float64(maxInt(Q, 1))
+		units = append(units, alloc.Unit{
+			Key:        h.Term,
+			Popularity: p,
+			Frequency:  q,
+			Load:       p * q,
+		})
+		terms = append(terms, h.Term)
+	}
+	if len(units) == 0 {
+		return AllocationReport{}, fmt.Errorf("%w: no hot filter terms", ErrBadConfig)
+	}
+	in := alloc.Input{
+		Units:        units,
+		TotalFilters: P,
+		TotalDocs:    maxInt(Q, 1),
+		Nodes:        c.AliveCount(),
+		Capacity:     c.cfg.Capacity,
+		NoSeparation: c.cfg.AllocNoSeparation,
+		ForceRatio:   c.cfg.AllocRatio,
+	}
+	factors, err := alloc.Compute(in, c.cfg.AllocStrategy, c.rng)
+	if err != nil {
+		return AllocationReport{}, err
+	}
+
+	epoch := c.allocEpoch.Add(1)
+	report := AllocationReport{Epoch: epoch, Factors: factors}
+	for i, f := range factors {
+		if f.Rows*f.Cols <= 1 {
+			continue
+		}
+		term := terms[i]
+		home, err := c.ring.HomeNode(term)
+		if err != nil {
+			return report, err
+		}
+		peers, err := c.ring.AllocationNodes(term, f.Rows*f.Cols, c.cfg.Placement)
+		if err != nil {
+			return report, fmt.Errorf("cluster: allocation nodes for term %q: %w", term, err)
+		}
+		grid, err := alloc.FitGrid(f.Rows, f.Cols, peers)
+		if err != nil || grid.Size() <= 1 {
+			continue
+		}
+		if _, err := c.sendTo(ctx, home, node.EncodeAllocateTerm(epoch, term, grid)); err != nil {
+			return report, fmt.Errorf("cluster: term-allocate %q on %s: %w", term, home, err)
+		}
+		report.GridsInstalled++
+		c.recordGridPlacement(home, grid)
+	}
+	report.FiltersReplicated = c.countReplicas()
+	return report, nil
+}
+
+// recordGridPlacement extends the availability bookkeeping with the grid
+// copies created for every filter homed on `home`.
+func (c *Cluster) recordGridPlacement(home ring.NodeID, grid *alloc.Grid) {
+	c.placementMu.Lock()
+	defer c.placementMu.Unlock()
+	for id, holders := range c.filterHolders {
+		onHome := false
+		for _, h := range holders {
+			if h == home {
+				onHome = true
+				break
+			}
+		}
+		if !onHome {
+			continue
+		}
+		existing := make(map[ring.NodeID]struct{}, len(holders))
+		for _, h := range holders {
+			existing[h] = struct{}{}
+		}
+		for _, nd := range grid.FilterNodes(id) {
+			if _, dup := existing[nd]; dup {
+				continue
+			}
+			c.filterHolders[id] = append(c.filterHolders[id], nd)
+		}
+	}
+}
+
+// countReplicas sums holder counts beyond the first copy.
+func (c *Cluster) countReplicas() int {
+	c.placementMu.RLock()
+	defer c.placementMu.RUnlock()
+	n := 0
+	for _, holders := range c.filterHolders {
+		n += len(holders) - 1
+	}
+	return n
+}
+
+// RenewWindow resets the windowed document statistics on every live node —
+// the §V refresh ("every 10 minutes, the values of q_i are renewed based on
+// new incoming documents"). Called between allocation rounds so q'_i
+// reflects the current pattern rather than all of history.
+func (c *Cluster) RenewWindow() {
+	for _, id := range c.nodeIDs {
+		if c.net.Failed(id) {
+			continue
+		}
+		c.nodes[id].ResetWindowCounters()
+	}
+	c.qCounter.Reset()
+	c.qSketch.Reset()
+}
+
+// StartAutoAllocate launches the periodic allocation loop: every interval
+// it runs one Allocate round and renews the statistics window. The
+// returned stop function halts the loop and waits for it to exit. Errors
+// from individual rounds (e.g. no filters yet) are delivered to onErr if
+// non-nil and otherwise dropped — the loop keeps going.
+func (c *Cluster) StartAutoAllocate(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if _, err := c.Allocate(context.Background()); err != nil {
+					if onErr != nil {
+						onErr(err)
+					}
+					continue
+				}
+				c.RenewWindow()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// TransferStats reports document-transfer accounting for the cost model.
+type TransferStats struct {
+	// Total is the number of transfer attempts.
+	Total int64
+	// IntraRack is how many stayed within a rack.
+	IntraRack int64
+	// PerNodeReceived maps receivers to transfer counts.
+	PerNodeReceived map[ring.NodeID]int64
+	// PerNodeReceivedIntra maps receivers to intra-rack transfer counts.
+	PerNodeReceivedIntra map[ring.NodeID]int64
+}
+
+// Transfers snapshots the transfer accounting.
+func (c *Cluster) Transfers() TransferStats {
+	c.transferMu.Lock()
+	defer c.transferMu.Unlock()
+	per := make(map[ring.NodeID]int64, len(c.perNodeRecv))
+	for id, n := range c.perNodeRecv {
+		per[id] = n
+	}
+	local := make(map[ring.NodeID]int64, len(c.perNodeRecvLocal))
+	for id, n := range c.perNodeRecvLocal {
+		local[id] = n
+	}
+	return TransferStats{
+		Total:                c.transferTotal,
+		IntraRack:            c.transferLocal,
+		PerNodeReceived:      per,
+		PerNodeReceivedIntra: local,
+	}
+}
+
+// ResetTransferStats zeroes the transfer accounting (between experiment
+// phases).
+func (c *Cluster) ResetTransferStats() {
+	c.transferMu.Lock()
+	defer c.transferMu.Unlock()
+	c.transferTotal = 0
+	c.transferLocal = 0
+	c.perNodeRecv = make(map[ring.NodeID]int64)
+	c.perNodeRecvLocal = make(map[ring.NodeID]int64)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// TestSoakFailureRecoveryCycles churns the cluster through crash/recover
+// cycles interleaved with publishes and allocation rounds, asserting two
+// safety properties throughout:
+//
+//  1. no phantom matches — every reported match is a filter the oracle
+//     knows (never an unregistered or fabricated one);
+//  2. full recovery — once all nodes are back, matching returns to the
+//     exact oracle set.
+func TestSoakFailureRecoveryCycles(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Scheme: SchemeMove, Nodes: 15, Capacity: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	filters := make(map[model.FilterID][]string)
+
+	term := func() string { return fmt.Sprintf("t%d", rng.Intn(30)) }
+	for i := 0; i < 120; i++ {
+		terms := model.SortTerms([]string{term(), term()})
+		id, err := c.Register(ctx, "s", terms, model.MatchAny, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filters[id] = terms
+	}
+	oracleMatch := func(doc []string) map[model.FilterID]bool {
+		set := make(map[string]struct{}, len(doc))
+		for _, d := range doc {
+			set[d] = struct{}{}
+		}
+		out := make(map[model.FilterID]bool)
+		for id, terms := range filters {
+			for _, ft := range terms {
+				if _, ok := set[ft]; ok {
+					out[id] = true
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	for cycle := 0; cycle < 6; cycle++ {
+		// Warm publishes + allocation while healthy.
+		for i := 0; i < 20; i++ {
+			if _, err := c.Publish(ctx, []string{term(), term(), fmt.Sprintf("x%d", rng.Intn(100))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Allocate(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		// Crash a random 20–40% of the cluster.
+		frac := 0.2 + 0.2*rng.Float64()
+		victims := c.FailFraction(frac, cycle%2 == 0)
+		if len(victims) == 0 {
+			t.Fatal("no victims selected")
+		}
+
+		// Publishes under failure must never produce phantom matches.
+		for i := 0; i < 10; i++ {
+			doc := model.SortTerms([]string{term(), term()})
+			res, err := c.Publish(ctx, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracleMatch(doc)
+			for _, m := range res.Matches {
+				if !want[m.Filter] {
+					t.Fatalf("cycle %d: phantom match %v for doc %v", cycle, m.Filter, doc)
+				}
+			}
+		}
+
+		// Recover everyone; matching must return to the exact oracle set.
+		c.RecoverNodes(victims...)
+		if c.AliveCount() != 15 {
+			t.Fatalf("cycle %d: alive=%d after recovery", cycle, c.AliveCount())
+		}
+		for i := 0; i < 5; i++ {
+			doc := model.SortTerms([]string{term(), term()})
+			res, err := c.Publish(ctx, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete {
+				t.Fatalf("cycle %d: incomplete publish after full recovery", cycle)
+			}
+			got := make(map[model.FilterID]bool, len(res.Matches))
+			for _, m := range res.Matches {
+				got[m.Filter] = true
+			}
+			want := oracleMatch(doc)
+			if len(got) != len(want) {
+				t.Fatalf("cycle %d: doc %v matched %d filters, oracle says %d", cycle, doc, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("cycle %d: missing match %v after recovery", cycle, id)
+				}
+			}
+		}
+	}
+}

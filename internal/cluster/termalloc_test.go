@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+)
+
+// seedHotTerm registers many single-term filters on "hot" plus some noise,
+// then publishes enough documents that the statistics are meaningful.
+func seedHotTerm(t *testing.T, c *Cluster, filters, docs int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < filters; i++ {
+		terms := []string{"hot"}
+		if i%4 == 0 {
+			terms = append(terms, "noise"+strconv.Itoa(i%50))
+		}
+		if _, err := c.Register(ctx, "s"+strconv.Itoa(i), terms, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < docs; i++ {
+		if _, err := c.Publish(ctx, []string{"hot", "pad" + strconv.Itoa(i%30)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllocateByTermInstallsTermGrid(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, SchemeMove, 15)
+	seedHotTerm(t, c, 300, 50)
+
+	report, err := c.AllocateByTerm(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GridsInstalled == 0 {
+		t.Fatal("no per-term grids installed")
+	}
+	home, err := c.HomeNode("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(home).TermGridCount() == 0 {
+		t.Fatal("hot term's home has no term grid")
+	}
+	// The node-wide grid must not have been installed by the per-term
+	// round.
+	if g, _ := c.Node(home).Grid(); g != nil {
+		t.Fatal("per-term allocation must not install a node-wide grid")
+	}
+
+	// Matching stays complete and correct.
+	res, err := c.Publish(ctx, []string{"hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("publish incomplete after per-term allocation")
+	}
+	if len(res.Matches) != 300 {
+		t.Fatalf("matches = %d, want 300", len(res.Matches))
+	}
+}
+
+func TestAllocateByTermSpreadsHotLoad(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, SchemeMove, 15)
+	seedHotTerm(t, c, 300, 50)
+	if _, err := c.AllocateByTerm(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := c.PullLoads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make(map[string]int64)
+	for _, l := range before {
+		prev[string(l.ID)] = l.DocsProcessed
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := c.Publish(ctx, []string{"hot"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := c.PullLoads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving := 0
+	for _, l := range after {
+		if l.DocsProcessed > prev[string(l.ID)] {
+			serving++
+		}
+	}
+	if serving < 2 {
+		t.Fatalf("only %d nodes served hot-term matches after per-term allocation", serving)
+	}
+}
+
+func TestAllocateByTermValidation(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, SchemeIL, 5)
+	if _, err := c.AllocateByTerm(ctx, 4); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig for non-Move scheme", err)
+	}
+	cm := newCluster(t, SchemeMove, 5)
+	if _, err := cm.AllocateByTerm(ctx, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig for topK=0", err)
+	}
+	if _, err := cm.AllocateByTerm(ctx, 4); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig with no filters", err)
+	}
+}
+
+func TestAllocateByTermIgnoresNonFilterTerms(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, SchemeMove, 8)
+	// Filters exist only for "hot"; documents are full of non-filter
+	// terms which must not become allocation units.
+	for i := 0; i < 50; i++ {
+		if _, err := c.Register(ctx, "s", []string{"hot"}, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := c.Publish(ctx, []string{"hot", "junk1", "junk2", "junk3"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := c.AllocateByTerm(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range report.Factors {
+		if f.Key != "hot" {
+			t.Fatalf("non-filter term %q became an allocation unit", f.Key)
+		}
+	}
+}
+
+func TestRingEvictionRehomesTerms(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, SchemeMove, 10)
+	seedWorkload(t, c)
+	home := homeOf(t, c, "news")
+	c.FailNodes(home)
+
+	newHome, err := c.HomeNode("news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newHome == home {
+		t.Fatal("term still homed on evicted node")
+	}
+	// New registrations for the term land on the new home and match.
+	id, err := c.Register(ctx, "late", []string{"news"}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Publish(ctx, []string{"news"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.Filter == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("filter registered after eviction not matched")
+	}
+}

@@ -1,0 +1,167 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	w := NewWriter(64)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(math.MaxUint64)
+	w.Uint8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(3.14159)
+	w.String("")
+	w.String("breaking news")
+	w.StringSlice([]string{"a", "bb", "ccc"})
+	w.StringSlice(nil)
+	w.Bytes0([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	checkUvarint(t, r, 0)
+	checkUvarint(t, r, 300)
+	checkUvarint(t, r, math.MaxUint64)
+	if v, err := r.Uint8(); err != nil || v != 7 {
+		t.Fatalf("Uint8 = %v, %v", v, err)
+	}
+	if v, err := r.Bool(); err != nil || !v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := r.Bool(); err != nil || v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := r.Float64(); err != nil || v != 3.14159 {
+		t.Fatalf("Float64 = %v, %v", v, err)
+	}
+	if s, err := r.String(); err != nil || s != "" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+	if s, err := r.String(); err != nil || s != "breaking news" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+	if ss, err := r.StringSlice(); err != nil || !reflect.DeepEqual(ss, []string{"a", "bb", "ccc"}) {
+		t.Fatalf("StringSlice = %v, %v", ss, err)
+	}
+	if ss, err := r.StringSlice(); err != nil || len(ss) != 0 {
+		t.Fatalf("empty StringSlice = %v, %v", ss, err)
+	}
+	if b, err := r.Bytes0(); err != nil || !reflect.DeepEqual(b, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes0 = %v, %v", b, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func checkUvarint(t *testing.T, r *Reader, want uint64) {
+	t.Helper()
+	v, err := r.Uvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != want {
+		t.Fatalf("Uvarint = %d, want %d", v, want)
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Uvarint(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Uvarint on empty: %v", err)
+	}
+	if _, err := r.Uint8(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Uint8 on empty: %v", err)
+	}
+	if _, err := r.Bool(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Bool on empty: %v", err)
+	}
+	if _, err := r.Float64(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Float64 on empty: %v", err)
+	}
+}
+
+func TestOverflowLengthPrefix(t *testing.T) {
+	w := NewWriter(8)
+	w.Uvarint(1000) // claims 1000 bytes follow
+	r := NewReader(w.Bytes())
+	if _, err := r.String(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("String overflow: %v", err)
+	}
+	r = NewReader(w.Bytes())
+	if _, err := r.Bytes0(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("Bytes0 overflow: %v", err)
+	}
+	r = NewReader(w.Bytes())
+	if _, err := r.StringSlice(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("StringSlice overflow: %v", err)
+	}
+}
+
+// TestStringSliceHugeCountDoesNotAllocate guards against a hostile count
+// prefix causing a giant allocation before any data is validated.
+func TestStringSliceHugeCountDoesNotAllocate(t *testing.T) {
+	w := NewWriter(16)
+	w.Uvarint(math.MaxUint32)
+	r := NewReader(w.Bytes())
+	if _, err := r.StringSlice(); err == nil {
+		t.Fatal("expected error for absurd element count")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(u uint64, f float64, s string, ss []string, b []byte, flag bool) bool {
+		if math.IsNaN(f) {
+			f = 0 // NaN != NaN would fail the comparison, not the codec
+		}
+		w := NewWriter(32)
+		w.Uvarint(u)
+		w.Float64(f)
+		w.String(s)
+		w.StringSlice(ss)
+		w.Bytes0(b)
+		w.Bool(flag)
+
+		r := NewReader(w.Bytes())
+		u2, err := r.Uvarint()
+		if err != nil || u2 != u {
+			return false
+		}
+		f2, err := r.Float64()
+		if err != nil || f2 != f {
+			return false
+		}
+		s2, err := r.String()
+		if err != nil || s2 != s {
+			return false
+		}
+		ss2, err := r.StringSlice()
+		if err != nil || len(ss2) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if ss[i] != ss2[i] {
+				return false
+			}
+		}
+		b2, err := r.Bytes0()
+		if err != nil || len(b2) != len(b) {
+			return false
+		}
+		for i := range b {
+			if b[i] != b2[i] {
+				return false
+			}
+		}
+		flag2, err := r.Bool()
+		return err == nil && flag2 == flag && r.Remaining() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

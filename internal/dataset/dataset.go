@@ -1,0 +1,431 @@
+// Package dataset generates the synthetic workloads that stand in for the
+// paper's proprietary traces (§VI.A), calibrated against every statistic
+// the paper publishes:
+//
+//   - MSN query trace → filter generator: 2.843 terms/query on average with
+//     the published length CDF (31.33% / 67.75% / 85.31% for ≤1/2/3 terms),
+//     757,996 distinct terms, Zipf popularity with top-1000 mass ≈ 0.437
+//     (Figure 4).
+//   - TREC WT10G → document generator: 64.8 terms/doc, skewed term
+//     frequency with entropy ≈ 6.7593 (Figure 5), and 31.3% of the top-1000
+//     query terms among the top-1000 document terms.
+//   - TREC AP → document generator: 6054.9 terms/doc, entropy ≈ 9.4473,
+//     overlap 26.9%.
+//
+// Calibration knobs (Zipf exponents) are solved numerically from the
+// published targets rather than hard-coded, so scaled-down traces keep the
+// same shape.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"github.com/movesys/move/internal/stats"
+)
+
+// Published statistics of the paper's datasets, used as calibration
+// targets and surfaced by cmd/datagen.
+const (
+	// MSNDistinctTerms is the number of distinct query terms in the MSN
+	// trace.
+	MSNDistinctTerms = 757996
+	// MSNMeanTermsPerFilter is the average query length.
+	MSNMeanTermsPerFilter = 2.843
+	// MSNTop1000Mass is the accumulated popularity of the top-1000 terms.
+	MSNTop1000Mass = 0.437
+	// WTMeanTermsPerDoc is the TREC WT10G average document length.
+	WTMeanTermsPerDoc = 64.8
+	// WTEntropy is the Shannon entropy of the WT frequency rates.
+	WTEntropy = 6.7593
+	// WTOverlapTop1000 is the fraction of top-1000 query terms among the
+	// top-1000 WT document terms.
+	WTOverlapTop1000 = 0.313
+	// APMeanTermsPerDoc is the TREC AP average document length.
+	APMeanTermsPerDoc = 6054.9
+	// APEntropy is the Shannon entropy of the AP frequency rates.
+	APEntropy = 9.4473
+	// APOverlapTop1000 is the AP counterpart of WTOverlapTop1000.
+	APOverlapTop1000 = 0.269
+	// MSNLenCDF1, MSNLenCDF2, MSNLenCDF3 are the cumulative probabilities
+	// of queries with at most 1, 2, and 3 terms.
+	MSNLenCDF1 = 0.3133
+	MSNLenCDF2 = 0.6775
+	MSNLenCDF3 = 0.8531
+)
+
+// Term returns the canonical vocabulary term for a vocabulary ID.
+func Term(id int) string { return "term" + strconv.Itoa(id) }
+
+// ErrBadDataset reports invalid generator parameters.
+var ErrBadDataset = errors.New("dataset: invalid parameters")
+
+// --- Filter generator (MSN-like) ---
+
+// FilterConfig parameterizes the MSN-like filter/query generator.
+type FilterConfig struct {
+	// DistinctTerms is the vocabulary size; 0 means the full MSN count
+	// (scaled traces pass something smaller to keep memory flat).
+	DistinctTerms int
+	// Top1000Mass calibrates the Zipf exponent; 0 means the MSN value.
+	// The mass is interpreted over the top max(1000·V/MSN, 10) ranks when
+	// the vocabulary is scaled down, preserving skew shape.
+	Top1000Mass float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// FilterGen produces filter term sets.
+type FilterGen struct {
+	rng  *rand.Rand
+	zipf *stats.Zipf
+	// geometric tail parameter for query lengths ≥ 4.
+	gTail float64
+}
+
+// NewFilterGen calibrates and builds an MSN-like generator.
+func NewFilterGen(cfg FilterConfig) (*FilterGen, error) {
+	v := cfg.DistinctTerms
+	if v == 0 {
+		v = MSNDistinctTerms
+	}
+	if v < 10 {
+		return nil, fmt.Errorf("%w: vocabulary %d too small", ErrBadDataset, v)
+	}
+	mass := cfg.Top1000Mass
+	if mass == 0 {
+		mass = MSNTop1000Mass
+	}
+	if mass <= 0 || mass >= 1 {
+		return nil, fmt.Errorf("%w: top-1000 mass %v", ErrBadDataset, mass)
+	}
+	// Scale the "top-1000" anchor with the vocabulary so scaled traces keep
+	// the same head-heaviness.
+	anchor := int(float64(v) * 1000 / MSNDistinctTerms)
+	if anchor < 10 {
+		anchor = 10
+	}
+	if anchor >= v {
+		anchor = v / 2
+	}
+	z, err := calibrateZipfMass(v, anchor, mass)
+	if err != nil {
+		return nil, err
+	}
+	// Geometric tail solving the published mean: see §VI.A numbers in the
+	// package comment. P(1..3) fixes 1.5685 of the mean; the ≥4 tail must
+	// average 8.676, giving g/(1-g) = 4.676.
+	const tailMean = (MSNMeanTermsPerFilter - (MSNLenCDF1 + 2*(MSNLenCDF2-MSNLenCDF1) + 3*(MSNLenCDF3-MSNLenCDF2))) / (1 - MSNLenCDF3)
+	g := (tailMean - 4) / (tailMean - 3)
+	return &FilterGen{
+		rng:   rand.New(rand.NewSource(seedOr(cfg.Seed, 1))),
+		zipf:  z,
+		gTail: g,
+	}, nil
+}
+
+// Next returns the next filter's term set (distinct terms, unsorted).
+func (g *FilterGen) Next() []string {
+	n := g.sampleLen()
+	return sampleDistinct(g.rng, g.zipf, n, identityVocab)
+}
+
+// sampleLen draws a query length from the published CDF with a geometric
+// tail for lengths ≥ 4.
+func (g *FilterGen) sampleLen() int {
+	u := g.rng.Float64()
+	switch {
+	case u < MSNLenCDF1:
+		return 1
+	case u < MSNLenCDF2:
+		return 2
+	case u < MSNLenCDF3:
+		return 3
+	}
+	n := 4
+	for n < 20 && g.rng.Float64() < g.gTail {
+		n++
+	}
+	return n
+}
+
+// Vocab returns the vocabulary size.
+func (g *FilterGen) Vocab() int { return g.zipf.N() }
+
+// ZipfS returns the calibrated popularity exponent.
+func (g *FilterGen) ZipfS() float64 { return g.zipf.S() }
+
+// --- Document generator (TREC-like) ---
+
+// CorpusKind selects a calibrated preset.
+type CorpusKind int
+
+// Presets.
+const (
+	// CorpusWT mimics TREC WT10G (short docs, skewed term frequency).
+	CorpusWT CorpusKind = iota + 1
+	// CorpusAP mimics TREC AP (very long docs, flatter frequency).
+	CorpusAP
+)
+
+// String names the corpus.
+func (k CorpusKind) String() string {
+	switch k {
+	case CorpusWT:
+		return "TREC-WT"
+	case CorpusAP:
+		return "TREC-AP"
+	default:
+		return fmt.Sprintf("corpus(%d)", int(k))
+	}
+}
+
+// CorpusConfig parameterizes a document generator.
+type CorpusConfig struct {
+	// Kind selects the calibrated preset.
+	Kind CorpusKind
+	// DistinctTerms is the document vocabulary size; 0 means 100,000.
+	DistinctTerms int
+	// MeanTerms overrides the preset mean document length (scaled traces
+	// shrink the AP length to keep experiments fast); 0 keeps the preset.
+	MeanTerms float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// DocGen produces document term sets.
+type DocGen struct {
+	rng       *rand.Rand
+	zipf      *stats.Zipf
+	meanTerms float64
+	vocabMap  []int // doc frequency rank -> vocabulary ID (overlap control)
+	kind      CorpusKind
+}
+
+// NewDocGen calibrates and builds a TREC-like document generator.
+func NewDocGen(cfg CorpusConfig) (*DocGen, error) {
+	v := cfg.DistinctTerms
+	if v == 0 {
+		v = 100_000
+	}
+	if v < 100 {
+		return nil, fmt.Errorf("%w: vocabulary %d too small", ErrBadDataset, v)
+	}
+	var entropyTarget, mean, overlap float64
+	switch cfg.Kind {
+	case CorpusWT:
+		entropyTarget, mean, overlap = WTEntropy, WTMeanTermsPerDoc, WTOverlapTop1000
+	case CorpusAP:
+		entropyTarget, mean, overlap = APEntropy, APMeanTermsPerDoc, APOverlapTop1000
+	default:
+		return nil, fmt.Errorf("%w: corpus kind %v", ErrBadDataset, cfg.Kind)
+	}
+	if cfg.MeanTerms != 0 {
+		mean = cfg.MeanTerms
+	}
+	if mean < 1 || mean > float64(v)/2 {
+		return nil, fmt.Errorf("%w: mean %v terms with vocabulary %d", ErrBadDataset, mean, v)
+	}
+	z, err := calibrateZipfEntropy(v, entropyTarget)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seedOr(cfg.Seed, 2)))
+	return &DocGen{
+		rng:       rng,
+		zipf:      z,
+		meanTerms: mean,
+		vocabMap:  overlapVocabMap(rng, v, overlap),
+		kind:      cfg.Kind,
+	}, nil
+}
+
+// OverlapAnchor returns the "top-1000" window scaled to a vocabulary of v
+// terms: the paper measures query/document term overlap over the top 1000
+// of 757,996 distinct query terms, so scaled traces use the same fraction.
+func OverlapAnchor(v int) int {
+	anchor := int(float64(v) * 1000 / MSNDistinctTerms)
+	if anchor < 10 {
+		anchor = 10
+	}
+	if anchor > v/2 {
+		anchor = v / 2
+	}
+	return anchor
+}
+
+// overlapVocabMap builds the doc-rank → vocabulary-ID mapping so that the
+// expected fraction of the top-anchor document ranks pointing into the
+// query-side top-anchor vocabulary equals `overlap` (§VI.A's 26.9% /
+// 31.3%, measured over the top-1000 of the full MSN vocabulary). The
+// anchor window scales with the vocabulary so that scaled traces keep the
+// paper's coupling between document-frequent and filter-popular terms —
+// exactly the terms for which "it is necessary ... to combine both
+// replication and separation schemes".
+func overlapVocabMap(rng *rand.Rand, v int, overlap float64) []int {
+	anchor := OverlapAnchor(v)
+	ids := rng.Perm(v) // candidate vocabulary IDs, 0-based
+	// Partition candidates into head (query-popular: id < anchor) and tail.
+	var head, tail []int
+	for _, id := range ids {
+		if id < anchor {
+			head = append(head, id)
+		} else {
+			tail = append(tail, id)
+		}
+	}
+	mapping := make([]int, v)
+	hi, ti := 0, 0
+	for rank := 0; rank < v; rank++ {
+		useHead := false
+		if rank < anchor {
+			// Deterministic even spread: exactly ⌊anchor·overlap⌋ of the
+			// top-anchor document ranks map to query-popular IDs, at
+			// evenly spaced ranks. Determinism keeps the coupling (and
+			// thus the IL hot-spot behaviour the paper measures) stable
+			// across seeds; the rng still shuffles which IDs are used.
+			useHead = int(float64(rank+1)*overlap) > int(float64(rank)*overlap)
+		}
+		// Fall back to whichever pool still has candidates.
+		switch {
+		case useHead && hi < len(head):
+			mapping[rank] = head[hi]
+			hi++
+		case ti < len(tail):
+			mapping[rank] = tail[ti]
+			ti++
+		default:
+			mapping[rank] = head[hi]
+			hi++
+		}
+	}
+	return mapping
+}
+
+// Next returns the next document's term set (distinct terms, unsorted).
+func (g *DocGen) Next() []string {
+	// Document length: truncated normal around the mean (σ = mean/3),
+	// bounded to [1, 3·mean] — long-article variance without pathological
+	// outliers.
+	l := int(math.Round(g.rng.NormFloat64()*g.meanTerms/3 + g.meanTerms))
+	if l < 1 {
+		l = 1
+	}
+	if maxL := int(3 * g.meanTerms); l > maxL {
+		l = maxL
+	}
+	return sampleDistinct(g.rng, g.zipf, l, func(rank int) int {
+		return g.vocabMap[rank-1]
+	})
+}
+
+// Vocab returns the vocabulary size.
+func (g *DocGen) Vocab() int { return g.zipf.N() }
+
+// ZipfS returns the calibrated frequency exponent.
+func (g *DocGen) ZipfS() float64 { return g.zipf.S() }
+
+// Kind returns the preset.
+func (g *DocGen) Kind() CorpusKind { return g.kind }
+
+// --- shared sampling helpers ---
+
+// identityVocab maps Zipf rank r to vocabulary ID r-1.
+func identityVocab(rank int) int { return rank - 1 }
+
+// sampleDistinct draws n distinct vocabulary terms by Zipf rank with
+// rejection, falling back to sequential fill if the head is exhausted.
+func sampleDistinct(rng *rand.Rand, z *stats.Zipf, n int, vocab func(rank int) int) []string {
+	if n > z.N() {
+		n = z.N()
+	}
+	seen := make(map[int]struct{}, n)
+	out := make([]string, 0, n)
+	misses := 0
+	for len(out) < n {
+		rank := z.Sample(rng)
+		if _, dup := seen[rank]; dup {
+			misses++
+			if misses > 20*n+100 {
+				// Head exhausted (tiny vocabulary or huge doc): fill with
+				// the smallest unused ranks.
+				for r := 1; r <= z.N() && len(out) < n; r++ {
+					if _, dup := seen[r]; !dup {
+						seen[r] = struct{}{}
+						out = append(out, Term(vocab(r)))
+					}
+				}
+				return out
+			}
+			continue
+		}
+		seen[rank] = struct{}{}
+		out = append(out, Term(vocab(rank)))
+	}
+	return out
+}
+
+// calibrateZipfMass solves for the exponent s such that the top-`anchor`
+// mass of a Zipf(v, s) distribution equals target.
+func calibrateZipfMass(v, anchor int, target float64) (*stats.Zipf, error) {
+	lo, hi := 0.0, 3.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		z, err := stats.NewZipf(v, mid)
+		if err != nil {
+			return nil, err
+		}
+		if z.CDF(anchor) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return stats.NewZipf(v, (lo+hi)/2)
+}
+
+// calibrateZipfEntropy solves for the exponent s such that the Shannon
+// entropy of Zipf(v, s) equals target (entropy decreases monotonically in
+// s). If the target exceeds the uniform entropy log2(v), the flattest
+// (s≈0) distribution is returned.
+func calibrateZipfEntropy(v int, target float64) (*stats.Zipf, error) {
+	lo, hi := 0.0, 3.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		h, err := zipfEntropy(v, mid)
+		if err != nil {
+			return nil, err
+		}
+		if h > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return stats.NewZipf(v, (lo+hi)/2)
+}
+
+func zipfEntropy(v int, s float64) (float64, error) {
+	z, err := stats.NewZipf(v, s)
+	if err != nil {
+		return 0, err
+	}
+	h := 0.0
+	for r := 1; r <= v; r++ {
+		p := z.PMF(r)
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h, nil
+}
+
+func seedOr(seed, fallback int64) int64 {
+	if seed == 0 {
+		return fallback
+	}
+	return seed
+}

@@ -1,0 +1,332 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/movesys/move/internal/stats"
+)
+
+func TestFilterGenValidation(t *testing.T) {
+	if _, err := NewFilterGen(FilterConfig{DistinctTerms: 3}); !errors.Is(err, ErrBadDataset) {
+		t.Fatalf("tiny vocab: %v", err)
+	}
+	if _, err := NewFilterGen(FilterConfig{Top1000Mass: 1.5}); !errors.Is(err, ErrBadDataset) {
+		t.Fatalf("bad mass: %v", err)
+	}
+}
+
+func TestFilterLengthDistributionMatchesMSN(t *testing.T) {
+	g, err := NewFilterGen(FilterConfig{DistinctTerms: 50_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	counts := make(map[int]int)
+	total := 0
+	for i := 0; i < n; i++ {
+		l := len(g.Next())
+		counts[l]++
+		total += l
+	}
+	cdf := func(k int) float64 {
+		c := 0
+		for l, cnt := range counts {
+			if l <= k {
+				c += cnt
+			}
+		}
+		return float64(c) / n
+	}
+	if got := cdf(1); math.Abs(got-MSNLenCDF1) > 0.01 {
+		t.Errorf("P(len<=1) = %v, want %v", got, MSNLenCDF1)
+	}
+	if got := cdf(2); math.Abs(got-MSNLenCDF2) > 0.01 {
+		t.Errorf("P(len<=2) = %v, want %v", got, MSNLenCDF2)
+	}
+	if got := cdf(3); math.Abs(got-MSNLenCDF3) > 0.01 {
+		t.Errorf("P(len<=3) = %v, want %v", got, MSNLenCDF3)
+	}
+	mean := float64(total) / n
+	if math.Abs(mean-MSNMeanTermsPerFilter) > 0.15 {
+		t.Errorf("mean terms per filter = %v, want %v", mean, MSNMeanTermsPerFilter)
+	}
+}
+
+func TestFilterPopularityCalibration(t *testing.T) {
+	// Scaled vocabulary: the head-mass anchor scales along, preserving
+	// Figure 4's skew.
+	const vocab = 75_800 // 1/10 of MSN
+	g, err := NewFilterGen(FilterConfig{DistinctTerms: vocab, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := stats.NewTermCounter()
+	for i := 0; i < 60_000; i++ {
+		counter.Observe(g.Next())
+	}
+	// Expected anchor = vocab/MSN*1000 = 100 top terms carrying ≈0.437 of
+	// term occurrences.
+	ranked := counter.Ranked(0)
+	var mass, all float64
+	for i, r := range ranked {
+		if i < 100 {
+			mass += r.Rate
+		}
+		all += r.Rate
+	}
+	got := mass / all
+	if math.Abs(got-MSNTop1000Mass) > 0.08 {
+		t.Errorf("top-anchor mass = %v, want ≈%v", got, MSNTop1000Mass)
+	}
+}
+
+func TestFilterTermsDistinct(t *testing.T) {
+	g, err := NewFilterGen(FilterConfig{DistinctTerms: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		terms := g.Next()
+		seen := make(map[string]struct{}, len(terms))
+		for _, term := range terms {
+			if _, dup := seen[term]; dup {
+				t.Fatalf("duplicate term %q in filter %v", term, terms)
+			}
+			seen[term] = struct{}{}
+		}
+	}
+}
+
+func TestDocGenValidation(t *testing.T) {
+	if _, err := NewDocGen(CorpusConfig{Kind: CorpusKind(9)}); !errors.Is(err, ErrBadDataset) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	if _, err := NewDocGen(CorpusConfig{Kind: CorpusWT, DistinctTerms: 10}); !errors.Is(err, ErrBadDataset) {
+		t.Fatalf("tiny vocab: %v", err)
+	}
+	if _, err := NewDocGen(CorpusConfig{Kind: CorpusWT, DistinctTerms: 1000, MeanTerms: 900}); !errors.Is(err, ErrBadDataset) {
+		t.Fatalf("mean too large: %v", err)
+	}
+}
+
+func TestDocLengthMeans(t *testing.T) {
+	wt, err := NewDocGen(CorpusConfig{Kind: CorpusWT, DistinctTerms: 20_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		total += len(wt.Next())
+	}
+	mean := float64(total) / n
+	if math.Abs(mean-WTMeanTermsPerDoc) > 4 {
+		t.Errorf("WT mean doc length = %v, want ≈%v", mean, WTMeanTermsPerDoc)
+	}
+
+	ap, err := NewDocGen(CorpusConfig{Kind: CorpusAP, DistinctTerms: 20_000, MeanTerms: 600, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for i := 0; i < 500; i++ {
+		total += len(ap.Next())
+	}
+	if mean := float64(total) / 500; math.Abs(mean-600) > 40 {
+		t.Errorf("AP (scaled) mean doc length = %v, want ≈600", mean)
+	}
+}
+
+func TestWTSkewerThanAP(t *testing.T) {
+	// The paper: WT entropy 6.76 < AP entropy 9.45 ⇒ WT is skewer. The
+	// calibrated generators must preserve the ordering.
+	wt, err := NewDocGen(CorpusConfig{Kind: CorpusWT, DistinctTerms: 30_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := NewDocGen(CorpusConfig{Kind: CorpusAP, DistinctTerms: 30_000, MeanTerms: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.ZipfS() <= ap.ZipfS() {
+		t.Fatalf("WT exponent %v should exceed AP exponent %v", wt.ZipfS(), ap.ZipfS())
+	}
+	wtC, apC := stats.NewTermCounter(), stats.NewTermCounter()
+	for i := 0; i < 1500; i++ {
+		wtC.Observe(wt.Next())
+		apC.Observe(ap.Next())
+	}
+	if wtC.Entropy() >= apC.Entropy() {
+		t.Fatalf("measured WT entropy %v should be below AP entropy %v", wtC.Entropy(), apC.Entropy())
+	}
+}
+
+func TestCalibratedEntropyNearTarget(t *testing.T) {
+	// The Zipf PMF entropy (the calibration objective) must hit the target
+	// closely for the full-size vocabulary.
+	for _, tc := range []struct {
+		kind   CorpusKind
+		target float64
+	}{
+		{CorpusWT, WTEntropy},
+		{CorpusAP, APEntropy},
+	} {
+		g, err := NewDocGen(CorpusConfig{Kind: tc.kind, DistinctTerms: 100_000, MeanTerms: 50, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := zipfEntropyForTest(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h-tc.target) > 0.05 {
+			t.Errorf("%v: calibrated entropy %v, want %v", tc.kind, h, tc.target)
+		}
+	}
+}
+
+func zipfEntropyForTest(g *DocGen) (float64, error) {
+	return zipfEntropy(g.Vocab(), g.ZipfS())
+}
+
+func TestOverlapCalibration(t *testing.T) {
+	for _, tc := range []struct {
+		kind CorpusKind
+		want float64
+	}{
+		{CorpusWT, WTOverlapTop1000},
+		{CorpusAP, APOverlapTop1000},
+	} {
+		g, err := NewDocGen(CorpusConfig{Kind: tc.kind, DistinctTerms: 50_000, MeanTerms: 60, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Top-anchor document terms = vocabMap[0:anchor]; query-popular
+		// terms are vocabulary IDs < anchor (rank order). Measure the
+		// overlap the generator was asked to produce.
+		anchor := OverlapAnchor(g.Vocab())
+		hits := 0
+		for rank := 0; rank < anchor; rank++ {
+			if g.vocabMap[rank] < anchor {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(anchor)
+		if math.Abs(got-tc.want) > 0.05 {
+			t.Errorf("%v: overlap = %v, want %v", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestDocTermsDistinctAndMappedOnce(t *testing.T) {
+	g, err := NewDocGen(CorpusConfig{Kind: CorpusWT, DistinctTerms: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vocabMap must be a permutation (no two ranks share a vocabulary ID).
+	seen := make(map[int]struct{}, len(g.vocabMap))
+	for _, id := range g.vocabMap {
+		if _, dup := seen[id]; dup {
+			t.Fatal("vocabMap is not injective")
+		}
+		seen[id] = struct{}{}
+	}
+	for i := 0; i < 500; i++ {
+		terms := g.Next()
+		set := make(map[string]struct{}, len(terms))
+		for _, term := range terms {
+			if _, dup := set[term]; dup {
+				t.Fatalf("duplicate term in doc: %q", term)
+			}
+			set[term] = struct{}{}
+		}
+	}
+}
+
+func TestTinyVocabularyDocFill(t *testing.T) {
+	// A doc longer than the vocabulary must terminate and return all terms.
+	g, err := NewDocGen(CorpusConfig{Kind: CorpusWT, DistinctTerms: 150, MeanTerms: 70, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		terms := g.Next()
+		if len(terms) == 0 || len(terms) > 150 {
+			t.Fatalf("doc of %d terms from vocab 150", len(terms))
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	items := [][]string{
+		{"alpha", "beta"},
+		{"gamma"},
+		{"delta", "epsilon", "zeta"},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, items) {
+		t.Fatalf("round trip: %v != %v", got, items)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	items := Generate(20, func() []string { return []string{"x", "y"} })
+	if err := SaveTrace(path, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("loaded %d items, want 20", len(got))
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadTraceSkipsEmptyLines(t *testing.T) {
+	got, err := ReadTrace(bytes.NewReader([]byte("a b\n\n\nc\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d items, want 2", len(got))
+	}
+}
+
+func TestGeneratorsDeterministicBySeed(t *testing.T) {
+	mk := func() [][]string {
+		g, err := NewFilterGen(FilterConfig{DistinctTerms: 10_000, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Generate(50, g.Next)
+	}
+	if !reflect.DeepEqual(mk(), mk()) {
+		t.Fatal("same seed should reproduce the trace")
+	}
+}
+
+func TestCorpusKindString(t *testing.T) {
+	if CorpusWT.String() != "TREC-WT" || CorpusAP.String() != "TREC-AP" {
+		t.Fatal("kind names wrong")
+	}
+	if CorpusKind(5).String() != "corpus(5)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteTrace writes term sets to w, one item per line, terms separated by
+// single spaces — the on-disk trace format consumed by cmd/datagen and
+// cmd/movebench.
+func WriteTrace(w io.Writer, items [][]string) error {
+	bw := bufio.NewWriter(w)
+	for _, terms := range items {
+		if _, err := bw.WriteString(strings.Join(terms, " ")); err != nil {
+			return fmt.Errorf("dataset: write trace: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: write trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace. Empty lines are skipped.
+func ReadTrace(r io.Reader) ([][]string, error) {
+	var out [][]string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24) // AP-like docs have huge lines
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		out = append(out, strings.Fields(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read trace: %w", err)
+	}
+	return out, nil
+}
+
+// SaveTrace writes a trace file.
+func SaveTrace(path string, items [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create trace %s: %w", path, err)
+	}
+	if err := WriteTrace(f, items); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace file.
+func LoadTrace(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open trace %s: %w", path, err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	return ReadTrace(f)
+}
+
+// Generate materializes n items from a generator function.
+func Generate(n int, next func() []string) [][]string {
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, next())
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/movesys/move/internal/cluster"
+	"github.com/movesys/move/internal/dataset"
+)
+
+// tiny is the test scale: every figure runs in well under a second.
+const tiny Scale = 0.001
+
+func TestRunDatasetStatsMatchesPaperShape(t *testing.T) {
+	st, err := RunDatasetStats(tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanTermsPerFilter-dataset.MSNMeanTermsPerFilter) > 0.2 {
+		t.Errorf("mean terms/filter = %v, want ≈%v", st.MeanTermsPerFilter, dataset.MSNMeanTermsPerFilter)
+	}
+	if math.Abs(st.FilterLenCDF2-dataset.MSNLenCDF2) > 0.03 {
+		t.Errorf("len CDF(2) = %v, want ≈%v", st.FilterLenCDF2, dataset.MSNLenCDF2)
+	}
+	if st.TopAnchorMass < 0.3 || st.TopAnchorMass > 0.6 {
+		t.Errorf("top anchor mass = %v, want ≈0.437", st.TopAnchorMass)
+	}
+	// AP docs are longer and flatter than WT docs.
+	if st.MeanTermsAP <= st.MeanTermsWT {
+		t.Errorf("AP mean %v should exceed WT mean %v", st.MeanTermsAP, st.MeanTermsWT)
+	}
+	if st.EntropyAP <= st.EntropyWT {
+		t.Errorf("AP entropy %v should exceed WT entropy %v", st.EntropyAP, st.EntropyWT)
+	}
+	if st.OverlapWT <= 0 || st.OverlapWT >= 1 || st.OverlapAP <= 0 || st.OverlapAP >= 1 {
+		t.Errorf("overlaps = %v / %v, want in (0,1)", st.OverlapWT, st.OverlapAP)
+	}
+}
+
+func TestRunFigure4Skewed(t *testing.T) {
+	pts, err := RunFigure4(tiny, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Monotone decreasing rate by rank (Figure 4's shape).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Rate > pts[i-1].Rate+1e-12 {
+			t.Fatalf("rate not decreasing at point %d", i)
+		}
+	}
+	// Strong skew: head rate orders of magnitude above the tail.
+	if pts[0].Rate < 10*pts[len(pts)-1].Rate {
+		t.Fatalf("head %v vs tail %v: not skewed", pts[0].Rate, pts[len(pts)-1].Rate)
+	}
+}
+
+func TestRunFigure5WTSkewerThanAP(t *testing.T) {
+	s, err := RunFigure5(tiny, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.WT) == 0 || len(s.AP) == 0 {
+		t.Fatal("empty series")
+	}
+	// WT's head is heavier relative to its tail than AP's.
+	wtRatio := s.WT[0].Rate / s.WT[len(s.WT)-1].Rate
+	apRatio := s.AP[0].Rate / s.AP[len(s.AP)-1].Rate
+	if wtRatio <= apRatio {
+		t.Fatalf("WT head/tail ratio %v should exceed AP's %v", wtRatio, apRatio)
+	}
+}
+
+func TestRunSingleNodeShape(t *testing.T) {
+	pts, err := RunSingleNode(SingleNodeParams{
+		Corpus:       dataset.CorpusAP,
+		Products:     []int{20_000},
+		DocCounts:    []int{10, 100, 400},
+		Seed:         3,
+		Vocab:        5_000,
+		MeanDocTerms: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Figure 6's headline shape: with R fixed, fewer documents (more
+	// filters) give higher throughput.
+	if !(pts[0].Throughput > pts[1].Throughput && pts[1].Throughput > pts[2].Throughput) {
+		t.Fatalf("throughput not decreasing in Q: %+v", pts)
+	}
+}
+
+func TestRunSingleNodeWTFasterThanAP(t *testing.T) {
+	// Figure 7 vs Figure 6: short WT docs yield much higher throughput
+	// than long AP docs at the same R and Q.
+	run := func(kind dataset.CorpusKind, mean float64) float64 {
+		pts, err := RunSingleNode(SingleNodeParams{
+			Corpus:       kind,
+			Products:     []int{10_000},
+			DocCounts:    []int{50},
+			Seed:         3,
+			Vocab:        5_000,
+			MeanDocTerms: mean,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].Throughput
+	}
+	wt := run(dataset.CorpusWT, 0)   // preset 64.8 terms
+	ap := run(dataset.CorpusAP, 600) // scaled-down long docs
+	if wt <= 2*ap {
+		t.Fatalf("WT throughput %v should be well above AP %v", wt, ap)
+	}
+}
+
+func TestRunSingleNodeValidation(t *testing.T) {
+	if _, err := RunSingleNode(SingleNodeParams{}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunClusterValidation(t *testing.T) {
+	if _, err := RunCluster(ClusterParams{}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFigure8OrderingAtDefaults is the paper's headline: at the §VI.C
+// defaults, Move > RS > IL.
+func TestFigure8OrderingAtDefaults(t *testing.T) {
+	d := DefaultsAt(tiny)
+	pt, err := runSchemes(ClusterParams{
+		Nodes:     d.Nodes,
+		Filters:   d.Filters,
+		Docs:      d.Docs,
+		Capacity:  d.Capacity,
+		CostScale: d.CostScale,
+		Corpus:    dataset.CorpusWT,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pt.Move > pt.RS) {
+		t.Errorf("Move (%v) should beat RS (%v)", pt.Move, pt.RS)
+	}
+	if !(pt.RS > pt.IL) {
+		t.Errorf("RS (%v) should beat IL (%v)", pt.RS, pt.IL)
+	}
+}
+
+func TestFigure9LoadOrdering(t *testing.T) {
+	// Figure 9(a): RS most even, IL most skewed, Move between.
+	load, err := RunFigure9Load(tiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(load.CVRS < load.CVMove) {
+		t.Errorf("storage: RS CV %v should be below Move CV %v", load.CVRS, load.CVMove)
+	}
+	if !(load.CVMove < load.CVIL) {
+		t.Errorf("storage: Move CV %v should be below IL CV %v", load.CVMove, load.CVIL)
+	}
+}
+
+func TestFigure9MatchingCostOrdering(t *testing.T) {
+	// Figure 9(b): IL most skewed; Move more even than RS is not required
+	// in all scaled runs, but IL must be the worst.
+	load, err := RunFigure9Load(tiny, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(load.CVIL > load.CVMove) {
+		t.Errorf("matching: IL CV %v should exceed Move CV %v", load.CVIL, load.CVMove)
+	}
+}
+
+func TestFigure9FailureShape(t *testing.T) {
+	rows, err := RunFigure9Failure(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := make(map[string]Figure9Failure)
+	for _, r := range rows {
+		byName[r.Placement.String()] = r
+	}
+	// Availability at zero failures is 1 for all.
+	for name, r := range byName {
+		if r.AvailabilityOK < 0.999 {
+			t.Errorf("%s availability without failures = %v", name, r.AvailabilityOK)
+		}
+	}
+	// Rack-correlated failures: rack placement must lose the most filters.
+	rack, ringP, hybrid := byName["rack"], byName["ring"], byName["hybrid"]
+	if !(rack.AvailabilityFail <= ringP.AvailabilityFail) {
+		t.Errorf("rack availability %v should be <= ring %v under rack failures",
+			rack.AvailabilityFail, ringP.AvailabilityFail)
+	}
+	if !(hybrid.AvailabilityFail >= rack.AvailabilityFail) {
+		t.Errorf("hybrid availability %v should be >= rack %v", hybrid.AvailabilityFail, rack.AvailabilityFail)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	pts, err := RunAblationStrategies(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d strategy points, want 4 strategies × {full, rows-only}", len(pts))
+	}
+	bl, err := RunAblationBloom(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl) != 2 {
+		t.Fatalf("got %d bloom points", len(bl))
+	}
+	for _, p := range append(pts, bl...) {
+		if p.Throughput <= 0 {
+			t.Errorf("%s throughput = %v", p.Name, p.Throughput)
+		}
+	}
+}
+
+// TestFigure8SweepsSmoke runs each Figure 8 sweep at the test scale and
+// checks the structural invariants (positive throughput everywhere, IL
+// never the best).
+func TestFigure8SweepsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps take tens of seconds")
+	}
+	type sweep struct {
+		name string
+		run  func(Scale) ([]SchemePoint, error)
+	}
+	for _, s := range []sweep{
+		{"8a", RunFigure8a},
+		{"8b", RunFigure8b},
+		{"8c", RunFigure8c},
+	} {
+		t.Run(s.name, func(t *testing.T) {
+			pts, err := s.run(tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) < 4 {
+				t.Fatalf("only %d points", len(pts))
+			}
+			for _, p := range pts {
+				if p.Move <= 0 || p.IL <= 0 || p.RS <= 0 {
+					t.Fatalf("non-positive throughput at x=%d: %+v", p.X, p)
+				}
+				if p.IL > p.Move && p.IL > p.RS {
+					t.Errorf("IL best at x=%d: %+v", p.X, p)
+				}
+			}
+		})
+	}
+}
+
+func TestRunClusterWithTraces(t *testing.T) {
+	fg, err := dataset.NewFilterGen(dataset.FilterConfig{DistinctTerms: 1_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := dataset.Generate(300, fg.Next)
+	dg, err := dataset.NewDocGen(dataset.CorpusConfig{Kind: dataset.CorpusWT, DistinctTerms: 2_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := dataset.Generate(100, dg.Next)
+
+	for _, scheme := range []cluster.Scheme{cluster.SchemeMove, cluster.SchemeIL, cluster.SchemeRS} {
+		out, err := RunClusterWithTraces(ClusterParams{Scheme: scheme, Nodes: 8, Seed: 1}, filters, docs)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if out.Docs != 100 || out.Complete != 100 {
+			t.Fatalf("%v: docs=%d complete=%d", scheme, out.Docs, out.Complete)
+		}
+		if out.Throughput <= 0 {
+			t.Fatalf("%v: throughput=%v", scheme, out.Throughput)
+		}
+	}
+	if _, err := RunClusterWithTraces(ClusterParams{Nodes: 4}, nil, docs); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("empty filters: %v", err)
+	}
+}
+
+// TestFigure8OrderingRobustAcrossSeeds guards the calibration: the headline
+// ordering must hold for several seeds, not just the default.
+func TestFigure8OrderingRobustAcrossSeeds(t *testing.T) {
+	d := DefaultsAt(tiny)
+	for _, seed := range []int64{1, 2, 3} {
+		pt, err := runSchemes(ClusterParams{
+			Nodes:     d.Nodes,
+			Filters:   d.Filters,
+			Docs:      d.Docs,
+			Capacity:  d.Capacity,
+			CostScale: d.CostScale,
+			Corpus:    dataset.CorpusWT,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(pt.Move > pt.IL && pt.RS > pt.IL) {
+			t.Errorf("seed %d: IL (%v) should be lowest (Move %v, RS %v)", seed, pt.IL, pt.Move, pt.RS)
+		}
+		if pt.Move < pt.RS*0.9 {
+			t.Errorf("seed %d: Move (%v) fell well below RS (%v)", seed, pt.Move, pt.RS)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package gossip
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/ring"
+)
+
+// TestPartitionHeal verifies that a node isolated by an asymmetric network
+// partition is suspected and evicted, then rejoins after the partition
+// heals, with its heartbeat superseding the tombstone.
+func TestPartitionHeal(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	for i := 1; i < 4; i++ {
+		tc.gs[i].SeedPeers(Member{ID: "g0"})
+	}
+	for round := 0; round < 8; round++ {
+		tc.tickAll()
+	}
+	for i := 0; i < 4; i++ {
+		if n := len(tc.gs[i].Alive()); n != 4 {
+			t.Fatalf("g%d sees %d alive before partition", i, n)
+		}
+	}
+
+	// Cut g3 off from everyone (both directions).
+	for _, peer := range []string{"g0", "g1", "g2"} {
+		tc.net.CutLink("g3", ring.NodeID(peer))
+		tc.net.CutLink(ring.NodeID(peer), "g3")
+	}
+	// The majority side eventually declares g3 dead...
+	for round := 0; round < 25; round++ {
+		tc.clock.Advance(time.Second)
+		for _, g := range tc.gs {
+			g.Tick(context.Background())
+		}
+	}
+	if st := tc.gs[0].StatusOf("g3"); st != StatusDead {
+		t.Fatalf("g3 = %v on majority side, want dead", st)
+	}
+	// ...and the isolated side suspects everyone else.
+	for _, peer := range []string{"g0", "g1", "g2"} {
+		if st := tc.gs[3].StatusOf(ring.NodeID(peer)); st == StatusAlive {
+			t.Fatalf("isolated node still sees %s alive", peer)
+		}
+	}
+
+	// Heal and reconverge.
+	for _, peer := range []string{"g0", "g1", "g2"} {
+		tc.net.HealLink("g3", ring.NodeID(peer))
+		tc.net.HealLink(ring.NodeID(peer), "g3")
+	}
+	for round := 0; round < 12; round++ {
+		tc.tickAll()
+	}
+	for i := 0; i < 4; i++ {
+		if n := len(tc.gs[i].Alive()); n != 4 {
+			t.Fatalf("g%d sees %d alive after heal, want 4", i, n)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package metrics provides the lightweight instrumentation used to produce
+// the paper's maintenance figures: per-node storage cost and matching cost
+// (Figure 9 a–b) and cluster throughput. Counters are safe for concurrent
+// use via atomics; distributions are computed from snapshots.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (delta may be negative for gauges-in-disguise; MOVE only
+// uses non-negative deltas).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter (epoch renewals, §V allocation refresh).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Registry is a named set of counters.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns all counter values.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Distribution summarizes a per-node load vector the way Figure 9 plots it:
+// values ranked descending and normalized by a reference mean.
+type Distribution struct {
+	// Ranked holds the values sorted descending.
+	Ranked []float64
+	// Mean is the arithmetic mean of the raw values.
+	Mean float64
+	// Max and Min are the extreme raw values.
+	Max, Min float64
+	// CV is the coefficient of variation (stddev/mean), the scalar skew
+	// measure used in tests; zero for an empty or zero-mean input.
+	CV float64
+}
+
+// NewDistribution computes the summary of values.
+func NewDistribution(values []float64) Distribution {
+	d := Distribution{Ranked: append([]float64(nil), values...)}
+	sort.Sort(sort.Reverse(sort.Float64Slice(d.Ranked)))
+	if len(values) == 0 {
+		return d
+	}
+	d.Max = d.Ranked[0]
+	d.Min = d.Ranked[len(d.Ranked)-1]
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	d.Mean = sum / float64(len(values))
+	if d.Mean != 0 {
+		var ss float64
+		for _, v := range values {
+			diff := v - d.Mean
+			ss += diff * diff
+		}
+		d.CV = math.Sqrt(ss/float64(len(values))) / d.Mean
+	}
+	return d
+}
+
+// NormalizedBy returns Ranked divided by the given reference mean — the
+// y-axis of Figure 9(a–b), which normalizes every scheme's per-node load by
+// the RS scheme's average load.
+func (d Distribution) NormalizedBy(refMean float64) []float64 {
+	out := make([]float64, len(d.Ranked))
+	if refMean == 0 {
+		return out
+	}
+	for i, v := range d.Ranked {
+		out[i] = v / refMean
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after reset = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("docs").Add(3)
+	r.Counter("docs").Inc()
+	r.Counter("filters").Inc()
+	snap := r.Snapshot()
+	if snap["docs"] != 4 || snap["filters"] != 1 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution([]float64{1, 5, 3})
+	if d.Max != 5 || d.Min != 1 || d.Mean != 3 {
+		t.Fatalf("dist = %+v", d)
+	}
+	if d.Ranked[0] != 5 || d.Ranked[2] != 1 {
+		t.Fatalf("Ranked = %v, want descending", d.Ranked)
+	}
+	wantCV := math.Sqrt(8.0/3.0) / 3
+	if math.Abs(d.CV-wantCV) > 1e-12 {
+		t.Fatalf("CV = %v, want %v", d.CV, wantCV)
+	}
+}
+
+func TestDistributionEdgeCases(t *testing.T) {
+	empty := NewDistribution(nil)
+	if empty.Mean != 0 || empty.CV != 0 || len(empty.Ranked) != 0 {
+		t.Fatalf("empty dist = %+v", empty)
+	}
+	zeros := NewDistribution([]float64{0, 0})
+	if zeros.CV != 0 {
+		t.Fatalf("zero-mean CV = %v", zeros.CV)
+	}
+	uniform := NewDistribution([]float64{2, 2, 2})
+	if uniform.CV != 0 {
+		t.Fatalf("uniform CV = %v, want 0", uniform.CV)
+	}
+}
+
+func TestDistributionSkewOrdering(t *testing.T) {
+	balanced := NewDistribution([]float64{10, 11, 9, 10})
+	skewed := NewDistribution([]float64{38, 1, 1, 0})
+	if balanced.CV >= skewed.CV {
+		t.Fatalf("balanced CV %v should be below skewed CV %v", balanced.CV, skewed.CV)
+	}
+}
+
+func TestNormalizedBy(t *testing.T) {
+	d := NewDistribution([]float64{4, 2})
+	got := d.NormalizedBy(2)
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("NormalizedBy = %v", got)
+	}
+	if z := d.NormalizedBy(0); z[0] != 0 || z[1] != 0 {
+		t.Fatalf("NormalizedBy(0) = %v, want zeros", z)
+	}
+}

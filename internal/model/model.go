@@ -1,0 +1,206 @@
+// Package model defines the data model of §III.A — documents and filters as
+// term sets — together with their wire encodings. It is the shared leaf
+// package of the system: stores index filters, the matcher compares term
+// sets, the forwarding engine ships documents, and the public API re-exports
+// these types.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/movesys/move/internal/codec"
+)
+
+// FilterID uniquely identifies a registered filter across the cluster.
+type FilterID uint64
+
+// String renders the ID for logs.
+func (id FilterID) String() string { return "f" + strconv.FormatUint(uint64(id), 10) }
+
+// MatchMode selects the matching semantics between a document and a filter.
+type MatchMode int
+
+// Matching semantics. The paper's default is boolean OR ("we say that d
+// successfully matches f if there is a term t that appears inside both d
+// and f", §III.A); AND and similarity-threshold semantics are the "more
+// involved matching semantics" extension it mentions (following SIFT [25]
+// and STAIRS [17]).
+const (
+	// MatchAny matches when at least one filter term occurs in the document.
+	MatchAny MatchMode = iota + 1
+	// MatchAll matches when every filter term occurs in the document.
+	MatchAll
+	// MatchThreshold matches when the VSM relevance score between document
+	// and filter reaches the filter's threshold.
+	MatchThreshold
+)
+
+// String returns the mode name.
+func (m MatchMode) String() string {
+	switch m {
+	case MatchAny:
+		return "any"
+	case MatchAll:
+		return "all"
+	case MatchThreshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Filter is a registered user profile: a small set of query terms (§VI.A:
+// 2–3 terms on average) plus dissemination metadata.
+type Filter struct {
+	ID         FilterID
+	Subscriber string
+	Terms      []string
+	Mode       MatchMode
+	// Threshold is the minimum VSM score for MatchThreshold filters.
+	Threshold float64
+}
+
+// Validation errors.
+var (
+	// ErrNoTerms reports a filter or document with an empty term set.
+	ErrNoTerms = errors.New("model: empty term set")
+	// ErrBadMode reports an unknown match mode.
+	ErrBadMode = errors.New("model: invalid match mode")
+)
+
+// Validate checks structural invariants.
+func (f *Filter) Validate() error {
+	if len(f.Terms) == 0 {
+		return fmt.Errorf("filter %s: %w", f.ID, ErrNoTerms)
+	}
+	switch f.Mode {
+	case MatchAny, MatchAll:
+	case MatchThreshold:
+		if f.Threshold <= 0 || f.Threshold > 1 {
+			return fmt.Errorf("filter %s: threshold %v outside (0,1]: %w", f.ID, f.Threshold, ErrBadMode)
+		}
+	default:
+		return fmt.Errorf("filter %s: %w: %v", f.ID, ErrBadMode, f.Mode)
+	}
+	return nil
+}
+
+// Clone returns a deep copy (term slice included), so stores can hand out
+// filters without aliasing their internals.
+func (f *Filter) Clone() Filter {
+	out := *f
+	out.Terms = append([]string(nil), f.Terms...)
+	return out
+}
+
+// Encode serializes the filter.
+func (f *Filter) Encode() []byte {
+	w := codec.NewWriter(32 + 16*len(f.Terms))
+	f.EncodeTo(w)
+	return w.Bytes()
+}
+
+// EncodeTo appends the filter to an existing writer.
+func (f *Filter) EncodeTo(w *codec.Writer) {
+	w.Uvarint(uint64(f.ID))
+	w.String(f.Subscriber)
+	w.StringSlice(f.Terms)
+	w.Uint8(uint8(f.Mode))
+	w.Float64(f.Threshold)
+}
+
+// DecodeFilter parses a filter from r.
+func DecodeFilter(r *codec.Reader) (Filter, error) {
+	var f Filter
+	id, err := r.Uvarint()
+	if err != nil {
+		return f, fmt.Errorf("model: filter id: %w", err)
+	}
+	f.ID = FilterID(id)
+	if f.Subscriber, err = r.String(); err != nil {
+		return f, fmt.Errorf("model: filter subscriber: %w", err)
+	}
+	if f.Terms, err = r.StringSlice(); err != nil {
+		return f, fmt.Errorf("model: filter terms: %w", err)
+	}
+	mode, err := r.Uint8()
+	if err != nil {
+		return f, fmt.Errorf("model: filter mode: %w", err)
+	}
+	f.Mode = MatchMode(mode)
+	if f.Threshold, err = r.Float64(); err != nil {
+		return f, fmt.Errorf("model: filter threshold: %w", err)
+	}
+	return f, nil
+}
+
+// Document is a published content item represented by its deduplicated term
+// set (§III.A).
+type Document struct {
+	ID    uint64
+	Terms []string
+}
+
+// Validate checks structural invariants.
+func (d *Document) Validate() error {
+	if len(d.Terms) == 0 {
+		return fmt.Errorf("document %d: %w", d.ID, ErrNoTerms)
+	}
+	return nil
+}
+
+// TermSet returns the terms as a membership set.
+func (d *Document) TermSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(d.Terms))
+	for _, t := range d.Terms {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Encode serializes the document.
+func (d *Document) Encode() []byte {
+	w := codec.NewWriter(16 + 16*len(d.Terms))
+	d.EncodeTo(w)
+	return w.Bytes()
+}
+
+// EncodeTo appends the document to an existing writer.
+func (d *Document) EncodeTo(w *codec.Writer) {
+	w.Uvarint(d.ID)
+	w.StringSlice(d.Terms)
+}
+
+// DecodeDocument parses a document from r.
+func DecodeDocument(r *codec.Reader) (Document, error) {
+	var d Document
+	id, err := r.Uvarint()
+	if err != nil {
+		return d, fmt.Errorf("model: document id: %w", err)
+	}
+	d.ID = id
+	if d.Terms, err = r.StringSlice(); err != nil {
+		return d, fmt.Errorf("model: document terms: %w", err)
+	}
+	return d, nil
+}
+
+// SortTerms sorts and deduplicates a term slice in place, returning the
+// (possibly shortened) slice. Term sets throughout the system are kept in
+// this canonical form.
+func SortTerms(terms []string) []string {
+	sort.Strings(terms)
+	out := terms[:0]
+	var prev string
+	for i, t := range terms {
+		if i > 0 && t == prev {
+			continue
+		}
+		out = append(out, t)
+		prev = t
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/model"
+)
+
+// Mailbox message types.
+const (
+	msgDeliver = 20 // push one delivery to a subscriber's mailbox node
+	msgFetch   = 21 // pull a subscriber's deliveries since a sequence number
+)
+
+// Delivery is one matched document queued for a subscriber.
+type Delivery struct {
+	// Seq is the mailbox-local sequence number (fetch cursor).
+	Seq uint64
+	// DocID identifies the published document.
+	DocID uint64
+	// Filter identifies the matching filter.
+	Filter model.FilterID
+	// Terms is the document's term set.
+	Terms []string
+}
+
+// mailboxCap bounds each subscriber's queued deliveries; older entries are
+// dropped once a slow consumer falls this far behind (the same bounded-
+// buffer semantics as the embedded API's Subscription channel).
+const mailboxCap = 1024
+
+// mailbox is one subscriber's bounded delivery queue.
+type mailbox struct {
+	deliveries []Delivery // ring-ordered, oldest first
+	nextSeq    uint64
+}
+
+// mailboxes is the node-local store of subscriber queues. A subscriber's
+// mailbox lives on the home node of the subscriber's name, so clients have
+// one stable place to fetch from.
+type mailboxes struct {
+	mu    sync.Mutex
+	boxes map[string]*mailbox
+}
+
+func newMailboxes() *mailboxes {
+	return &mailboxes{boxes: make(map[string]*mailbox)}
+}
+
+func (m *mailboxes) push(sub string, d Delivery) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	box, ok := m.boxes[sub]
+	if !ok {
+		box = &mailbox{nextSeq: 1}
+		m.boxes[sub] = box
+	}
+	d.Seq = box.nextSeq
+	box.nextSeq++
+	box.deliveries = append(box.deliveries, d)
+	if len(box.deliveries) > mailboxCap {
+		box.deliveries = box.deliveries[len(box.deliveries)-mailboxCap:]
+	}
+}
+
+func (m *mailboxes) fetch(sub string, since uint64, limit int) []Delivery {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	box, ok := m.boxes[sub]
+	if !ok {
+		return nil
+	}
+	out := make([]Delivery, 0, limit)
+	for _, d := range box.deliveries {
+		if d.Seq <= since {
+			continue
+		}
+		out = append(out, d)
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// EncodeDeliver serializes a mailbox push.
+func EncodeDeliver(sub string, docID uint64, filter model.FilterID, terms []string) []byte {
+	w := codec.NewWriter(48 + 12*len(terms))
+	w.Uint8(msgDeliver)
+	w.String(sub)
+	w.Uvarint(docID)
+	w.Uvarint(uint64(filter))
+	w.StringSlice(terms)
+	return w.Bytes()
+}
+
+// EncodeFetch serializes a mailbox pull.
+func EncodeFetch(sub string, since uint64, limit int) []byte {
+	w := codec.NewWriter(32)
+	w.Uint8(msgFetch)
+	w.String(sub)
+	w.Uvarint(since)
+	w.Uvarint(uint64(limit))
+	return w.Bytes()
+}
+
+// DecodeDeliveries parses a fetch response.
+func DecodeDeliveries(data []byte) ([]Delivery, error) {
+	r := codec.NewReader(data)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: delivery count %d overflows payload", n)
+	}
+	out := make([]Delivery, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d Delivery
+		if d.Seq, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if d.DocID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		f, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		d.Filter = model.FilterID(f)
+		if d.Terms, err = r.StringSlice(); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func encodeDeliveries(ds []Delivery) []byte {
+	w := codec.NewWriter(16 + 48*len(ds))
+	w.Uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		w.Uvarint(d.Seq)
+		w.Uvarint(d.DocID)
+		w.Uvarint(uint64(d.Filter))
+		w.StringSlice(d.Terms)
+	}
+	return w.Bytes()
+}
+
+// handleDeliver processes a mailbox push.
+func (n *Node) handleDeliver(r *codec.Reader) error {
+	sub, err := r.String()
+	if err != nil {
+		return err
+	}
+	docID, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	filter, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	terms, err := r.StringSlice()
+	if err != nil {
+		return err
+	}
+	n.mail.push(sub, Delivery{DocID: docID, Filter: model.FilterID(filter), Terms: terms})
+	return nil
+}
+
+// handleFetch processes a mailbox pull.
+func (n *Node) handleFetch(r *codec.Reader) ([]byte, error) {
+	sub, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	since, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	limit, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if limit == 0 || limit > mailboxCap {
+		limit = mailboxCap
+	}
+	return encodeDeliveries(n.mail.fetch(sub, since, int(limit))), nil
+}
+
+// DeliverToMailboxes routes each match to the mailbox node of its
+// subscriber (the home node of the subscriber's name): the final
+// dissemination hop for clients that poll over the network rather than
+// holding an in-process channel.
+func (n *Node) DeliverToMailboxes(ctx context.Context, doc *model.Document, matches []Match) error {
+	var firstErr error
+	for _, m := range matches {
+		home, err := n.cfg.Ring.HomeNode("subscriber/" + m.Subscriber)
+		if err != nil {
+			return err
+		}
+		payload := EncodeDeliver(m.Subscriber, doc.ID, m.Filter, doc.Terms)
+		if _, err := n.send(ctx, home, payload); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("node %s: deliver to %s: %w", n.cfg.ID, home, err)
+		}
+	}
+	return firstErr
+}
+
+// FetchDeliveries pulls a subscriber's deliveries from its mailbox node.
+func (n *Node) FetchDeliveries(ctx context.Context, sub string, since uint64, limit int) ([]Delivery, error) {
+	home, err := n.cfg.Ring.HomeNode("subscriber/" + sub)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := n.send(ctx, home, EncodeFetch(sub, since, limit))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDeliveries(raw)
+}

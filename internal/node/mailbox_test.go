@@ -1,0 +1,132 @@
+package node
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"github.com/movesys/move/internal/model"
+)
+
+func TestMailboxDeliverFetch(t *testing.T) {
+	h := newHarness(t, 4)
+	ctx := context.Background()
+	doc := &model.Document{ID: 7, Terms: []string{"alpha", "beta"}}
+	matches := []Match{
+		{Filter: 1, Subscriber: "alice"},
+		{Filter: 2, Subscriber: "bob"},
+	}
+	if err := h.nodes[0].DeliverToMailboxes(ctx, doc, matches); err != nil {
+		t.Fatal(err)
+	}
+	// Fetch from any node: it routes to the mailbox home.
+	ds, err := h.nodes[3].FetchDeliveries(ctx, "alice", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].DocID != 7 || ds[0].Filter != 1 {
+		t.Fatalf("alice deliveries = %+v", ds)
+	}
+	if len(ds[0].Terms) != 2 {
+		t.Fatalf("delivery terms = %v", ds[0].Terms)
+	}
+	// Unknown subscriber: empty.
+	none, err := h.nodes[0].FetchDeliveries(ctx, "ghost", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("ghost deliveries = %v", none)
+	}
+}
+
+func TestMailboxCursor(t *testing.T) {
+	h := newHarness(t, 3)
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		doc := &model.Document{ID: uint64(i), Terms: []string{"t"}}
+		if err := h.nodes[0].DeliverToMailboxes(ctx, doc, []Match{{Filter: model.FilterID(i), Subscriber: "carol"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := h.nodes[0].FetchDeliveries(ctx, "carol", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 || first[0].Seq != 1 || first[2].Seq != 3 {
+		t.Fatalf("first page = %+v", first)
+	}
+	rest, err := h.nodes[0].FetchDeliveries(ctx, "carol", first[2].Seq, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0].Seq != 4 {
+		t.Fatalf("second page = %+v", rest)
+	}
+	// Cursor past the end: empty, not an error.
+	tail, err := h.nodes[0].FetchDeliveries(ctx, "carol", 99, 10)
+	if err != nil || len(tail) != 0 {
+		t.Fatalf("tail = %v, %v", tail, err)
+	}
+}
+
+func TestMailboxOverflowDropsOldest(t *testing.T) {
+	m := newMailboxes()
+	for i := 0; i < mailboxCap+50; i++ {
+		m.push("dave", Delivery{DocID: uint64(i)})
+	}
+	ds := m.fetch("dave", 0, mailboxCap+100)
+	if len(ds) != mailboxCap {
+		t.Fatalf("retained %d deliveries, want %d", len(ds), mailboxCap)
+	}
+	if ds[0].Seq != 51 {
+		t.Fatalf("oldest retained seq = %d, want 51", ds[0].Seq)
+	}
+	if ds[len(ds)-1].Seq != uint64(mailboxCap+50) {
+		t.Fatalf("newest seq = %d", ds[len(ds)-1].Seq)
+	}
+}
+
+func TestDeliveriesRoundTrip(t *testing.T) {
+	in := []Delivery{
+		{Seq: 1, DocID: 10, Filter: 3, Terms: []string{"x", "y"}},
+		{Seq: 2, DocID: 11, Filter: 4, Terms: nil},
+	}
+	out, err := DecodeDeliveries(encodeDeliveries(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Seq != 1 || out[1].DocID != 11 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if _, err := DecodeDeliveries([]byte{0xFF}); err == nil {
+		t.Fatal("corrupt deliveries accepted")
+	}
+}
+
+func TestMailboxConcurrentPush(t *testing.T) {
+	m := newMailboxes()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				m.push("sub"+strconv.Itoa(w%2), Delivery{DocID: uint64(i)})
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	a := m.fetch("sub0", 0, 1000)
+	b := m.fetch("sub1", 0, 1000)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("deliveries = %d/%d, want 200/200", len(a), len(b))
+	}
+	// Sequence numbers are strictly increasing per mailbox.
+	for i := 1; i < len(a); i++ {
+		if a[i].Seq <= a[i-1].Seq {
+			t.Fatal("sequence not increasing")
+		}
+	}
+}

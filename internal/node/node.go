@@ -1,0 +1,718 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/bloom"
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/index"
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/store"
+	"github.com/movesys/move/internal/transport"
+)
+
+// GossipHandler lets the owner plug a gossip endpoint into the node's
+// message router.
+type GossipHandler func(from ring.NodeID, digest []byte) ([]byte, error)
+
+// Config parameterizes a Node.
+type Config struct {
+	// ID is the node's identity in the ring.
+	ID ring.NodeID
+	// Rack labels the node's failure domain.
+	Rack string
+	// Store is the node-local storage engine; nil opens an ephemeral one.
+	Store *store.Store
+	// Ring is the (gossip-maintained) cluster view used for entry-point
+	// routing.
+	Ring *ring.Ring
+	// Seed drives the row choice of the forwarding engine; zero derives a
+	// seed from the node ID.
+	Seed int64
+	// Gossip, if set, receives msgGossip payloads.
+	Gossip GossipHandler
+	// OnDeliver, if set, is invoked on the entry node for every document
+	// with its deduplicated matches — the final dissemination hop to
+	// subscribers.
+	OnDeliver func(doc *model.Document, matches []Match)
+	// OnTransfer, if set, is invoked once per document transfer attempt
+	// (entry→home and home→grid-row). The cluster cost model uses it to
+	// charge y_d with rack locality taken into account.
+	OnTransfer func(from, to ring.NodeID)
+}
+
+// Node is one MOVE server.
+type Node struct {
+	cfg Config
+	ix  *index.Index
+
+	tr   transport.Transport
+	trMu sync.RWMutex
+
+	mu        sync.RWMutex
+	grid      *alloc.Grid
+	gridEpoch uint64
+	// termGrids maps specific terms to their own allocation grids — the
+	// per-term variant of the forwarding table whose maintenance cost §V's
+	// per-node aggregation avoids; kept for the ablation comparison.
+	termGrids map[string]*alloc.Grid
+	bloomF    *bloom.Filter
+	rng       *rand.Rand
+
+	// mail holds subscriber mailboxes for network-polling clients.
+	mail *mailboxes
+
+	// Counters for §V statistics and Figure 9 load accounting.
+	docsProcessed   metrics.Counter
+	postingsScanned metrics.Counter
+	postingLists    metrics.Counter
+	homePublishes   metrics.Counter
+}
+
+// New builds a node. Call Attach to connect it to a transport before use.
+func New(cfg Config) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("node: empty id")
+	}
+	if cfg.Ring == nil {
+		return nil, errors.New("node: nil ring")
+	}
+	st := cfg.Store
+	if st == nil {
+		var err error
+		st, err = store.Open("", store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = st
+	}
+	ix, err := index.New(st)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", cfg.ID, err)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(ring.HashKey(string(cfg.ID) + "/rng"))
+	}
+	return &Node{
+		cfg:       cfg,
+		ix:        ix,
+		termGrids: make(map[string]*alloc.Grid),
+		mail:      newMailboxes(),
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Attach connects the node to its transport endpoint.
+func (n *Node) Attach(tr transport.Transport) {
+	n.trMu.Lock()
+	defer n.trMu.Unlock()
+	n.tr = tr
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ring.NodeID { return n.cfg.ID }
+
+// Rack returns the node's rack label.
+func (n *Node) Rack() string { return n.cfg.Rack }
+
+// Index exposes the local filter index (tests, load accounting).
+func (n *Node) Index() *index.Index { return n.ix }
+
+// send issues an RPC through the attached transport.
+func (n *Node) send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
+	n.trMu.RLock()
+	tr := n.tr
+	n.trMu.RUnlock()
+	if tr == nil {
+		return nil, errors.New("node: transport not attached")
+	}
+	if to == n.cfg.ID {
+		// Local fast path: skip the network for self-addressed requests.
+		return n.Handle(ctx, n.cfg.ID, payload)
+	}
+	return tr.Send(ctx, to, payload)
+}
+
+// Handle is the node's transport handler: it dispatches on the message
+// type byte.
+func (n *Node) Handle(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("node: empty payload")
+	}
+	typ := payload[0]
+	r := codec.NewReader(payload[1:])
+	switch typ {
+	case msgRegister:
+		req, err := decodeRegister(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode register: %w", n.cfg.ID, err)
+		}
+		return nil, n.handleRegister(ctx, req)
+	case msgUnregister:
+		id, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.ix.Unregister(model.FilterID(id))
+	case msgPublish:
+		req, err := decodePublish(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish: %w", n.cfg.ID, err)
+		}
+		resp, err := n.handlePublish(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchResp(resp), nil
+	case msgPublishLocal:
+		req, err := decodePublish(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-local: %w", n.cfg.ID, err)
+		}
+		resp, err := n.matchLocal(&req.Doc, req.Term)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchResp(resp), nil
+	case msgPublishSIFT:
+		doc, err := model.DecodeDocument(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode sift: %w", n.cfg.ID, err)
+		}
+		resp, err := n.matchSIFT(&doc)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchResp(resp), nil
+	case msgMigrate:
+		req, err := decodeMigrate(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode migrate: %w", n.cfg.ID, err)
+		}
+		return nil, n.handleMigrate(req)
+	case msgStatsPull:
+		return EncodeStatsResp(n.Stats()), nil
+	case msgInstallGrid:
+		epoch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		gridBytes, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		g, err := alloc.DecodeGrid(gridBytes)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode grid: %w", n.cfg.ID, err)
+		}
+		n.InstallGrid(epoch, g)
+		return nil, nil
+	case msgDropGrid:
+		n.DropGrid()
+		return nil, nil
+	case msgAllocate:
+		epoch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		gridBytes, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		g, err := alloc.DecodeGrid(gridBytes)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode allocation grid: %w", n.cfg.ID, err)
+		}
+		return nil, n.BuildAllocation(ctx, epoch, g)
+	case msgAllocateTerm:
+		epoch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		term, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		gridBytes, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		g, err := alloc.DecodeGrid(gridBytes)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode term grid: %w", n.cfg.ID, err)
+		}
+		return nil, n.BuildTermAllocation(ctx, epoch, term, g)
+	case msgInstallBloom:
+		bloomBytes, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		bf, err := bloom.Unmarshal(bloomBytes)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode bloom: %w", n.cfg.ID, err)
+		}
+		n.InstallBloom(bf)
+		return nil, nil
+	case msgDeliver:
+		return nil, n.handleDeliver(r)
+	case msgFetch:
+		return n.handleFetch(r)
+	case msgGossip:
+		if n.cfg.Gossip == nil {
+			return nil, errors.New("node: gossip not enabled")
+		}
+		digest, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		return n.cfg.Gossip(from, digest)
+	default:
+		return nil, fmt.Errorf("node %s: unknown message type %d", n.cfg.ID, typ)
+	}
+}
+
+// handleRegister stores a filter and its posting entries. When this home
+// node's filters have been allocated, the new filter must also reach its
+// grid column in every partition row — otherwise documents fanned out to
+// the grid would miss filters registered after the allocation round.
+func (n *Node) handleRegister(ctx context.Context, req RegisterReq) error {
+	if err := n.ix.Register(req.Filter, req.PostingTerms); err != nil {
+		return err
+	}
+	n.mu.RLock()
+	grid := n.grid
+	var termGrids []termGridRef
+	for _, t := range req.PostingTerms {
+		if g, ok := n.termGrids[t]; ok {
+			termGrids = append(termGrids, termGridRef{term: t, grid: g})
+		}
+	}
+	n.mu.RUnlock()
+
+	if grid != nil {
+		if err := n.forwardToGridColumn(ctx, grid, RegisterReq{Filter: req.Filter, PostingTerms: req.PostingTerms}); err != nil {
+			return err
+		}
+	}
+	for _, tg := range termGrids {
+		if err := n.forwardToGridColumn(ctx, tg.grid, RegisterReq{Filter: req.Filter, PostingTerms: []string{tg.term}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type termGridRef struct {
+	term string
+	grid *alloc.Grid
+}
+
+// forwardToGridColumn copies one registration onto its grid column across
+// all partition rows.
+func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, req RegisterReq) error {
+	col := g.Column(req.Filter.ID)
+	payload := EncodeMigrate(MigrateReq{Entries: []RegisterReq{req}})
+	for row := 0; row < g.Rows(); row++ {
+		target := g.Node(row, col)
+		if target == n.cfg.ID {
+			continue
+		}
+		if _, err := n.send(ctx, target, payload); err != nil {
+			return fmt.Errorf("node %s: forward registration to grid node %s: %w", n.cfg.ID, target, err)
+		}
+	}
+	return nil
+}
+
+// handleMigrate installs a batch of allocated filters.
+func (n *Node) handleMigrate(req MigrateReq) error {
+	for _, e := range req.Entries {
+		if err := n.ix.Register(e.Filter, e.PostingTerms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallGrid atomically replaces the node's allocation grid (§V forwarding
+// table: one grid per node, all local terms map to it).
+func (n *Node) InstallGrid(epoch uint64, g *alloc.Grid) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch < n.gridEpoch {
+		return // stale installation from an older allocation round
+	}
+	n.grid = g
+	n.gridEpoch = epoch
+}
+
+// DropGrid clears the allocation grid.
+func (n *Node) DropGrid() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.grid = nil
+}
+
+// Grid returns the current grid (may be nil) and its epoch.
+func (n *Node) Grid() (*alloc.Grid, uint64) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.grid, n.gridEpoch
+}
+
+// InstallBloom replaces the global filter-term Bloom filter.
+func (n *Node) InstallBloom(bf *bloom.Filter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bloomF = bf
+}
+
+// handlePublish serves a term-routed document on its home node: match
+// locally when unallocated, otherwise fan out to one grid partition. A
+// term-specific grid (per-term allocation) takes precedence over the
+// node-wide grid.
+func (n *Node) handlePublish(ctx context.Context, req PublishReq) (MatchResp, error) {
+	n.homePublishes.Inc()
+	n.mu.RLock()
+	grid := n.termGrids[req.Term]
+	if grid == nil {
+		grid = n.grid
+	}
+	n.mu.RUnlock()
+	if grid == nil {
+		return n.matchLocal(&req.Doc, req.Term)
+	}
+
+	// Try partitions in random order until one row fully answers; replica
+	// rows make the match available under node failures (§VI.D).
+	rows := grid.Rows()
+	n.mu.Lock()
+	first := grid.PickRow(req.Doc.ID, n.rng)
+	n.mu.Unlock()
+	payload := EncodePublish(msgPublishLocal, req)
+	var lastErr error
+	for attempt := 0; attempt < rows; attempt++ {
+		row := (first + attempt) % rows
+		resp, err := n.fanOutRow(ctx, grid, row, &req, payload)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return MatchResp{}, fmt.Errorf("node %s: all %d partitions failed: %w", n.cfg.ID, rows, lastErr)
+}
+
+// fanOutRow sends the document to every node of one partition row in
+// parallel and merges their matches.
+func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, row int, req *PublishReq, payload []byte) (MatchResp, error) {
+	nodes := grid.RowNodes(row)
+	type result struct {
+		resp MatchResp
+		err  error
+	}
+	results := make([]result, len(nodes))
+	var wg sync.WaitGroup
+	for i, id := range nodes {
+		if n.cfg.OnTransfer != nil {
+			n.cfg.OnTransfer(n.cfg.ID, id)
+		}
+		wg.Add(1)
+		go func(i int, id ring.NodeID) {
+			defer wg.Done()
+			raw, err := n.send(ctx, id, payload)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			resp, err := DecodeMatchResp(raw)
+			results[i] = result{resp: resp, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	var merged MatchResp
+	for _, res := range results {
+		if res.err != nil {
+			return MatchResp{}, res.err
+		}
+		merged.Matches = append(merged.Matches, res.resp.Matches...)
+		merged.PostingsScanned += res.resp.PostingsScanned
+		merged.PostingLists += res.resp.PostingLists
+	}
+	return merged, nil
+}
+
+// matchLocal runs the single-posting-list matcher and accounts the work.
+func (n *Node) matchLocal(doc *model.Document, term string) (MatchResp, error) {
+	n.docsProcessed.Inc()
+	n.ix.ObserveDocument(doc)
+	matched, st, err := n.ix.MatchTerm(doc, term)
+	if err != nil {
+		return MatchResp{}, err
+	}
+	n.postingsScanned.Add(int64(st.Postings))
+	n.postingLists.Add(int64(st.PostingLists))
+	return toResp(matched, st), nil
+}
+
+// matchSIFT runs the full SIFT matcher (RS baseline path).
+func (n *Node) matchSIFT(doc *model.Document) (MatchResp, error) {
+	n.docsProcessed.Inc()
+	n.ix.ObserveDocument(doc)
+	matched, st, err := n.ix.MatchSIFT(doc)
+	if err != nil {
+		return MatchResp{}, err
+	}
+	n.postingsScanned.Add(int64(st.Postings))
+	n.postingLists.Add(int64(st.PostingLists))
+	return toResp(matched, st), nil
+}
+
+func toResp(matched []model.Filter, st index.MatchStats) MatchResp {
+	resp := MatchResp{
+		Matches:         make([]Match, 0, len(matched)),
+		PostingsScanned: st.Postings,
+		PostingLists:    st.PostingLists,
+	}
+	for _, f := range matched {
+		resp.Matches = append(resp.Matches, Match{Filter: f.ID, Subscriber: f.Subscriber})
+	}
+	return resp
+}
+
+// PublishEntry is the client-facing dissemination entry point (§V
+// "Document Dissemination"): forward the document, in parallel, to the home
+// nodes of every document term that passes the Bloom membership check, and
+// merge the matches. Returns the deduplicated matches and the total
+// matching cost.
+func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, MatchResp, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, MatchResp{}, err
+	}
+	n.mu.RLock()
+	bf := n.bloomF
+	n.mu.RUnlock()
+
+	terms := make([]string, 0, len(doc.Terms))
+	for _, t := range doc.Terms {
+		if bf != nil && !bf.Contains(t) {
+			continue
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		return nil, MatchResp{}, nil
+	}
+
+	type result struct {
+		resp MatchResp
+		err  error
+	}
+	results := make([]result, len(terms))
+	var wg sync.WaitGroup
+	for i, t := range terms {
+		home, err := n.cfg.Ring.HomeNode(t)
+		if err != nil {
+			return nil, MatchResp{}, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err)
+		}
+		payload := EncodePublish(msgPublish, PublishReq{Doc: *doc, Term: t})
+		if n.cfg.OnTransfer != nil {
+			n.cfg.OnTransfer(n.cfg.ID, home)
+		}
+		wg.Add(1)
+		go func(i int, home ring.NodeID) {
+			defer wg.Done()
+			raw, err := n.send(ctx, home, payload)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			resp, err := DecodeMatchResp(raw)
+			results[i] = result{resp: resp, err: err}
+		}(i, home)
+	}
+	wg.Wait()
+
+	var total MatchResp
+	var firstErr error
+	seen := make(map[model.FilterID]struct{})
+	var matches []Match
+	for _, res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		total.PostingsScanned += res.resp.PostingsScanned
+		total.PostingLists += res.resp.PostingLists
+		for _, m := range res.resp.Matches {
+			if _, dup := seen[m.Filter]; dup {
+				continue
+			}
+			seen[m.Filter] = struct{}{}
+			matches = append(matches, m)
+		}
+	}
+	if n.cfg.OnDeliver != nil && len(matches) > 0 {
+		n.cfg.OnDeliver(doc, matches)
+	}
+	// Partial failure: report what matched alongside the error so the
+	// caller can account availability (Figure 9 c–d).
+	return matches, total, firstErr
+}
+
+// migrateBatch caps the number of filters per msgMigrate frame.
+const migrateBatch = 512
+
+// BuildAllocation executes one allocation round on this home node (§V):
+// every locally registered filter for which this node is the home of at
+// least one of its terms is copied to its grid column (the same subset
+// index in every partition row), then the grid is installed so subsequent
+// documents fan out to one partition.
+func (n *Node) BuildAllocation(ctx context.Context, epoch uint64, g *alloc.Grid) error {
+	batches := make(map[ring.NodeID][]RegisterReq)
+	var iterErr error
+	err := n.ix.EachFilter(func(f model.Filter) bool {
+		var owned []string
+		for _, t := range f.Terms {
+			home, err := n.cfg.Ring.HomeNode(t)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			if home == n.cfg.ID {
+				owned = append(owned, t)
+			}
+		}
+		if len(owned) == 0 {
+			// A replica migrated here by another home node; not ours to
+			// re-allocate.
+			return true
+		}
+		col := g.Column(f.ID)
+		entry := RegisterReq{Filter: f, PostingTerms: owned}
+		for row := 0; row < g.Rows(); row++ {
+			target := g.Node(row, col)
+			if target == n.cfg.ID {
+				continue // already stored locally
+			}
+			batches[target] = append(batches[target], entry)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if iterErr != nil {
+		return iterErr
+	}
+	if err := n.sendMigrations(ctx, epoch, batches); err != nil {
+		return err
+	}
+	n.InstallGrid(epoch, g)
+	return nil
+}
+
+// sendMigrations ships batched filter copies, charging one transfer per
+// copy so the passive-policy cost (§V: migration "further aggravates the
+// workload of the home node") is visible to the cost model.
+func (n *Node) sendMigrations(ctx context.Context, epoch uint64, batches map[ring.NodeID][]RegisterReq) error {
+	for target, entries := range batches {
+		if n.cfg.OnTransfer != nil {
+			for range entries {
+				n.cfg.OnTransfer(n.cfg.ID, target)
+			}
+		}
+		for start := 0; start < len(entries); start += migrateBatch {
+			end := start + migrateBatch
+			if end > len(entries) {
+				end = len(entries)
+			}
+			payload := EncodeMigrate(MigrateReq{Epoch: epoch, Entries: entries[start:end]})
+			if _, err := n.send(ctx, target, payload); err != nil {
+				return fmt.Errorf("node %s: migrate to %s: %w", n.cfg.ID, target, err)
+			}
+		}
+	}
+	return nil
+}
+
+// InstallTermGrid installs a grid for one specific term.
+func (n *Node) InstallTermGrid(term string, g *alloc.Grid) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if g == nil {
+		delete(n.termGrids, term)
+		return
+	}
+	n.termGrids[term] = g
+}
+
+// TermGridCount returns the number of installed per-term grids — the
+// forwarding-table size §V's aggregation keeps at one.
+func (n *Node) TermGridCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.termGrids)
+}
+
+// BuildTermAllocation migrates the filters on one term's posting list to
+// the grid columns and installs the per-term grid — the ablation
+// counterpart of BuildAllocation.
+func (n *Node) BuildTermAllocation(ctx context.Context, epoch uint64, term string, g *alloc.Grid) error {
+	ids, err := n.ix.PostingIDs(term)
+	if err != nil {
+		return err
+	}
+	batches := make(map[ring.NodeID][]RegisterReq)
+	for _, id := range ids {
+		f, ok, err := n.ix.GetFilter(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		col := g.Column(f.ID)
+		entry := RegisterReq{Filter: f, PostingTerms: []string{term}}
+		for row := 0; row < g.Rows(); row++ {
+			target := g.Node(row, col)
+			if target == n.cfg.ID {
+				continue
+			}
+			batches[target] = append(batches[target], entry)
+		}
+	}
+	if err := n.sendMigrations(ctx, epoch, batches); err != nil {
+		return err
+	}
+	n.InstallTermGrid(term, g)
+	return nil
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() StatsResp {
+	return StatsResp{
+		Filters:         int64(n.ix.NumFilters()),
+		Postings:        int64(n.ix.NumPostings()),
+		DocsProcessed:   n.docsProcessed.Value(),
+		PostingsScanned: n.postingsScanned.Value(),
+		PostingLists:    n.postingLists.Value(),
+		HomePublishes:   n.homePublishes.Value(),
+	}
+}
+
+// ResetWindowCounters zeroes the windowed statistics (the §V "every 10
+// minutes, the values of q_i are renewed" refresh).
+func (n *Node) ResetWindowCounters() {
+	n.homePublishes.Reset()
+}

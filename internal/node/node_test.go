@@ -1,0 +1,383 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/bloom"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/transport"
+)
+
+// harness wires n nodes over a shared ring and in-memory network.
+type harness struct {
+	net   *transport.Network
+	ring  *ring.Ring
+	nodes []*Node
+}
+
+func newHarness(t testing.TB, n int) *harness {
+	t.Helper()
+	h := &harness{
+		net:  transport.NewNetwork(transport.NetworkConfig{}),
+		ring: ring.New(ring.Config{}),
+	}
+	for i := 0; i < n; i++ {
+		id := ring.NodeID("n" + strconv.Itoa(i))
+		if err := h.ring.Add(ring.Member{ID: id, Rack: "r" + strconv.Itoa(i%3)}); err != nil {
+			t.Fatal(err)
+		}
+		nd, err := New(Config{ID: id, Rack: "r" + strconv.Itoa(i%3), Ring: h.ring, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := h.net.Join(id, nd.Handle)
+		nd.Attach(tr)
+		h.nodes = append(h.nodes, nd)
+	}
+	return h
+}
+
+// registerEverywhere registers a filter on the home nodes of its terms, as
+// the cluster layer would.
+func (h *harness) registerEverywhere(t testing.TB, f model.Filter) {
+	t.Helper()
+	byHome := make(map[ring.NodeID][]string)
+	for _, term := range f.Terms {
+		home, err := h.ring.HomeNode(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byHome[home] = append(byHome[home], term)
+	}
+	for home, terms := range byHome {
+		payload := EncodeRegister(RegisterReq{Filter: f, PostingTerms: terms})
+		if _, err := h.nodeByID(home).Handle(context.Background(), "test", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (h *harness) nodeByID(id ring.NodeID) *Node {
+	for _, nd := range h.nodes {
+		if nd.ID() == id {
+			return nd
+		}
+	}
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+	if _, err := New(Config{ID: "x"}); err == nil {
+		t.Fatal("expected error for nil ring")
+	}
+}
+
+func TestHandleRejectsGarbage(t *testing.T) {
+	h := newHarness(t, 2)
+	nd := h.nodes[0]
+	if _, err := nd.Handle(context.Background(), "peer", nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := nd.Handle(context.Background(), "peer", []byte{99}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := nd.Handle(context.Background(), "peer", []byte{msgRegister, 0xFF}); err == nil {
+		t.Fatal("corrupt register accepted")
+	}
+	if _, err := nd.Handle(context.Background(), "peer", []byte{msgGossip, 1, 0}); err == nil {
+		t.Fatal("gossip without handler accepted")
+	}
+}
+
+func TestPublishEntryEndToEnd(t *testing.T) {
+	h := newHarness(t, 5)
+	h.registerEverywhere(t, model.Filter{ID: 1, Subscriber: "alice", Terms: []string{"go", "cluster"}, Mode: model.MatchAny})
+	h.registerEverywhere(t, model.Filter{ID: 2, Subscriber: "bob", Terms: []string{"rust"}, Mode: model.MatchAny})
+
+	doc := &model.Document{ID: 1, Terms: []string{"cluster", "systems"}}
+	matches, total, err := h.nodes[0].PublishEntry(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Filter != 1 || matches[0].Subscriber != "alice" {
+		t.Fatalf("matches = %+v", matches)
+	}
+	if total.PostingLists == 0 {
+		t.Fatal("no posting lists accounted")
+	}
+}
+
+func TestPublishEntryDeduplicatesAcrossTerms(t *testing.T) {
+	h := newHarness(t, 5)
+	// Filter shares two terms with the document; both home nodes report it;
+	// the entry node must return it once.
+	h.registerEverywhere(t, model.Filter{ID: 7, Subscriber: "x", Terms: []string{"alpha", "beta"}, Mode: model.MatchAny})
+	doc := &model.Document{ID: 1, Terms: []string{"alpha", "beta"}}
+	matches, _, err := h.nodes[1].PublishEntry(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %+v, want single deduplicated hit", matches)
+	}
+}
+
+func TestPublishEntryValidatesDoc(t *testing.T) {
+	h := newHarness(t, 2)
+	if _, _, err := h.nodes[0].PublishEntry(context.Background(), &model.Document{ID: 1}); !errors.Is(err, model.ErrNoTerms) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBloomGateSkipsNonFilterTerms(t *testing.T) {
+	h := newHarness(t, 4)
+	h.registerEverywhere(t, model.Filter{ID: 1, Subscriber: "a", Terms: []string{"indexed"}, Mode: model.MatchAny})
+	bf := bloom.MustNew(128, 0.01)
+	bf.Add("indexed")
+	for _, nd := range h.nodes {
+		nd.InstallBloom(bf)
+	}
+	doc := &model.Document{ID: 1, Terms: []string{"indexed", "junk1", "junk2"}}
+	matches, total, err := h.nodes[0].PublishEntry(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	// Only the indexed term should have been routed: one posting list.
+	if total.PostingLists != 1 {
+		t.Fatalf("posting lists = %d, want 1 (bloom should prune junk terms)", total.PostingLists)
+	}
+}
+
+func TestGridFanOutMatchesAllSubsets(t *testing.T) {
+	h := newHarness(t, 6)
+	home, err := h.ring.HomeNode("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeNode := h.nodeByID(home)
+
+	// Register 40 filters on the home node.
+	for i := 1; i <= 40; i++ {
+		f := model.Filter{ID: model.FilterID(i), Subscriber: "s" + strconv.Itoa(i), Terms: []string{"hot"}, Mode: model.MatchAny}
+		payload := EncodeRegister(RegisterReq{Filter: f, PostingTerms: []string{"hot"}})
+		if _, err := homeNode.Handle(context.Background(), "test", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Build a 2x2 grid from other nodes and allocate.
+	var peers []ring.NodeID
+	for _, nd := range h.nodes {
+		if nd.ID() != home {
+			peers = append(peers, nd.ID())
+		}
+	}
+	grid, err := alloc.NewGrid(2, 2, peers[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := homeNode.BuildAllocation(context.Background(), 1, grid); err != nil {
+		t.Fatal(err)
+	}
+	if g, epoch := homeNode.Grid(); g == nil || epoch != 1 {
+		t.Fatal("grid not installed")
+	}
+
+	// Publish through an entry node: matches must be complete (40 hits).
+	doc := &model.Document{ID: 9, Terms: []string{"hot"}}
+	matches, _, err := h.nodes[0].PublishEntry(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 40 {
+		t.Fatalf("matches = %d, want 40", len(matches))
+	}
+	ids := make([]int, len(matches))
+	for i, m := range matches {
+		ids[i] = int(m.Filter)
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		if id != i+1 {
+			t.Fatalf("missing filter %d in grid fan-out", i+1)
+		}
+	}
+}
+
+func TestGridFailoverToReplicaRow(t *testing.T) {
+	h := newHarness(t, 6)
+	home, err := h.ring.HomeNode("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeNode := h.nodeByID(home)
+	for i := 1; i <= 10; i++ {
+		f := model.Filter{ID: model.FilterID(i), Subscriber: "s", Terms: []string{"hot"}, Mode: model.MatchAny}
+		payload := EncodeRegister(RegisterReq{Filter: f, PostingTerms: []string{"hot"}})
+		if _, err := homeNode.Handle(context.Background(), "test", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var peers []ring.NodeID
+	for _, nd := range h.nodes {
+		if nd.ID() != home {
+			peers = append(peers, nd.ID())
+		}
+	}
+	grid, err := alloc.NewGrid(2, 2, peers[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := homeNode.BuildAllocation(context.Background(), 1, grid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill all of row 0; the fan-out must fail over to row 1.
+	for _, id := range grid.RowNodes(0) {
+		h.net.Fail(id)
+	}
+	doc := &model.Document{ID: 5, Terms: []string{"hot"}}
+	matches, _, err := h.nodes[0].PublishEntry(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 10 {
+		t.Fatalf("matches = %d, want 10 after failover", len(matches))
+	}
+
+	// Kill row 1 as well: the publish must now fail.
+	for _, id := range grid.RowNodes(1) {
+		h.net.Fail(id)
+	}
+	_, _, err = h.nodes[0].PublishEntry(context.Background(), &model.Document{ID: 6, Terms: []string{"hot"}})
+	if err == nil {
+		t.Fatal("expected error with all partitions down")
+	}
+}
+
+func TestInstallGridEpochOrdering(t *testing.T) {
+	h := newHarness(t, 4)
+	nd := h.nodes[0]
+	g1, err := alloc.NewGrid(1, 2, []ring.NodeID{"n1", "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := alloc.NewGrid(2, 1, []ring.NodeID{"n1", "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.InstallGrid(5, g1)
+	nd.InstallGrid(3, g2) // stale epoch must be ignored
+	g, epoch := nd.Grid()
+	if epoch != 5 || g.Cols() != 2 {
+		t.Fatalf("grid = %dx%d at epoch %d, want the epoch-5 grid", g.Rows(), g.Cols(), epoch)
+	}
+	nd.DropGrid()
+	if g, _ := nd.Grid(); g != nil {
+		t.Fatal("DropGrid did not clear")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	h := newHarness(t, 3)
+	h.registerEverywhere(t, model.Filter{ID: 1, Subscriber: "a", Terms: []string{"x", "y"}, Mode: model.MatchAny})
+	doc := &model.Document{ID: 1, Terms: []string{"x"}}
+	if _, _, err := h.nodes[0].PublishEntry(context.Background(), doc); err != nil {
+		t.Fatal(err)
+	}
+	home, err := h.ring.HomeNode("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h.nodeByID(home).Stats()
+	if st.HomePublishes != 1 {
+		t.Fatalf("HomePublishes = %d, want 1", st.HomePublishes)
+	}
+	if st.DocsProcessed != 1 || st.PostingsScanned != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h.nodeByID(home).ResetWindowCounters()
+	if st := h.nodeByID(home).Stats(); st.HomePublishes != 0 {
+		t.Fatalf("HomePublishes after reset = %d", st.HomePublishes)
+	}
+}
+
+func TestStatsRPCRoundTrip(t *testing.T) {
+	h := newHarness(t, 2)
+	h.registerEverywhere(t, model.Filter{ID: 1, Subscriber: "a", Terms: []string{"x"}, Mode: model.MatchAny})
+	raw, err := h.nodes[0].Handle(context.Background(), "coord", EncodeStatsPull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeStatsResp(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnregisterRPC(t *testing.T) {
+	h := newHarness(t, 2)
+	f := model.Filter{ID: 3, Subscriber: "a", Terms: []string{"solo"}, Mode: model.MatchAny}
+	h.registerEverywhere(t, f)
+	home, err := h.ring.HomeNode("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.nodeByID(home).Handle(context.Background(), "coord", EncodeUnregister(3)); err != nil {
+		t.Fatal(err)
+	}
+	doc := &model.Document{ID: 1, Terms: []string{"solo"}}
+	matches, _, err := h.nodes[0].PublishEntry(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("matches after unregister = %v", matches)
+	}
+}
+
+func TestMatchRespRoundTrip(t *testing.T) {
+	resp := MatchResp{
+		Matches:         []Match{{Filter: 1, Subscriber: "a"}, {Filter: 900, Subscriber: "b"}},
+		PostingsScanned: 42,
+		PostingLists:    3,
+	}
+	got, err := DecodeMatchResp(EncodeMatchResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip: %+v != %+v", got, resp)
+	}
+	if _, err := DecodeMatchResp([]byte{0xFF}); err == nil {
+		t.Fatal("corrupt resp accepted")
+	}
+}
+
+func TestMigrateRPCRoundTrip(t *testing.T) {
+	h := newHarness(t, 2)
+	req := MigrateReq{
+		Epoch: 4,
+		Entries: []RegisterReq{
+			{Filter: model.Filter{ID: 1, Subscriber: "a", Terms: []string{"t"}, Mode: model.MatchAny}, PostingTerms: []string{"t"}},
+			{Filter: model.Filter{ID: 2, Subscriber: "b", Terms: []string{"t", "u"}, Mode: model.MatchAny}, PostingTerms: []string{"u"}},
+		},
+	}
+	if _, err := h.nodes[1].Handle(context.Background(), "peer", EncodeMigrate(req)); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.nodes[1].Index().NumFilters(); n != 2 {
+		t.Fatalf("filters after migrate = %d, want 2", n)
+	}
+}

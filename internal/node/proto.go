@@ -1,0 +1,339 @@
+// Package node implements a MOVE server node: the RPC protocol, the §V
+// internals (filter store, local inverted list, meta-data store, forwarding
+// engine), and the three dissemination code paths compared in the paper —
+// MOVE (allocation grids), IL (plain distributed inverted list), and RS
+// (rendezvous flooding with SIFT matching).
+package node
+
+import (
+	"fmt"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/model"
+)
+
+// Message types (first payload byte).
+const (
+	msgRegister     = 1  // register a filter with posting terms
+	msgPublish      = 2  // match a document on a home node (term-routed)
+	msgPublishLocal = 3  // match on an allocation-grid node (no re-forward)
+	msgPublishSIFT  = 4  // full SIFT match (RS baseline)
+	msgMigrate      = 5  // install allocated filters (batch)
+	msgStatsPull    = 6  // coordinator statistics pull
+	msgInstallGrid  = 7  // install the node's allocation grid
+	msgInstallBloom = 8  // install the global filter-term Bloom filter
+	msgGossip       = 9  // membership digest
+	msgDropGrid     = 10 // clear the allocation grid
+	msgUnregister   = 11 // remove a filter definition
+	msgAllocate     = 12 // run an allocation round: migrate filters, install grid
+	msgAllocateTerm = 13 // per-term allocation round (ablation of §V's per-node grids)
+)
+
+// EncodeAllocateTerm serializes a per-term allocation command.
+func EncodeAllocateTerm(epoch uint64, term string, g *alloc.Grid) []byte {
+	gridBytes := g.Encode()
+	w := codec.NewWriter(24 + len(term) + len(gridBytes))
+	w.Uint8(msgAllocateTerm)
+	w.Uvarint(epoch)
+	w.String(term)
+	w.Bytes0(gridBytes)
+	return w.Bytes()
+}
+
+// EncodeAllocate serializes an allocation command for a home node.
+func EncodeAllocate(epoch uint64, g *alloc.Grid) []byte {
+	gridBytes := g.Encode()
+	w := codec.NewWriter(16 + len(gridBytes))
+	w.Uint8(msgAllocate)
+	w.Uvarint(epoch)
+	w.Bytes0(gridBytes)
+	return w.Bytes()
+}
+
+// Match is one (filter, subscriber) hit returned by a match RPC.
+type Match struct {
+	Filter     model.FilterID
+	Subscriber string
+}
+
+// --- Register ---
+
+// RegisterReq registers one filter; PostingTerms is the subset of the
+// filter's terms this node must build posting lists for (§III.B: the home
+// node of t builds only t's posting list).
+type RegisterReq struct {
+	Filter       model.Filter
+	PostingTerms []string
+}
+
+// EncodeRegister serializes a RegisterReq.
+func EncodeRegister(req RegisterReq) []byte {
+	w := codec.NewWriter(64)
+	w.Uint8(msgRegister)
+	req.Filter.EncodeTo(w)
+	w.StringSlice(req.PostingTerms)
+	return w.Bytes()
+}
+
+func decodeRegister(r *codec.Reader) (RegisterReq, error) {
+	var req RegisterReq
+	f, err := model.DecodeFilter(r)
+	if err != nil {
+		return req, err
+	}
+	req.Filter = f
+	if req.PostingTerms, err = r.StringSlice(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// --- Publish ---
+
+// PublishReq routes a document to the home node of Term for matching.
+type PublishReq struct {
+	Doc  model.Document
+	Term string
+}
+
+// EncodePublish serializes a PublishReq with the given message type
+// (msgPublish or msgPublishLocal).
+func EncodePublish(typ uint8, req PublishReq) []byte {
+	w := codec.NewWriter(32 + 12*len(req.Doc.Terms))
+	w.Uint8(typ)
+	req.Doc.EncodeTo(w)
+	w.String(req.Term)
+	return w.Bytes()
+}
+
+func decodePublish(r *codec.Reader) (PublishReq, error) {
+	var req PublishReq
+	d, err := model.DecodeDocument(r)
+	if err != nil {
+		return req, err
+	}
+	req.Doc = d
+	if req.Term, err = r.String(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// EncodePublishHome serializes a home-node-routed publish (the client entry
+// path used by movectl).
+func EncodePublishHome(req PublishReq) []byte {
+	return EncodePublish(msgPublish, req)
+}
+
+// EncodeSIFT serializes a full-match request (RS baseline).
+func EncodeSIFT(doc *model.Document) []byte {
+	w := codec.NewWriter(32 + 12*len(doc.Terms))
+	w.Uint8(msgPublishSIFT)
+	doc.EncodeTo(w)
+	return w.Bytes()
+}
+
+// MatchResp is the result of any match RPC.
+type MatchResp struct {
+	Matches []Match
+	// PostingsScanned is the matching cost incurred serving this request,
+	// in posting entries (the y_p unit of the §IV cost model).
+	PostingsScanned int
+	// PostingLists is the number of posting lists retrieved.
+	PostingLists int
+}
+
+// EncodeMatchResp serializes a MatchResp.
+func EncodeMatchResp(resp MatchResp) []byte {
+	w := codec.NewWriter(16 + 24*len(resp.Matches))
+	w.Uvarint(uint64(len(resp.Matches)))
+	for _, m := range resp.Matches {
+		w.Uvarint(uint64(m.Filter))
+		w.String(m.Subscriber)
+	}
+	w.Uvarint(uint64(resp.PostingsScanned))
+	w.Uvarint(uint64(resp.PostingLists))
+	return w.Bytes()
+}
+
+// DecodeMatchResp parses a MatchResp.
+func DecodeMatchResp(data []byte) (MatchResp, error) {
+	var resp MatchResp
+	r := codec.NewReader(data)
+	n, err := r.Uvarint()
+	if err != nil {
+		return resp, fmt.Errorf("node: match count: %w", err)
+	}
+	if n > uint64(r.Remaining()) {
+		return resp, fmt.Errorf("node: match count %d overflows payload", n)
+	}
+	resp.Matches = make([]Match, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := r.Uvarint()
+		if err != nil {
+			return resp, err
+		}
+		sub, err := r.String()
+		if err != nil {
+			return resp, err
+		}
+		resp.Matches = append(resp.Matches, Match{Filter: model.FilterID(id), Subscriber: sub})
+	}
+	scanned, err := r.Uvarint()
+	if err != nil {
+		return resp, err
+	}
+	lists, err := r.Uvarint()
+	if err != nil {
+		return resp, err
+	}
+	resp.PostingsScanned = int(scanned)
+	resp.PostingLists = int(lists)
+	return resp, nil
+}
+
+// --- Migrate ---
+
+// MigrateReq installs a batch of allocated filters on a grid node.
+type MigrateReq struct {
+	Entries []RegisterReq
+	// Epoch tags the allocation round the batch belongs to.
+	Epoch uint64
+}
+
+// EncodeMigrate serializes a MigrateReq.
+func EncodeMigrate(req MigrateReq) []byte {
+	w := codec.NewWriter(64 * (1 + len(req.Entries)))
+	w.Uint8(msgMigrate)
+	w.Uvarint(req.Epoch)
+	w.Uvarint(uint64(len(req.Entries)))
+	for _, e := range req.Entries {
+		e.Filter.EncodeTo(w)
+		w.StringSlice(e.PostingTerms)
+	}
+	return w.Bytes()
+}
+
+func decodeMigrate(r *codec.Reader) (MigrateReq, error) {
+	var req MigrateReq
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return req, err
+	}
+	req.Epoch = epoch
+	n, err := r.Uvarint()
+	if err != nil {
+		return req, err
+	}
+	if n > uint64(r.Remaining()) {
+		return req, fmt.Errorf("node: migrate count %d overflows payload", n)
+	}
+	req.Entries = make([]RegisterReq, 0, n)
+	for i := uint64(0); i < n; i++ {
+		f, err := model.DecodeFilter(r)
+		if err != nil {
+			return req, err
+		}
+		terms, err := r.StringSlice()
+		if err != nil {
+			return req, err
+		}
+		req.Entries = append(req.Entries, RegisterReq{Filter: f, PostingTerms: terms})
+	}
+	return req, nil
+}
+
+// --- Stats ---
+
+// StatsResp is the per-node statistics snapshot the coordinator aggregates
+// into node popularity p'_i and node frequency q'_i (§V).
+type StatsResp struct {
+	// Filters is the number of filter definitions stored (incl. replicas) —
+	// the storage cost of Figure 9(a).
+	Filters int64
+	// Postings is the number of posting entries stored.
+	Postings int64
+	// DocsProcessed is the number of match requests served — the matching
+	// cost basis of Figure 9(b).
+	DocsProcessed int64
+	// PostingsScanned is the cumulative matching work in posting entries.
+	PostingsScanned int64
+	// PostingLists is the cumulative number of posting-list retrievals
+	// (the y_seek unit of the cost model).
+	PostingLists int64
+	// HomePublishes counts msgPublish arrivals (home-node document
+	// arrivals), the numerator of the node frequency q'_i.
+	HomePublishes int64
+}
+
+// EncodeStatsResp serializes a StatsResp.
+func EncodeStatsResp(s StatsResp) []byte {
+	w := codec.NewWriter(56)
+	w.Uvarint(uint64(s.Filters))
+	w.Uvarint(uint64(s.Postings))
+	w.Uvarint(uint64(s.DocsProcessed))
+	w.Uvarint(uint64(s.PostingsScanned))
+	w.Uvarint(uint64(s.PostingLists))
+	w.Uvarint(uint64(s.HomePublishes))
+	return w.Bytes()
+}
+
+// DecodeStatsResp parses a StatsResp.
+func DecodeStatsResp(data []byte) (StatsResp, error) {
+	r := codec.NewReader(data)
+	var s StatsResp
+	vals := make([]int64, 6)
+	for i := range vals {
+		v, err := r.Uvarint()
+		if err != nil {
+			return s, fmt.Errorf("node: stats field %d: %w", i, err)
+		}
+		vals[i] = int64(v)
+	}
+	s.Filters, s.Postings, s.DocsProcessed, s.PostingsScanned, s.PostingLists, s.HomePublishes =
+		vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+	return s, nil
+}
+
+// EncodeStatsPull builds a statistics pull request.
+func EncodeStatsPull() []byte { return []byte{msgStatsPull} }
+
+// --- Grid / Bloom install ---
+
+// EncodeInstallGrid serializes a grid installation.
+func EncodeInstallGrid(epoch uint64, g *alloc.Grid) []byte {
+	gridBytes := g.Encode()
+	w := codec.NewWriter(16 + len(gridBytes))
+	w.Uint8(msgInstallGrid)
+	w.Uvarint(epoch)
+	w.Bytes0(gridBytes)
+	return w.Bytes()
+}
+
+// EncodeDropGrid serializes a grid removal.
+func EncodeDropGrid() []byte { return []byte{msgDropGrid} }
+
+// EncodeInstallBloom serializes a Bloom-filter installation.
+func EncodeInstallBloom(bloomBytes []byte) []byte {
+	w := codec.NewWriter(8 + len(bloomBytes))
+	w.Uint8(msgInstallBloom)
+	w.Bytes0(bloomBytes)
+	return w.Bytes()
+}
+
+// EncodeGossip wraps a gossip digest.
+func EncodeGossip(digest []byte) []byte {
+	w := codec.NewWriter(8 + len(digest))
+	w.Uint8(msgGossip)
+	w.Bytes0(digest)
+	return w.Bytes()
+}
+
+// EncodeUnregister serializes a filter removal.
+func EncodeUnregister(id model.FilterID) []byte {
+	w := codec.NewWriter(12)
+	w.Uint8(msgUnregister)
+	w.Uvarint(uint64(id))
+	return w.Bytes()
+}

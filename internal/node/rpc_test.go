@@ -1,0 +1,193 @@
+package node
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/bloom"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+)
+
+// TestFullRPCSurface drives every message type through Handle, as a remote
+// coordinator would.
+func TestFullRPCSurface(t *testing.T) {
+	h := newHarness(t, 6)
+	ctx := context.Background()
+	nd := h.nodes[0]
+
+	// Register via RPC.
+	f := model.Filter{ID: 1, Subscriber: "a", Terms: []string{"alpha"}, Mode: model.MatchAny}
+	if _, err := nd.Handle(ctx, "coord", EncodeRegister(RegisterReq{Filter: f, PostingTerms: f.Terms})); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIFT match via RPC.
+	doc := model.Document{ID: 1, Terms: []string{"alpha", "beta"}}
+	raw, err := nd.Handle(ctx, "coord", EncodeSIFT(&doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeMatchResp(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) != 1 || resp.Matches[0].Filter != 1 {
+		t.Fatalf("SIFT resp = %+v", resp)
+	}
+
+	// Publish-home via RPC (the movectl path).
+	raw, err = nd.Handle(ctx, "coord", EncodePublishHome(PublishReq{Doc: doc, Term: "alpha"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = DecodeMatchResp(raw); err != nil || len(resp.Matches) != 1 {
+		t.Fatalf("publish-home resp = %+v, %v", resp, err)
+	}
+
+	// Grid install / drop via RPC.
+	grid, err := alloc.NewGrid(1, 2, []ring.NodeID{h.nodes[1].ID(), h.nodes[2].ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Handle(ctx, "coord", EncodeInstallGrid(3, grid)); err != nil {
+		t.Fatal(err)
+	}
+	if g, epoch := nd.Grid(); g == nil || epoch != 3 {
+		t.Fatal("grid not installed via RPC")
+	}
+	if _, err := nd.Handle(ctx, "coord", EncodeDropGrid()); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := nd.Grid(); g != nil {
+		t.Fatal("grid not dropped via RPC")
+	}
+
+	// Bloom install via RPC.
+	bf := bloom.MustNew(64, 0.01)
+	bf.Add("alpha")
+	if _, err := nd.Handle(ctx, "coord", EncodeInstallBloom(bf.Marshal())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allocate via RPC (migrates + installs).
+	if _, err := nd.Handle(ctx, "coord", EncodeAllocate(4, grid)); err != nil {
+		t.Fatal(err)
+	}
+	if g, epoch := nd.Grid(); g == nil || epoch != 4 {
+		t.Fatal("allocate RPC did not install grid")
+	}
+
+	// Gossip envelope without a handler must error.
+	if _, err := nd.Handle(ctx, "coord", EncodeGossip([]byte{1})); err == nil {
+		t.Fatal("gossip without handler accepted")
+	}
+}
+
+// TestAllocateTermRPC drives the per-term allocation message end to end.
+func TestAllocateTermRPC(t *testing.T) {
+	h := newHarness(t, 6)
+	ctx := context.Background()
+	home, err := h.ring.HomeNode("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeNode := h.nodeByID(home)
+	for i := 1; i <= 12; i++ {
+		f := model.Filter{ID: model.FilterID(i), Subscriber: "s", Terms: []string{"hot"}, Mode: model.MatchAny}
+		if _, err := homeNode.Handle(ctx, "c", EncodeRegister(RegisterReq{Filter: f, PostingTerms: f.Terms})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var peers []ring.NodeID
+	for _, nd := range h.nodes {
+		if nd.ID() != home {
+			peers = append(peers, nd.ID())
+		}
+	}
+	grid, err := alloc.NewGrid(2, 2, peers[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := homeNode.Handle(ctx, "c", EncodeAllocateTerm(1, "hot", grid)); err != nil {
+		t.Fatal(err)
+	}
+	if homeNode.TermGridCount() != 1 {
+		t.Fatal("term grid not installed via RPC")
+	}
+
+	doc := &model.Document{ID: 1, Terms: []string{"hot"}}
+	matches, _, err := h.nodes[1].PublishEntry(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 12 {
+		t.Fatalf("matches = %d, want 12", len(matches))
+	}
+
+	// Dropping the term grid restores local matching.
+	homeNode.InstallTermGrid("hot", nil)
+	if homeNode.TermGridCount() != 0 {
+		t.Fatal("term grid not removed")
+	}
+}
+
+// TestRegistrationReachesGridAfterAllocation pins the regression the
+// cluster oracle found: filters registered after an allocation round must
+// be forwarded to their grid column.
+func TestRegistrationReachesGridAfterAllocation(t *testing.T) {
+	h := newHarness(t, 6)
+	ctx := context.Background()
+	home, err := h.ring.HomeNode("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeNode := h.nodeByID(home)
+	// One pre-allocation filter so the grid has content.
+	f0 := model.Filter{ID: 100, Subscriber: "s", Terms: []string{"live"}, Mode: model.MatchAny}
+	if _, err := homeNode.Handle(ctx, "c", EncodeRegister(RegisterReq{Filter: f0, PostingTerms: f0.Terms})); err != nil {
+		t.Fatal(err)
+	}
+	var peers []ring.NodeID
+	for _, nd := range h.nodes {
+		if nd.ID() != home {
+			peers = append(peers, nd.ID())
+		}
+	}
+	grid, err := alloc.NewGrid(2, 2, peers[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := homeNode.BuildAllocation(ctx, 1, grid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register AFTER allocation; the match must still be found via the
+	// grid fan-out.
+	f1 := model.Filter{ID: 101, Subscriber: "late", Terms: []string{"live"}, Mode: model.MatchAny}
+	if _, err := homeNode.Handle(ctx, "c", EncodeRegister(RegisterReq{Filter: f1, PostingTerms: f1.Terms})); err != nil {
+		t.Fatal(err)
+	}
+	doc := &model.Document{ID: 9, Terms: []string{"live"}}
+	matches, _, err := h.nodes[0].PublishEntry(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 0, len(matches))
+	for _, m := range matches {
+		ids = append(ids, int(m.Filter))
+	}
+	sort.Ints(ids)
+	if len(ids) != 2 || ids[0] != 100 || ids[1] != 101 {
+		t.Fatalf("matches = %v, want [100 101]", ids)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	h := newHarness(t, 2)
+	if h.nodes[0].Rack() != "r0" {
+		t.Fatalf("Rack = %q", h.nodes[0].Rack())
+	}
+}

@@ -1,0 +1,58 @@
+package ring
+
+import (
+	"strconv"
+	"testing"
+)
+
+func benchRing(b *testing.B, nodes int) *Ring {
+	b.Helper()
+	r := New(Config{})
+	for i := 0; i < nodes; i++ {
+		if err := r.Add(Member{ID: NodeID("node-" + strconv.Itoa(i)), Rack: "rack-" + strconv.Itoa(i/5)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func BenchmarkHomeNode20(b *testing.B) {
+	r := benchRing(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.HomeNode("term-" + strconv.Itoa(i%4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomeNode100(b *testing.B) {
+	r := benchRing(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.HomeNode("term-" + strconv.Itoa(i%4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocationNodesHybrid(b *testing.B) {
+	r := benchRing(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AllocationNodes("term-"+strconv.Itoa(i%256), 8, PlacementHybrid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashKey(b *testing.B) {
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = "benchmark-term-" + strconv.Itoa(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HashKey(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,406 @@
+// Package ring implements the consistent-hash ring substrate underneath
+// MOVE — the placement layer of the Dynamo/Cassandra-style key/value
+// platform the paper builds on. It provides virtual-node token placement,
+// the home-node mapping (the node responsible for a term, §II "Key/value
+// platforms"), successor walks, rack topology, and the three replica /
+// allocation placement strategies compared in Figure 9(c–d): ring
+// successors, rack-aware, and the MOVE hybrid (half successors, half
+// rack-local).
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// NodeID identifies a physical node in the cluster.
+type NodeID string
+
+// Placement selects how the nodes hosting replicated/allocated data are
+// chosen relative to a home node.
+type Placement int
+
+// Placement strategies (§V "Selection of allocated nodes").
+const (
+	// PlacementRing walks the ring successors of the home node.
+	PlacementRing Placement = iota + 1
+	// PlacementRack prefers nodes in the home node's rack.
+	PlacementRack
+	// PlacementHybrid takes half from successors and half from the rack,
+	// the MOVE default.
+	PlacementHybrid
+)
+
+// String returns the strategy name.
+func (p Placement) String() string {
+	switch p {
+	case PlacementRing:
+		return "ring"
+	case PlacementRack:
+		return "rack"
+	case PlacementHybrid:
+		return "hybrid"
+	default:
+		return "placement(" + strconv.Itoa(int(p)) + ")"
+	}
+}
+
+// Member describes a node's position in the topology.
+type Member struct {
+	ID   NodeID
+	Rack string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. All methods are safe
+// for concurrent use; membership changes take the write lock.
+type Ring struct {
+	mu       sync.RWMutex
+	vnodes   int
+	tokens   []uint64          // sorted token ring
+	owner    map[uint64]NodeID // token -> node
+	members  map[NodeID]Member
+	rackOf   map[NodeID]string
+	byRack   map[string][]NodeID // deterministic (sorted) per-rack membership
+	sortedID []NodeID            // deterministic iteration order
+}
+
+// Config controls ring construction.
+type Config struct {
+	// VirtualNodes is the number of tokens each node claims. Zero means a
+	// default of 64, enough to keep per-node key share within a few percent
+	// of uniform for cluster sizes used in the paper (≤ ~100 nodes).
+	VirtualNodes int
+}
+
+// New returns an empty ring.
+func New(cfg Config) *Ring {
+	v := cfg.VirtualNodes
+	if v == 0 {
+		v = 64
+	}
+	return &Ring{
+		vnodes:  v,
+		owner:   make(map[uint64]NodeID),
+		members: make(map[NodeID]Member),
+		rackOf:  make(map[NodeID]string),
+		byRack:  make(map[string][]NodeID),
+	}
+}
+
+// HashKey maps an arbitrary key (a term, a filter name, ...) onto the token
+// space. Exposed so tests and baselines hash compatibly. The FNV-1a digest
+// is passed through a splitmix64 finalizer: raw FNV of short, similar keys
+// (terms, "node-k#vnJ" vnode labels) clusters in the token space, which
+// would skew arc ownership far beyond the 1/√vnodes bound consistent
+// hashing is supposed to give.
+func HashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.), a cheap full-avalanche
+// bijection on 64-bit values.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func vnodeToken(id NodeID, i int) uint64 {
+	return HashKey(string(id) + "#vn" + strconv.Itoa(i))
+}
+
+// ErrEmptyRing is returned by lookups on a ring with no members.
+var ErrEmptyRing = errors.New("ring: no members")
+
+// ErrDuplicateNode is returned when adding a node that is already a member.
+var ErrDuplicateNode = errors.New("ring: duplicate node")
+
+// ErrUnknownNode is returned when removing or querying a non-member.
+var ErrUnknownNode = errors.New("ring: unknown node")
+
+// Add inserts a node with its rack label.
+func (r *Ring) Add(m Member) error {
+	if m.ID == "" {
+		return fmt.Errorf("ring: empty node id: %w", ErrUnknownNode)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[m.ID]; ok {
+		return fmt.Errorf("ring: add %q: %w", m.ID, ErrDuplicateNode)
+	}
+	r.members[m.ID] = m
+	r.rackOf[m.ID] = m.Rack
+	for i := 0; i < r.vnodes; i++ {
+		tok := vnodeToken(m.ID, i)
+		// Token collisions across distinct nodes are astronomically
+		// unlikely with 64-bit FNV over distinct strings, but keep the
+		// first owner deterministic if one occurs.
+		if _, taken := r.owner[tok]; taken {
+			continue
+		}
+		r.owner[tok] = m.ID
+		r.tokens = append(r.tokens, tok)
+	}
+	sort.Slice(r.tokens, func(i, j int) bool { return r.tokens[i] < r.tokens[j] })
+
+	r.byRack[m.Rack] = insertSorted(r.byRack[m.Rack], m.ID)
+	r.sortedID = insertSorted(r.sortedID, m.ID)
+	return nil
+}
+
+// Remove deletes a node (crash or decommission).
+func (r *Ring) Remove(id NodeID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return fmt.Errorf("ring: remove %q: %w", id, ErrUnknownNode)
+	}
+	delete(r.members, id)
+	delete(r.rackOf, id)
+	kept := r.tokens[:0]
+	for _, tok := range r.tokens {
+		if r.owner[tok] == id {
+			delete(r.owner, tok)
+			continue
+		}
+		kept = append(kept, tok)
+	}
+	r.tokens = kept
+	r.byRack[m.Rack] = removeSorted(r.byRack[m.Rack], id)
+	if len(r.byRack[m.Rack]) == 0 {
+		delete(r.byRack, m.Rack)
+	}
+	r.sortedID = removeSorted(r.sortedID, id)
+	return nil
+}
+
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func removeSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// Size returns the number of member nodes.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns all members in deterministic (ID-sorted) order.
+func (r *Ring) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.sortedID))
+	for _, id := range r.sortedID {
+		out = append(out, r.members[id])
+	}
+	return out
+}
+
+// Contains reports membership of id.
+func (r *Ring) Contains(id NodeID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[id]
+	return ok
+}
+
+// RackOf returns the rack of a member node.
+func (r *Ring) RackOf(id NodeID) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rack, ok := r.rackOf[id]
+	if !ok {
+		return "", fmt.Errorf("ring: rack of %q: %w", id, ErrUnknownNode)
+	}
+	return rack, nil
+}
+
+// HomeNode returns the node responsible for key: the owner of the first
+// token clockwise from the key's hash. This is the O(1)-hop DHT lookup of
+// the Dynamo/Cassandra substrate.
+func (r *Ring) HomeNode(key string) (NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.tokens) == 0 {
+		return "", ErrEmptyRing
+	}
+	h := HashKey(key)
+	i := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i] >= h })
+	if i == len(r.tokens) {
+		i = 0
+	}
+	return r.owner[r.tokens[i]], nil
+}
+
+// Successors returns up to n distinct nodes that follow the home node of
+// key clockwise on the ring, excluding the home node itself.
+func (r *Ring) Successors(key string, n int) ([]NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.tokens) == 0 {
+		return nil, ErrEmptyRing
+	}
+	home := r.homeLocked(key)
+	return r.successorsOfLocked(home, n, nil), nil
+}
+
+func (r *Ring) homeLocked(key string) NodeID {
+	h := HashKey(key)
+	i := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i] >= h })
+	if i == len(r.tokens) {
+		i = 0
+	}
+	return r.owner[r.tokens[i]]
+}
+
+// successorsOfLocked walks the ring clockwise from the first token owned by
+// start and collects up to n distinct nodes, skipping start and any node in
+// skip.
+func (r *Ring) successorsOfLocked(start NodeID, n int, skip map[NodeID]struct{}) []NodeID {
+	if n <= 0 || len(r.tokens) == 0 {
+		return nil
+	}
+	// Find the first token owned by start; walking from any of its vnodes
+	// is valid, and the smallest is deterministic.
+	startIdx := -1
+	for i, tok := range r.tokens {
+		if r.owner[tok] == start {
+			startIdx = i
+			break
+		}
+	}
+	if startIdx == -1 {
+		startIdx = 0
+	}
+	seen := map[NodeID]struct{}{start: {}}
+	for id := range skip {
+		seen[id] = struct{}{}
+	}
+	var out []NodeID
+	for step := 1; step <= len(r.tokens) && len(out) < n; step++ {
+		id := r.owner[r.tokens[(startIdx+step)%len(r.tokens)]]
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// rackPeersLocked returns up to n members of home's rack, excluding home
+// and skip, in deterministic order starting after home's position.
+func (r *Ring) rackPeersLocked(home NodeID, n int, skip map[NodeID]struct{}) []NodeID {
+	if n <= 0 {
+		return nil
+	}
+	rack := r.rackOf[home]
+	peers := r.byRack[rack]
+	if len(peers) == 0 {
+		return nil
+	}
+	start := sort.Search(len(peers), func(i int) bool { return peers[i] >= home })
+	var out []NodeID
+	for step := 1; step <= len(peers) && len(out) < n; step++ {
+		id := peers[(start+step)%len(peers)]
+		if id == home {
+			continue
+		}
+		if _, dup := skip[id]; dup {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// AllocationNodes selects n distinct nodes to hold data allocated from the
+// home node of key, according to the placement strategy. The home node is
+// never included. Fewer than n nodes are returned when the cluster is too
+// small. This is the §V node-selection step: ring successors, rack peers,
+// or the hybrid half/half split that trades hot-spot locality (rack)
+// against correlated-failure blast radius (ring).
+func (r *Ring) AllocationNodes(key string, n int, p Placement) ([]NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.tokens) == 0 {
+		return nil, ErrEmptyRing
+	}
+	return r.allocationNodesLocked(r.homeLocked(key), n, p)
+}
+
+// AllocationNodesOf is AllocationNodes with an explicit home node — used by
+// the §V per-node allocation, where the unit is a whole home node rather
+// than a term.
+func (r *Ring) AllocationNodesOf(home NodeID, n int, p Placement) ([]NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.tokens) == 0 {
+		return nil, ErrEmptyRing
+	}
+	if _, ok := r.members[home]; !ok {
+		return nil, fmt.Errorf("ring: allocation for %q: %w", home, ErrUnknownNode)
+	}
+	return r.allocationNodesLocked(home, n, p)
+}
+
+func (r *Ring) allocationNodesLocked(home NodeID, n int, p Placement) ([]NodeID, error) {
+	switch p {
+	case PlacementRing:
+		return r.successorsOfLocked(home, n, nil), nil
+	case PlacementRack:
+		out := r.rackPeersLocked(home, n, nil)
+		if len(out) < n {
+			// Rack exhausted: fall back to successors so the allocation
+			// grid is still fully populated.
+			skip := make(map[NodeID]struct{}, len(out))
+			for _, id := range out {
+				skip[id] = struct{}{}
+			}
+			out = append(out, r.successorsOfLocked(home, n-len(out), skip)...)
+		}
+		return out, nil
+	case PlacementHybrid:
+		half := n / 2
+		rackN := n - half
+		succ := r.successorsOfLocked(home, half, nil)
+		skip := make(map[NodeID]struct{}, len(succ))
+		for _, id := range succ {
+			skip[id] = struct{}{}
+		}
+		rackPeers := r.rackPeersLocked(home, rackN, skip)
+		out := append(succ, rackPeers...)
+		if len(out) < n {
+			for _, id := range out {
+				skip[id] = struct{}{}
+			}
+			skip[home] = struct{}{}
+			out = append(out, r.successorsOfLocked(home, n-len(out), skip)...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("ring: unknown placement %v", p)
+	}
+}

@@ -1,0 +1,388 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// buildRing creates a ring with n nodes spread over racks of rackSize.
+func buildRing(t testing.TB, n, rackSize int) *Ring {
+	t.Helper()
+	r := New(Config{})
+	for i := 0; i < n; i++ {
+		m := Member{
+			ID:   NodeID("node-" + strconv.Itoa(i)),
+			Rack: "rack-" + strconv.Itoa(i/rackSize),
+		}
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestEmptyRingLookups(t *testing.T) {
+	r := New(Config{})
+	if _, err := r.HomeNode("x"); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("HomeNode on empty ring: %v, want ErrEmptyRing", err)
+	}
+	if _, err := r.Successors("x", 3); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("Successors on empty ring: %v, want ErrEmptyRing", err)
+	}
+	if _, err := r.AllocationNodes("x", 3, PlacementRing); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("AllocationNodes on empty ring: %v, want ErrEmptyRing", err)
+	}
+}
+
+func TestAddDuplicateAndRemoveUnknown(t *testing.T) {
+	r := New(Config{})
+	if err := r.Add(Member{ID: "a", Rack: "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(Member{ID: "a", Rack: "r1"}); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate add: %v, want ErrDuplicateNode", err)
+	}
+	if err := r.Remove("zz"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("remove unknown: %v, want ErrUnknownNode", err)
+	}
+	if err := r.Add(Member{}); err == nil {
+		t.Fatal("expected error adding empty id")
+	}
+}
+
+func TestHomeNodeDeterministic(t *testing.T) {
+	r := buildRing(t, 10, 5)
+	for _, key := range []string{"alpha", "beta", "gamma"} {
+		h1, err := r.HomeNode(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := r.HomeNode(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("HomeNode(%q) unstable: %v vs %v", key, h1, h2)
+		}
+	}
+}
+
+func TestHomeNodeStableUnderUnrelatedRemoval(t *testing.T) {
+	// Consistent hashing: removing one node must only move keys owned by
+	// that node.
+	r := buildRing(t, 20, 5)
+	keys := make([]string, 500)
+	before := make(map[string]NodeID, len(keys))
+	for i := range keys {
+		keys[i] = "term-" + strconv.Itoa(i)
+		h, err := r.HomeNode(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[keys[i]] = h
+	}
+	victim := NodeID("node-7")
+	if err := r.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		after, err := r.HomeNode(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before[k] != victim && after != before[k] {
+			t.Fatalf("key %q moved from %v to %v though %v was removed", k, before[k], after, victim)
+		}
+		if after == victim {
+			t.Fatalf("key %q still maps to removed node", k)
+		}
+	}
+}
+
+func TestKeyDistributionRoughlyBalanced(t *testing.T) {
+	const nodes = 20
+	r := buildRing(t, nodes, 5)
+	counts := make(map[NodeID]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		h, err := r.HomeNode("key-" + strconv.Itoa(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[h]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d nodes own keys", len(counts), nodes)
+	}
+	mean := float64(keys) / nodes
+	for id, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.5 || ratio > 1.7 {
+			t.Errorf("node %v owns %d keys (%.2fx mean); virtual nodes too coarse", id, c, ratio)
+		}
+	}
+}
+
+func TestSuccessorsDistinctAndExcludeHome(t *testing.T) {
+	r := buildRing(t, 12, 4)
+	home, err := r.HomeNode("popular-term")
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, err := r.Successors("popular-term", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succ) != 5 {
+		t.Fatalf("got %d successors, want 5", len(succ))
+	}
+	seen := map[NodeID]struct{}{home: {}}
+	for _, id := range succ {
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate or home node %v in successors", id)
+		}
+		seen[id] = struct{}{}
+	}
+}
+
+func TestSuccessorsCappedByClusterSize(t *testing.T) {
+	r := buildRing(t, 4, 2)
+	succ, err := r.Successors("x", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succ) != 3 {
+		t.Fatalf("got %d successors, want 3 (cluster of 4 minus home)", len(succ))
+	}
+}
+
+func TestAllocationNodesRack(t *testing.T) {
+	r := buildRing(t, 16, 4)
+	key := "hot"
+	home, err := r.HomeNode(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeRack, err := r.RackOf(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := r.AllocationNodes(key, 3, PlacementRack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(nodes))
+	}
+	for _, id := range nodes {
+		rack, err := r.RackOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rack != homeRack {
+			t.Fatalf("rack placement chose %v in %v, home rack %v", id, rack, homeRack)
+		}
+		if id == home {
+			t.Fatal("home node included in allocation")
+		}
+	}
+}
+
+func TestAllocationNodesRackFallsBack(t *testing.T) {
+	// Rack of 4 has only 3 peers; asking for 6 must spill to successors.
+	r := buildRing(t, 16, 4)
+	nodes, err := r.AllocationNodes("hot", 6, PlacementRack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 6 {
+		t.Fatalf("got %d nodes, want 6 after fallback", len(nodes))
+	}
+	assertDistinct(t, nodes)
+}
+
+func TestAllocationNodesHybrid(t *testing.T) {
+	r := buildRing(t, 16, 4)
+	key := "hot"
+	home, err := r.HomeNode(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := r.AllocationNodes(key, 6, PlacementHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 6 {
+		t.Fatalf("got %d nodes, want 6", len(nodes))
+	}
+	assertDistinct(t, nodes)
+	for _, id := range nodes {
+		if id == home {
+			t.Fatal("home node included")
+		}
+	}
+	homeRack, err := r.RackOf(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackLocal := 0
+	for _, id := range nodes {
+		rack, err := r.RackOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rack == homeRack {
+			rackLocal++
+		}
+	}
+	// Half the nodes (3) come from the rack pool; successors may by chance
+	// also be rack-local, so expect at least 3.
+	if rackLocal < 3 {
+		t.Fatalf("hybrid placement has %d rack-local nodes, want >= 3", rackLocal)
+	}
+}
+
+func TestAllocationNodesUnknownPlacement(t *testing.T) {
+	r := buildRing(t, 4, 2)
+	if _, err := r.AllocationNodes("x", 2, Placement(99)); err == nil {
+		t.Fatal("expected error for unknown placement")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlacementRing.String() != "ring" || PlacementRack.String() != "rack" || PlacementHybrid.String() != "hybrid" {
+		t.Fatal("placement names wrong")
+	}
+	if Placement(42).String() != "placement(42)" {
+		t.Fatalf("unknown placement string = %q", Placement(42).String())
+	}
+}
+
+func TestMembersSortedAndContains(t *testing.T) {
+	r := buildRing(t, 5, 2)
+	ms := r.Members()
+	if len(ms) != 5 {
+		t.Fatalf("Members len = %d, want 5", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].ID >= ms[i].ID {
+			t.Fatal("Members not sorted")
+		}
+	}
+	if !r.Contains("node-3") || r.Contains("nope") {
+		t.Fatal("Contains wrong")
+	}
+	if _, err := r.RackOf("nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("RackOf unknown: %v", err)
+	}
+}
+
+func TestRemoveRestoresInvariant(t *testing.T) {
+	r := buildRing(t, 6, 3)
+	for i := 0; i < 5; i++ {
+		if err := r.Remove(NodeID("node-" + strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", r.Size())
+	}
+	h, err := r.HomeNode("anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != "node-5" {
+		t.Fatalf("HomeNode = %v, want node-5", h)
+	}
+	// Successors of the only node: none.
+	succ, err := r.Successors("anything", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succ) != 0 {
+		t.Fatalf("Successors on single-node ring = %v, want empty", succ)
+	}
+}
+
+// TestAllocationNodesDistinctProperty: for arbitrary keys and any strategy,
+// allocation nodes are distinct and never the home node.
+func TestAllocationNodesDistinctProperty(t *testing.T) {
+	r := buildRing(t, 15, 5)
+	prop := func(key string, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%14) + 1
+		p := Placement(int(pRaw%3) + 1)
+		home, err := r.HomeNode(key)
+		if err != nil {
+			return false
+		}
+		nodes, err := r.AllocationNodes(key, n, p)
+		if err != nil {
+			return false
+		}
+		if len(nodes) > n {
+			return false
+		}
+		seen := map[NodeID]struct{}{home: {}}
+		for _, id := range nodes {
+			if _, dup := seen[id]; dup {
+				return false
+			}
+			seen[id] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertDistinct(t *testing.T, nodes []NodeID) {
+	t.Helper()
+	seen := make(map[NodeID]struct{}, len(nodes))
+	for _, id := range nodes {
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate node %v", id)
+		}
+		seen[id] = struct{}{}
+	}
+}
+
+func TestVirtualNodeCountAffectsBalance(t *testing.T) {
+	// With a single virtual node per member, balance is poor; the default
+	// must do strictly better on max/mean share.
+	imbalance := func(vn int) float64 {
+		r := New(Config{VirtualNodes: vn})
+		for i := 0; i < 10; i++ {
+			if err := r.Add(Member{ID: NodeID(fmt.Sprintf("n%02d", i)), Rack: "r"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts := make(map[NodeID]int)
+		for i := 0; i < 5000; i++ {
+			h, err := r.HomeNode("k" + strconv.Itoa(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[h]++
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		return float64(maxC) / (5000.0 / 10.0)
+	}
+	coarse := imbalance(1)
+	fine := imbalance(128)
+	if fine >= coarse {
+		t.Fatalf("more vnodes should balance better: fine=%v coarse=%v", fine, coarse)
+	}
+	if fine > 1.5 {
+		t.Fatalf("fine-grained imbalance %v too high", fine)
+	}
+
+}

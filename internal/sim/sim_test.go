@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	bad := []CostModel{
+		{YSeek: 1, YP: 0, YDInter: 1, YDIntra: 1},
+		{YSeek: 1, YP: 1, YDInter: 0, YDIntra: 1},
+		{YSeek: 1, YP: 1, YDInter: 1, YDIntra: -1},
+		{YSeek: 0, YP: 1, YDInter: 1, YDIntra: 1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrBadModel) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadModel", m, err)
+		}
+	}
+}
+
+func TestBusySeconds(t *testing.T) {
+	m := CostModel{YSeek: 1e-2, YP: 1e-6, YDInter: 1e-3, YDIntra: 1e-4}
+	w := NodeWork{PostingLists: 7, PostingsScanned: 1_000_000, DocsReceivedIntra: 10, DocsReceivedInter: 5}
+	want := 7*1e-2 + 1.0 + 10*1e-4 + 5*1e-3
+	if got := m.BusySeconds(w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BusySeconds = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateBottleneck(t *testing.T) {
+	m := CostModel{YSeek: 5e-3, YP: 1e-6, YDInter: 1e-3, YDIntra: 1e-4}
+	works := []NodeWork{
+		{ID: "a", PostingsScanned: 2_000_000}, // 2s — the bottleneck
+		{ID: "b", PostingsScanned: 500_000},   // 0.5s
+		{ID: "c", DocsReceivedInter: 100},     // 0.1s
+	}
+	res, err := Evaluate(m, 1000, 900, works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BottleneckSeconds-2.0) > 1e-9 {
+		t.Fatalf("bottleneck = %v, want 2.0", res.BottleneckSeconds)
+	}
+	if math.Abs(res.Throughput-450) > 1e-6 {
+		t.Fatalf("throughput = %v, want 450", res.Throughput)
+	}
+	if res.PerNode[0].ID != "a" || res.PerNode[2].ID != "c" {
+		t.Fatalf("PerNode order wrong: %+v", res.PerNode)
+	}
+	wantMean := (2.0 + 0.5 + 0.1) / 3
+	if math.Abs(res.MeanSeconds-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", res.MeanSeconds, wantMean)
+	}
+}
+
+func TestEvaluateEmptyAndInvalid(t *testing.T) {
+	m := DefaultCostModel()
+	res, err := Evaluate(m, 10, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != 0 || res.BottleneckSeconds != 0 {
+		t.Fatalf("empty works should yield zero result, got %+v", res)
+	}
+	if _, err := Evaluate(m, 5, 6, nil); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("complete > docs: %v", err)
+	}
+	if _, err := Evaluate(m, -1, 0, nil); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("negative docs: %v", err)
+	}
+	if _, err := Evaluate(CostModel{}, 1, 1, nil); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("invalid model: %v", err)
+	}
+}
+
+func TestIntraRackCheaper(t *testing.T) {
+	m := DefaultCostModel()
+	intra := m.BusySeconds(NodeWork{DocsReceivedIntra: 100})
+	inter := m.BusySeconds(NodeWork{DocsReceivedInter: 100})
+	if intra >= inter {
+		t.Fatalf("intra-rack (%v) must be cheaper than inter-rack (%v)", intra, inter)
+	}
+}
+
+// TestBalancedLoadBeatsSkewedProperty: for the same total work, a balanced
+// split always yields at least the throughput of a skewed split — the
+// analytic core of why MOVE's allocation helps.
+func TestBalancedLoadBeatsSkewedProperty(t *testing.T) {
+	m := DefaultCostModel()
+	prop := func(totalRaw uint32, skewRaw uint8) bool {
+		total := int64(totalRaw%10_000_000) + 1000
+		skew := float64(skewRaw%100) / 100 // [0,1)
+		balanced := []NodeWork{
+			{ID: "a", PostingsScanned: total / 2},
+			{ID: "b", PostingsScanned: total - total/2},
+		}
+		hot := int64(float64(total) * (0.5 + skew/2))
+		skewed := []NodeWork{
+			{ID: "a", PostingsScanned: hot},
+			{ID: "b", PostingsScanned: total - hot},
+		}
+		rb, err := Evaluate(m, 100, 100, balanced)
+		if err != nil {
+			return false
+		}
+		rs, err := Evaluate(m, 100, 100, skewed)
+		if err != nil {
+			return false
+		}
+		return rb.Throughput >= rs.Throughput-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

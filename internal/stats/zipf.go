@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^s. It is
+// the shared skew model for both the synthetic MSN filter trace and the
+// synthetic TREC corpora: the paper's Figures 4–5 show power-law ranked
+// popularity/frequency, which a Zipf law reproduces. Unlike math/rand's
+// Zipf, this implementation exposes the rank PMF/CDF (the calibration tests
+// need them) and allows s <= 1.
+type Zipf struct {
+	s   float64
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+}
+
+// ErrBadZipf reports invalid Zipf parameters.
+var ErrBadZipf = errors.New("stats: zipf requires n >= 1 and s >= 0")
+
+// NewZipf builds the rank distribution for n ranks with exponent s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 || s < 0 || math.IsNaN(s) {
+		return nil, ErrBadZipf
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	// Guard against floating-point drift: the last entry must be exactly 1
+	// so sampling never falls off the end.
+	cdf[n-1] = 1
+	return &Zipf{s: s, cdf: cdf}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// PMF returns the probability of rank (1-based).
+func (z *Zipf) PMF(rank int) float64 {
+	if rank < 1 || rank > len(z.cdf) {
+		return 0
+	}
+	if rank == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank-1] - z.cdf[rank-2]
+}
+
+// CDF returns P(Rank <= rank) for a 1-based rank.
+func (z *Zipf) CDF(rank int) float64 {
+	if rank < 1 {
+		return 0
+	}
+	if rank > len(z.cdf) {
+		return 1
+	}
+	return z.cdf[rank-1]
+}
+
+// Sample draws a 1-based rank using rng.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	// sort.SearchFloat64s returns the first index with cdf[i] >= u.
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i + 1
+}
+
+// FitExponent estimates the Zipf exponent of a ranked rate distribution by
+// least-squares regression of log(rate) on log(rank), skipping zero rates.
+// Used by tests to verify that generated traces are as skewed as intended.
+func FitExponent(ranked []RankedRate) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for _, r := range ranked {
+		if r.Rate <= 0 {
+			continue
+		}
+		x := math.Log(float64(r.Rank))
+		y := math.Log(r.Rate)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	// Slope is negative for a decaying distribution; the exponent is its
+	// magnitude.
+	return -(n*sxy - sx*sy) / denom
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	cf := memCF(b, Options{})
+	val := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cf.Put("key-"+strconv.Itoa(i%65536), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMemtable(b *testing.B) {
+	cf := memCF(b, Options{})
+	for i := 0; i < 65536; i++ {
+		if err := cf.Put("key-"+strconv.Itoa(i), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cf.Get("key-" + strconv.Itoa(i%65536)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetSegments(b *testing.B) {
+	cf := memCF(b, Options{})
+	for i := 0; i < 65536; i++ {
+		if err := cf.Put("key-"+strconv.Itoa(i), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+		if i%8192 == 8191 {
+			if err := cf.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cf.Get("key-" + strconv.Itoa(i%65536)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendPosting(b *testing.B) {
+	cf := memCF(b, Options{})
+	op := []byte{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cf.Append("term-"+strconv.Itoa(i%1024), op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMergedPostingList(b *testing.B) {
+	cf := memCF(b, Options{})
+	for i := 0; i < 10_000; i++ {
+		if err := cf.Append("hot", []byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if i%2500 == 2499 {
+			if err := cf.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cf.GetMerged("hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,597 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/movesys/move/internal/model"
+)
+
+func memCF(t testing.TB, opts Options) *CF {
+	t.Helper()
+	s, err := Open("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := s.CF("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func TestPutGetDelete(t *testing.T) {
+	cf := memCF(t, Options{})
+	if err := cf.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cf.Get("k1")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := cf.Put("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err = cf.Get("k1")
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get after overwrite = %q, %v, %v", v, ok, err)
+	}
+	if err := cf.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = cf.Get("k1")
+	if err != nil || ok {
+		t.Fatalf("Get after delete: ok=%v err=%v", ok, err)
+	}
+	_, ok, err = cf.Get("never")
+	if err != nil || ok {
+		t.Fatalf("Get missing: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestGetSurvivesFlush(t *testing.T) {
+	cf := memCF(t, Options{})
+	if err := cf.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cf.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after flush = %q, %v, %v", v, ok, err)
+	}
+	// Tombstone over a flushed value.
+	if err := cf.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = cf.Get("k")
+	if err != nil || ok {
+		t.Fatalf("deleted key visible after flush: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNewestSegmentWins(t *testing.T) {
+	cf := memCF(t, Options{})
+	for i := 0; i < 3; i++ {
+		if err := cf.Put("k", []byte("v"+strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := cf.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := cf.Get("k")
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v, %v; want v2", v, ok, err)
+	}
+}
+
+func TestMergeAcrossFlushes(t *testing.T) {
+	cf := memCF(t, Options{})
+	for i := 0; i < 5; i++ {
+		if err := cf.Append("list", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 || i == 3 {
+			if err := cf.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ops, err := cf.GetMerged("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 5 {
+		t.Fatalf("got %d ops, want 5", len(ops))
+	}
+	for i, op := range ops {
+		if len(op) != 1 || op[0] != byte(i) {
+			t.Fatalf("op[%d] = %v, want [%d] (oldest first)", i, op, i)
+		}
+	}
+}
+
+func TestMergeTombstoneCutsHistory(t *testing.T) {
+	cf := memCF(t, Options{})
+	if err := cf.Append("list", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Delete("list"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Append("list", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := cf.GetMerged("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || string(ops[0]) != "new" {
+		t.Fatalf("ops = %v, want [new]", ops)
+	}
+}
+
+func TestWrongKindErrors(t *testing.T) {
+	cf := memCF(t, Options{})
+	if err := cf.Put("plain", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Append("merged", []byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.GetMerged("plain"); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("GetMerged on plain key: %v", err)
+	}
+	if _, _, err := cf.Get("merged"); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("Get on merge key: %v", err)
+	}
+}
+
+func TestAutoFlushAtThreshold(t *testing.T) {
+	cf := memCF(t, Options{FlushAt: 256})
+	for i := 0; i < 100; i++ {
+		if err := cf.Put("key-"+strconv.Itoa(i), []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cf.Stats()
+	if st.Segments == 0 {
+		t.Fatal("no auto flush happened")
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, err := cf.Get("key-" + strconv.Itoa(i))
+		if err != nil || !ok || string(v) != "0123456789" {
+			t.Fatalf("key-%d lost after auto flush", i)
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cf := memCF(t, Options{})
+	for i := 0; i < 4; i++ {
+		if err := cf.Put("stable", []byte("s"+strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := cf.Append("list", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cf.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cf.Put("gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cf.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := cf.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("segments after compact = %d, want 1", st.Segments)
+	}
+	v, ok, err := cf.Get("stable")
+	if err != nil || !ok || string(v) != "s3" {
+		t.Fatalf("stable = %q, %v, %v", v, ok, err)
+	}
+	_, ok, err = cf.Get("gone")
+	if err != nil || ok {
+		t.Fatalf("tombstoned key resurrected by compaction: ok=%v err=%v", ok, err)
+	}
+	ops, err := cf.GetMerged("list")
+	if err != nil || len(ops) != 4 {
+		t.Fatalf("merged list after compact: %v ops, err %v", len(ops), err)
+	}
+	for i, op := range ops {
+		if op[0] != byte(i) {
+			t.Fatalf("compact broke merge order: op[%d]=%v", i, op)
+		}
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	cf := memCF(t, Options{})
+	for _, k := range []string{"a:1", "a:2", "b:1", "a:3"} {
+		if err := cf.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Delete("a:2"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := cf.Scan("a:", func(key string, val []byte, _ [][]byte) bool {
+		got = append(got, key)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a:1", "a:3"}) {
+		t.Fatalf("Scan = %v, want [a:1 a:3]", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	cf := memCF(t, Options{})
+	for i := 0; i < 10; i++ {
+		if err := cf.Put("k"+strconv.Itoa(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := cf.Scan("", func(string, []byte, [][]byte) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("visited %d keys, want 3", n)
+	}
+}
+
+func TestPersistenceRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := s.CF("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := cf.Put("k"+strconv.Itoa(i), []byte("v"+strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cf.Append("plist", []byte("op1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Append("plist", []byte("op2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Put("k0", []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf2, err := s2.CF("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cf2.Get("k0")
+	if err != nil || !ok || string(v) != "newer" {
+		t.Fatalf("recovered k0 = %q, %v, %v", v, ok, err)
+	}
+	v, ok, err = cf2.Get("k25")
+	if err != nil || !ok || string(v) != "v25" {
+		t.Fatalf("recovered k25 = %q, %v, %v", v, ok, err)
+	}
+	ops, err := cf2.GetMerged("plist")
+	if err != nil || len(ops) != 2 {
+		t.Fatalf("recovered plist: %d ops, err %v", len(ops), err)
+	}
+	if string(ops[0]) != "op1" || string(ops[1]) != "op2" {
+		t.Fatalf("recovered merge order wrong: %q %q", ops[0], ops[1])
+	}
+}
+
+func TestPersistenceCompactRemovesOldFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := s.CF("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cf.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := cf.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cf.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf2, err := s2.CF("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cf2.Stats(); st.Segments != 1 || st.SegmentKeys != 3 {
+		t.Fatalf("recovered stats = %+v, want 1 segment with 3 keys", st)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	cf := memCF(t, Options{FlushAt: 1 << 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := "w" + strconv.Itoa(w) + "-" + strconv.Itoa(i)
+				if err := cf.Put(key, []byte(key)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if err := cf.Append("shared-list", []byte(key)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if _, _, err := cf.Get(key); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ops, err := cf.GetMerged("shared-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 8*200 {
+		t.Fatalf("shared list has %d ops, want %d", len(ops), 8*200)
+	}
+}
+
+// TestPutGetRoundTripProperty: a Get after Put returns exactly the stored
+// value across arbitrary flush points.
+func TestPutGetRoundTripProperty(t *testing.T) {
+	prop := func(pairs map[string][]byte, flushEvery uint8) bool {
+		cf := memCF(t, Options{})
+		n := 0
+		for k, v := range pairs {
+			if err := cf.Put(k, v); err != nil {
+				return false
+			}
+			n++
+			if flushEvery > 0 && n%int(flushEvery) == 0 {
+				if err := cf.Flush(); err != nil {
+					return false
+				}
+			}
+		}
+		for k, v := range pairs {
+			got, ok, err := cf.Get(k)
+			if err != nil || !ok {
+				return false
+			}
+			if len(got) != len(v) {
+				return false
+			}
+			for i := range v {
+				if got[i] != v[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterStoreRoundTrip(t *testing.T) {
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFilterStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := model.Filter{ID: 42, Subscriber: "alice", Terms: []string{"cloud", "storage"}, Mode: model.MatchAny}
+	if err := fs.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs.Get(42)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("got %+v, want %+v", got, f)
+	}
+	_, ok, err = fs.Get(43)
+	if err != nil || ok {
+		t.Fatalf("missing filter: ok=%v err=%v", ok, err)
+	}
+	n, err := fs.Count()
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	if err := fs.Delete(42); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, _ = fs.Get(42)
+	if ok {
+		t.Fatal("filter visible after delete")
+	}
+}
+
+func TestFilterStoreRejectsInvalid(t *testing.T) {
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFilterStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(model.Filter{ID: 1, Mode: model.MatchAny}); !errors.Is(err, model.ErrNoTerms) {
+		t.Fatalf("err = %v, want ErrNoTerms", err)
+	}
+}
+
+func TestFilterStoreEach(t *testing.T) {
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFilterStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		f := model.Filter{ID: model.FilterID(i), Terms: []string{"t" + strconv.Itoa(i)}, Mode: model.MatchAny}
+		if err := fs.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []model.FilterID
+	if err := fs.Each(func(f model.Filter) bool {
+		ids = append(ids, f.ID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("Each visited %d filters, want 5", len(ids))
+	}
+}
+
+func TestPostingStore(t *testing.T) {
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPostingStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := ps.Add("news", model.FilterID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate registration must dedup on read.
+	if err := ps.Add("news", 2); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ps.Get("news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []model.FilterID{1, 2, 3, 4}) {
+		t.Fatalf("Get = %v", ids)
+	}
+	n, err := ps.Len("news")
+	if err != nil || n != 4 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	terms, err := ps.Terms()
+	if err != nil || !reflect.DeepEqual(terms, []string{"news"}) {
+		t.Fatalf("Terms = %v, %v", terms, err)
+	}
+	if err := ps.Remove("news"); err != nil {
+		t.Fatal(err)
+	}
+	ids, err = ps.Get("news")
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("after Remove: %v, %v", ids, err)
+	}
+}
+
+func TestMetaStore(t *testing.T) {
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewMetaStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.PutString("policy", "proactive"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := ms.GetString("policy")
+	if err != nil || !ok || v != "proactive" {
+		t.Fatalf("GetString = %q, %v, %v", v, ok, err)
+	}
+	if err := ms.PutFloat("qi:news", 0.125); err != nil {
+		t.Fatal(err)
+	}
+	f, ok, err := ms.GetFloat("qi:news")
+	if err != nil || !ok || f != 0.125 {
+		t.Fatalf("GetFloat = %v, %v, %v", f, ok, err)
+	}
+	_, ok, err = ms.GetFloat("missing")
+	if err != nil || ok {
+		t.Fatalf("missing float: ok=%v err=%v", ok, err)
+	}
+	if err := ms.PutString("bad", "not-a-float"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ms.GetFloat("bad"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/model"
+)
+
+// Column family names of the three §V data stores.
+const (
+	cfFilters  = "filters"
+	cfPostings = "postings"
+	cfMeta     = "meta"
+)
+
+// FilterStore persists full filter definitions keyed by ID ("the full
+// information of f is locally stored on the home nodes of all query terms
+// in f", §III.B).
+type FilterStore struct {
+	cf *CF
+}
+
+// NewFilterStore opens the filter column family.
+func NewFilterStore(s *Store) (*FilterStore, error) {
+	cf, err := s.CF(cfFilters)
+	if err != nil {
+		return nil, err
+	}
+	return &FilterStore{cf: cf}, nil
+}
+
+func filterKey(id model.FilterID) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(id))
+	return string(buf[:])
+}
+
+// Put stores a filter definition.
+func (fs *FilterStore) Put(f model.Filter) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	return fs.cf.Put(filterKey(f.ID), f.Encode())
+}
+
+// Get loads a filter by ID.
+func (fs *FilterStore) Get(id model.FilterID) (model.Filter, bool, error) {
+	data, ok, err := fs.cf.Get(filterKey(id))
+	if err != nil || !ok {
+		return model.Filter{}, false, err
+	}
+	f, err := model.DecodeFilter(codec.NewReader(data))
+	if err != nil {
+		return model.Filter{}, false, fmt.Errorf("store: decode filter %s: %w", id, err)
+	}
+	return f, true, nil
+}
+
+// Delete removes a filter definition.
+func (fs *FilterStore) Delete(id model.FilterID) error {
+	return fs.cf.Delete(filterKey(id))
+}
+
+// Each iterates all stored filters; iteration stops when fn returns false.
+func (fs *FilterStore) Each(fn func(model.Filter) bool) error {
+	var decodeErr error
+	err := fs.cf.Scan("", func(key string, val []byte, _ [][]byte) bool {
+		f, err := model.DecodeFilter(codec.NewReader(val))
+		if err != nil {
+			decodeErr = fmt.Errorf("store: decode filter at key %x: %w", key, err)
+			return false
+		}
+		return fn(f)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// Count returns the number of live filters (scans; intended for tests and
+// load accounting, not hot paths).
+func (fs *FilterStore) Count() (int, error) {
+	n := 0
+	err := fs.cf.Scan("", func(string, []byte, [][]byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// PostingStore is the local inverted list: term → posting list of filter
+// IDs. The crucial property (§III.B) is that the home node of term t builds
+// a posting list only for t, so matching a document retrieves exactly one
+// list per forwarded term.
+type PostingStore struct {
+	cf *CF
+}
+
+// NewPostingStore opens the posting column family.
+func NewPostingStore(s *Store) (*PostingStore, error) {
+	cf, err := s.CF(cfPostings)
+	if err != nil {
+		return nil, err
+	}
+	return &PostingStore{cf: cf}, nil
+}
+
+// Add appends filter id to term's posting list.
+func (ps *PostingStore) Add(term string, id model.FilterID) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(id))
+	return ps.cf.Append(term, buf[:n])
+}
+
+// Get returns the deduplicated posting list for term. The order is
+// insertion order (oldest first).
+func (ps *PostingStore) Get(term string) ([]model.FilterID, error) {
+	ops, err := ps.cf.GetMerged(term)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]model.FilterID, 0, len(ops))
+	seen := make(map[model.FilterID]struct{}, len(ops))
+	for _, op := range ops {
+		v, n := binary.Uvarint(op)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: corrupt posting entry for %q", term)
+		}
+		id := model.FilterID(v)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Remove drops the whole posting list of a term (used when the term's
+// filters migrate during allocation).
+func (ps *PostingStore) Remove(term string) error {
+	return ps.cf.Delete(term)
+}
+
+// Terms lists all terms that currently have a posting list.
+func (ps *PostingStore) Terms() ([]string, error) {
+	var out []string
+	err := ps.cf.Scan("", func(key string, _ []byte, _ [][]byte) bool {
+		out = append(out, key)
+		return true
+	})
+	return out, err
+}
+
+// Len returns the posting-list length for term (after dedup).
+func (ps *PostingStore) Len(term string) (int, error) {
+	ids, err := ps.Get(term)
+	return len(ids), err
+}
+
+// MetaStore is the §V meta-data store holding the per-node statistics
+// (popularity, frequency) and allocation bookkeeping.
+type MetaStore struct {
+	cf *CF
+}
+
+// NewMetaStore opens the meta column family.
+func NewMetaStore(s *Store) (*MetaStore, error) {
+	cf, err := s.CF(cfMeta)
+	if err != nil {
+		return nil, err
+	}
+	return &MetaStore{cf: cf}, nil
+}
+
+// PutString stores a string value.
+func (ms *MetaStore) PutString(key, val string) error {
+	return ms.cf.Put(key, []byte(val))
+}
+
+// GetString loads a string value.
+func (ms *MetaStore) GetString(key string) (string, bool, error) {
+	v, ok, err := ms.cf.Get(key)
+	return string(v), ok, err
+}
+
+// PutFloat stores a float64 value.
+func (ms *MetaStore) PutFloat(key string, val float64) error {
+	return ms.cf.Put(key, []byte(strconv.FormatFloat(val, 'g', -1, 64)))
+}
+
+// GetFloat loads a float64 value.
+func (ms *MetaStore) GetFloat(key string) (float64, bool, error) {
+	v, ok, err := ms.cf.Get(key)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	f, err := strconv.ParseFloat(string(v), 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: meta %q not a float: %w", key, err)
+	}
+	return f, true, nil
+}

@@ -1,0 +1,80 @@
+package text
+
+import (
+	"sort"
+	"strings"
+)
+
+// Options controls the preprocessing pipeline. The zero value enables the
+// full paper pipeline (lower-casing, stop-word removal, Porter stemming,
+// deduplication).
+type Options struct {
+	// KeepStopWords disables stop-word removal.
+	KeepStopWords bool
+	// NoStem disables Porter stemming.
+	NoStem bool
+	// MinTermLen drops terms shorter than this many bytes after stemming.
+	// Zero means a default of 2.
+	MinTermLen int
+}
+
+// Terms runs the preprocessing pipeline on raw text and returns the sorted,
+// deduplicated term set — the representation both documents and filters use
+// throughout the system (§III.A represents each as a set of terms).
+func Terms(raw string, opts Options) []string {
+	minLen := opts.MinTermLen
+	if minLen == 0 {
+		minLen = 2
+	}
+	seen := make(map[string]struct{})
+	var terms []string
+	emit := func(tok string) {
+		if len(tok) < minLen {
+			return
+		}
+		if !opts.KeepStopWords && IsStopWord(tok) {
+			return
+		}
+		if !opts.NoStem {
+			tok = Stem(tok)
+			if len(tok) < minLen {
+				return
+			}
+		}
+		if _, dup := seen[tok]; dup {
+			return
+		}
+		seen[tok] = struct{}{}
+		terms = append(terms, tok)
+	}
+
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			emit(b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range raw {
+		switch {
+		case r >= 'a' && r <= 'z':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		case r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	sort.Strings(terms)
+	return terms
+}
+
+// NormalizeTerms applies stemming/stop-word filtering to an already
+// tokenized list (e.g. a trace file with one term per field) and returns the
+// sorted deduplicated set.
+func NormalizeTerms(tokens []string, opts Options) []string {
+	return Terms(strings.Join(tokens, " "), opts)
+}

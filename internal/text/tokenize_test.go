@@ -1,0 +1,137 @@
+package text
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermsFullPipeline(t *testing.T) {
+	got := Terms("The quick brown foxes are RUNNING over the lazy dogs!", Options{})
+	want := []string{"brown", "dog", "fox", "lazi", "quick", "run"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTermsDeduplicates(t *testing.T) {
+	got := Terms("cache caches caching CACHED", Options{})
+	if len(got) != 1 || got[0] != "cach" {
+		t.Fatalf("Terms = %v, want [cach]", got)
+	}
+}
+
+func TestTermsStopWordsKept(t *testing.T) {
+	got := Terms("the and or", Options{KeepStopWords: true, NoStem: true})
+	want := []string{"and", "or", "the"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTermsStopWordsDropped(t *testing.T) {
+	if got := Terms("the and or", Options{}); len(got) != 0 {
+		t.Fatalf("Terms = %v, want empty", got)
+	}
+}
+
+func TestTermsMinLen(t *testing.T) {
+	got := Terms("a bb ccc", Options{NoStem: true, MinTermLen: 3})
+	if !reflect.DeepEqual(got, []string{"ccc"}) {
+		t.Fatalf("Terms = %v, want [ccc]", got)
+	}
+}
+
+func TestTermsDigitsRetained(t *testing.T) {
+	got := Terms("ipv6 802 dot11", Options{NoStem: true})
+	want := []string{"802", "dot11", "ipv6"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTermsPunctuationSplits(t *testing.T) {
+	got := Terms("peer-to-peer pub/sub key_value", Options{KeepStopWords: true, NoStem: true})
+	want := []string{"key", "peer", "pub", "sub", "to", "value"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeTerms(t *testing.T) {
+	got := NormalizeTerms([]string{"Breaking", "NEWS", "breaking"}, Options{})
+	want := []string{"break", "new"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizeTerms = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "yourselves"} {
+		if !IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"cassandra", "filter", ""} {
+		if IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = true, want false", w)
+		}
+	}
+}
+
+// TestTermsSortedAndUniqueProperty verifies two invariants of the term-set
+// representation for arbitrary input: output is sorted and duplicate-free.
+func TestTermsSortedAndUniqueProperty(t *testing.T) {
+	prop := func(raw string) bool {
+		terms := Terms(raw, Options{})
+		if !sort.StringsAreSorted(terms) {
+			return false
+		}
+		seen := make(map[string]struct{}, len(terms))
+		for _, term := range terms {
+			if _, dup := seen[term]; dup {
+				return false
+			}
+			seen[term] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTermsOrderInsensitiveProperty verifies that the term set does not
+// depend on input token order.
+func TestTermsOrderInsensitiveProperty(t *testing.T) {
+	prop := func(a, b, c string) bool {
+		x := Terms(strings.Join([]string{a, b, c}, " "), Options{})
+		y := Terms(strings.Join([]string{c, a, b}, " "), Options{})
+		return reflect.DeepEqual(x, y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStemNeverGrowsProperty: Porter stemming never lengthens an
+// all-lower-case ASCII word (every step truncates or rewrites a suffix with
+// one no longer than what it removes, except the +e restorations which only
+// follow longer removals).
+func TestStemNeverGrowsProperty(t *testing.T) {
+	prop := func(seed []byte) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		w := make([]byte, 0, len(seed))
+		for _, c := range seed {
+			w = append(w, 'a'+c%26)
+		}
+		return len(Stem(string(w))) <= len(w)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/movesys/move/internal/ring"
+)
+
+// Network is an in-process cluster fabric. Nodes Join it to obtain a
+// Transport endpoint; Sends are delivered by direct handler invocation with
+// optional injected latency, asymmetric partitions, and crash failures.
+type Network struct {
+	mu       sync.RWMutex
+	nodes    map[ring.NodeID]*memEndpoint
+	latency  time.Duration
+	down     map[ring.NodeID]struct{}
+	cutLinks map[[2]ring.NodeID]struct{}
+}
+
+// NetworkConfig controls fault/latency injection.
+type NetworkConfig struct {
+	// Latency is a fixed one-way delay applied to every delivery. Zero (the
+	// default) keeps tests and benchmarks fast; the figure harness models
+	// transfer cost analytically instead (internal/sim).
+	Latency time.Duration
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork(cfg NetworkConfig) *Network {
+	return &Network{
+		nodes:    make(map[ring.NodeID]*memEndpoint),
+		latency:  cfg.Latency,
+		down:     make(map[ring.NodeID]struct{}),
+		cutLinks: make(map[[2]ring.NodeID]struct{}),
+	}
+}
+
+// Join registers a node and returns its endpoint. Joining an existing ID
+// replaces the previous endpoint (a node restart).
+func (n *Network) Join(id ring.NodeID, h Handler) Transport {
+	ep := &memEndpoint{net: n, id: id, handler: h}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = ep
+	delete(n.down, id)
+	return ep
+}
+
+// Fail marks a node as crashed: every Send to it fails with ErrNodeDown
+// until it rejoins or Recover is called.
+func (n *Network) Fail(id ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = struct{}{}
+}
+
+// Recover clears the crash flag of a node.
+func (n *Network) Recover(id ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.down, id)
+}
+
+// Failed reports whether the node is currently marked crashed.
+func (n *Network) Failed(id ring.NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.down[id]
+	return ok
+}
+
+// CutLink drops messages from `from` to `to` (one direction) — an
+// asymmetric partition.
+func (n *Network) CutLink(from, to ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutLinks[[2]ring.NodeID{from, to}] = struct{}{}
+}
+
+// HealLink restores a previously cut link.
+func (n *Network) HealLink(from, to ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutLinks, [2]ring.NodeID{from, to})
+}
+
+// lookup resolves the destination endpoint, applying fault state.
+func (n *Network) lookup(from, to ring.NodeID) (*memEndpoint, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if _, cut := n.cutLinks[[2]ring.NodeID{from, to}]; cut {
+		return nil, fmt.Errorf("link %s->%s cut: %w", from, to, ErrNodeDown)
+	}
+	if _, dead := n.down[to]; dead {
+		return nil, fmt.Errorf("node %s failed: %w", to, ErrNodeDown)
+	}
+	ep, ok := n.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("node %s not joined: %w", to, ErrNodeDown)
+	}
+	return ep, nil
+}
+
+// memEndpoint is one node's view of the in-memory network.
+type memEndpoint struct {
+	net     *Network
+	id      ring.NodeID
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*memEndpoint)(nil)
+
+func (e *memEndpoint) Self() ring.NodeID { return e.id }
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	if e.net.nodes[e.id] == e {
+		delete(e.net.nodes, e.id)
+	}
+	e.net.mu.Unlock()
+	return nil
+}
+
+func (e *memEndpoint) Send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	dst, err := e.net.lookup(e.id, to)
+	if err != nil {
+		return nil, err
+	}
+	if lat := e.net.latency; lat > 0 {
+		timer := time.NewTimer(lat)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	// The destination may have crashed while the message was "in flight".
+	if e.net.Failed(to) {
+		return nil, fmt.Errorf("node %s failed: %w", to, ErrNodeDown)
+	}
+	resp, err := dst.handler(ctx, e.id, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrRemote, to, err)
+	}
+	return resp, nil
+}

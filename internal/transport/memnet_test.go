@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/ring"
+)
+
+func echoHandler(prefix string) Handler {
+	return func(_ context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		return append([]byte(prefix+string(from)+":"), payload...), nil
+	}
+}
+
+func TestMemNetRoundTrip(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler("to-a-from-"))
+	_ = net.Join("b", echoHandler("to-b-from-"))
+
+	resp, err := a.Send(context.Background(), "b", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "to-b-from-a:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestMemNetSelfSend(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	resp, err := a.Send(context.Background(), "a", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "a:x" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestMemNetUnknownNode(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	if _, err := a.Send(context.Background(), "ghost", nil); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestMemNetFailRecover(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	_ = net.Join("b", echoHandler(""))
+
+	net.Fail("b")
+	if !net.Failed("b") {
+		t.Fatal("Failed(b) = false after Fail")
+	}
+	if _, err := a.Send(context.Background(), "b", nil); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	net.Recover("b")
+	if _, err := a.Send(context.Background(), "b", nil); err != nil {
+		t.Fatalf("after recover: %v", err)
+	}
+}
+
+func TestMemNetCutLinkAsymmetric(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	b := net.Join("b", echoHandler(""))
+
+	net.CutLink("a", "b")
+	if _, err := a.Send(context.Background(), "b", nil); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("a->b should be cut, got %v", err)
+	}
+	if _, err := b.Send(context.Background(), "a", nil); err != nil {
+		t.Fatalf("b->a should work, got %v", err)
+	}
+	net.HealLink("a", "b")
+	if _, err := a.Send(context.Background(), "b", nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestMemNetRemoteError(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	_ = net.Join("b", func(context.Context, ring.NodeID, []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := a.Send(context.Background(), "b", nil)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestMemNetClosedEndpoint(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	_ = net.Join("b", echoHandler(""))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send(context.Background(), "b", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemNetLatencyRespectsContext(t *testing.T) {
+	net := NewNetwork(NetworkConfig{Latency: time.Second})
+	a := net.Join("a", echoHandler(""))
+	_ = net.Join("b", echoHandler(""))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.Send(ctx, "b", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("Send did not honour context cancellation promptly")
+	}
+}
+
+func TestMemNetConcurrentSends(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	var mu sync.Mutex
+	received := make(map[string]int)
+	_ = net.Join("sink", func(_ context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		mu.Lock()
+		received[string(payload)]++
+		mu.Unlock()
+		return nil, nil
+	})
+
+	var wg sync.WaitGroup
+	const senders = 8
+	const msgs = 100
+	for s := 0; s < senders; s++ {
+		ep := net.Join(ring.NodeID("s"+strconv.Itoa(s)), echoHandler(""))
+		wg.Add(1)
+		go func(ep Transport, s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				if _, err := ep.Send(context.Background(), "sink", []byte(strconv.Itoa(s*msgs+i))); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(ep, s)
+	}
+	wg.Wait()
+	if len(received) != senders*msgs {
+		t.Fatalf("received %d distinct messages, want %d", len(received), senders*msgs)
+	}
+}
+
+func TestMemNetRejoinReplacesEndpoint(t *testing.T) {
+	net := NewNetwork(NetworkConfig{})
+	a := net.Join("a", echoHandler(""))
+	_ = net.Join("b", func(context.Context, ring.NodeID, []byte) ([]byte, error) {
+		return []byte("v1"), nil
+	})
+	_ = net.Join("b", func(context.Context, ring.NodeID, []byte) ([]byte, error) {
+		return []byte("v2"), nil
+	})
+	resp, err := a.Send(context.Background(), "b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "v2" {
+		t.Fatalf("resp = %q, want v2 (rejoin should replace handler)", resp)
+	}
+}

@@ -1,0 +1,435 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/ring"
+)
+
+// maxFrame bounds a single message; documents are at most a few hundred KB
+// of terms, so 64 MiB leaves ample slack while stopping a corrupt length
+// prefix from allocating unbounded memory.
+const maxFrame = 64 << 20
+
+// Resolver maps a node ID to its listen address ("host:port").
+type Resolver func(ring.NodeID) (string, error)
+
+// ParsePeers parses a "id=host:port,id=host:port" cluster map — the flag
+// format shared by cmd/moved and cmd/movectl.
+func ParsePeers(s string) (map[ring.NodeID]string, error) {
+	out := make(map[ring.NodeID]string)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("transport: bad peer entry %q (want id=host:port)", part)
+		}
+		id := ring.NodeID(kv[0])
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("transport: duplicate peer id %q", kv[0])
+		}
+		out[id] = kv[1]
+	}
+	return out, nil
+}
+
+// StaticResolver builds a Resolver from a fixed address table.
+func StaticResolver(addrs map[ring.NodeID]string) Resolver {
+	table := make(map[ring.NodeID]string, len(addrs))
+	for id, a := range addrs {
+		table[id] = a
+	}
+	return func(id ring.NodeID) (string, error) {
+		a, ok := table[id]
+		if !ok {
+			return "", fmt.Errorf("no address for %s: %w", id, ErrNodeDown)
+		}
+		return a, nil
+	}
+}
+
+// TCPNode is a Transport over real TCP sockets: a listening server for
+// inbound requests plus a connection pool for outbound ones. Frames are
+// length-prefixed; responses are matched to requests by ID so connections
+// are pipelined.
+type TCPNode struct {
+	id       ring.NodeID
+	handler  Handler
+	resolver Resolver
+	listener net.Listener
+
+	mu       sync.Mutex
+	conns    map[ring.NodeID]*tcpConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// NewTCP starts a node endpoint listening on listenAddr. Pass ":0" to pick
+// an ephemeral port (see Addr).
+func NewTCP(id ring.NodeID, listenAddr string, h Handler, r Resolver) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	n := &TCPNode{
+		id:       id,
+		handler:  h,
+		resolver: r,
+		listener: ln,
+		conns:    make(map[ring.NodeID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the actual listen address.
+func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
+
+// Self returns the node ID.
+func (n *TCPNode) Self() ring.NodeID { return n.id }
+
+// Close shuts the listener and all pooled connections down and waits for
+// the serving goroutines to exit.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*tcpConn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.conns = make(map[ring.NodeID]*tcpConn)
+	inbound := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	err := n.listener.Close()
+	for _, c := range conns {
+		c.close(ErrClosed)
+	}
+	// Accepted connections must be torn down too, or serveConn goroutines
+	// block in readFrame and wg.Wait never returns.
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn reads request frames from one inbound connection and dispatches
+// them to the handler, one goroutine per request so a slow match does not
+// head-of-line-block the connection.
+func (n *TCPNode) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	br := bufio.NewReader(conn)
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		reqWG.Add(1)
+		go func(frame []byte) {
+			defer reqWG.Done()
+			n.handleFrame(conn, &writeMu, frame)
+		}(frame)
+	}
+}
+
+func (n *TCPNode) handleFrame(conn net.Conn, writeMu *sync.Mutex, frame []byte) {
+	r := codec.NewReader(frame)
+	reqID, err := r.Uvarint()
+	if err != nil {
+		return
+	}
+	from, err := r.String()
+	if err != nil {
+		return
+	}
+	body, err := r.Bytes0()
+	if err != nil {
+		return
+	}
+	resp, herr := n.handler(context.Background(), ring.NodeID(from), body)
+
+	w := codec.NewWriter(16 + len(resp))
+	w.Uvarint(reqID)
+	if herr != nil {
+		w.Uint8(1)
+		w.String(herr.Error())
+	} else {
+		w.Uint8(0)
+		w.Bytes0(resp)
+	}
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	_ = writeFrame(conn, w.Bytes())
+}
+
+// Send implements Transport.
+func (n *TCPNode) Send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
+	c, err := n.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, n.id, payload)
+	if err != nil {
+		// A broken connection is evicted so the next Send redials.
+		if !errors.Is(err, ErrRemote) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			n.evict(to, c)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (n *TCPNode) conn(to ring.NodeID) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	addr, err := n.resolver(to)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s (%s): %w", to, addr, ErrNodeDown)
+	}
+	c := newTCPConn(raw)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		c.close(ErrClosed)
+		return nil, ErrClosed
+	}
+	if existing, ok := n.conns[to]; ok {
+		// Lost the dial race; use the winner.
+		c.close(ErrClosed)
+		return existing, nil
+	}
+	n.conns[to] = c
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		c.readLoop()
+	}()
+	return c, nil
+}
+
+func (n *TCPNode) evict(to ring.NodeID, c *tcpConn) {
+	n.mu.Lock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	c.close(ErrNodeDown)
+}
+
+// tcpConn is one pooled outbound connection with pipelined round trips.
+type tcpConn struct {
+	raw net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan result
+	err     error
+}
+
+type result struct {
+	body []byte
+	err  error
+}
+
+func newTCPConn(raw net.Conn) *tcpConn {
+	return &tcpConn{raw: raw, pending: make(map[uint64]chan result)}
+}
+
+func (c *tcpConn) roundTrip(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	w := codec.NewWriter(24 + len(payload))
+	w.Uvarint(id)
+	w.String(string(from))
+	w.Bytes0(payload)
+
+	c.writeMu.Lock()
+	err := writeFrame(c.raw, w.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		return nil, fmt.Errorf("write to peer: %w", ErrNodeDown)
+	}
+
+	select {
+	case res := <-ch:
+		return res.body, res.err
+	case <-ctx.Done():
+		c.abandon(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *tcpConn) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// readLoop demultiplexes response frames to their waiting callers.
+func (c *tcpConn) readLoop() {
+	br := bufio.NewReader(c.raw)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			c.close(fmt.Errorf("connection lost: %w", ErrNodeDown))
+			return
+		}
+		r := codec.NewReader(frame)
+		id, err := r.Uvarint()
+		if err != nil {
+			continue
+		}
+		status, err := r.Uint8()
+		if err != nil {
+			continue
+		}
+		var res result
+		if status == 0 {
+			body, err := r.Bytes0()
+			if err != nil {
+				continue
+			}
+			// Copy: frame buffer is reused by the bufio reader path.
+			res.body = append([]byte(nil), body...)
+		} else {
+			msg, err := r.String()
+			if err != nil {
+				continue
+			}
+			res.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+}
+
+// close fails all pending calls with err and closes the socket.
+func (c *tcpConn) close(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan result)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+	_ = c.raw.Close()
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,39 @@
+// Package transport provides the messaging substrate of the MOVE cluster:
+// a request/response Transport interface with two implementations — an
+// in-memory network with injectable latency, partitions, and node failures
+// (used by tests, examples, and the experiment harness to stand in for the
+// paper's 100-machine Ukko cluster), and a TCP transport over net (used by
+// cmd/moved for real deployments).
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"github.com/movesys/move/internal/ring"
+)
+
+// Handler processes one inbound request and returns the response payload.
+// Handlers must be safe for concurrent use.
+type Handler func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error)
+
+// Transport is one node's endpoint in the cluster.
+type Transport interface {
+	// Send delivers payload to the node `to` and waits for its response.
+	Send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error)
+	// Self returns the local node's ID.
+	Self() ring.NodeID
+	// Close releases the endpoint; subsequent Sends fail.
+	Close() error
+}
+
+// Errors shared by transport implementations.
+var (
+	// ErrNodeDown is returned when the destination is not reachable (failed,
+	// partitioned, or never joined).
+	ErrNodeDown = errors.New("transport: node down")
+	// ErrClosed is returned when the local endpoint has been closed.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrRemote wraps a handler-side failure reported by the peer.
+	ErrRemote = errors.New("transport: remote handler error")
+)

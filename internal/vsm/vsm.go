@@ -1,0 +1,114 @@
+// Package vsm implements the vector space model scoring (§III.A cites [6])
+// used for MOVE's similarity-threshold matching semantics — the extension
+// beyond the boolean model that the paper inherits from SIFT [25] and
+// STAIRS [17]. Filters and documents are scored by tf-idf-weighted cosine
+// similarity; a filter with MatchThreshold semantics matches when the score
+// reaches its threshold.
+package vsm
+
+import (
+	"math"
+	"sync"
+)
+
+// Corpus maintains document-frequency statistics used for idf weighting.
+// It is updated as documents stream through a node and read on every
+// threshold match, so it is safe for concurrent use.
+type Corpus struct {
+	mu   sync.RWMutex
+	df   map[string]int64
+	docs int64
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int64)}
+}
+
+// AddDocument records one document's (deduplicated) term set.
+func (c *Corpus) AddDocument(terms []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs++
+	for _, t := range terms {
+		c.df[t]++
+	}
+}
+
+// Docs returns the number of recorded documents.
+func (c *Corpus) Docs() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs
+}
+
+// IDF returns the smoothed inverse document frequency of term t:
+// ln(1 + N / (1 + df)). The smoothing keeps unseen terms finite and
+// positive so cold-start filters still score.
+func (c *Corpus) IDF(t string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return math.Log(1 + float64(c.docs)/(1+float64(c.df[t])))
+}
+
+// CosineScore computes the cosine similarity between a document term set
+// and a filter term set under idf weighting (term frequency is 1 for both
+// sides since term sets are deduplicated — standard for short queries).
+// The result is in [0, 1]: 1 when the filter's terms all occur in the
+// document and the document contains nothing else of weight.
+func (c *Corpus) CosineScore(docTerms []string, filterTerms []string) float64 {
+	if len(docTerms) == 0 || len(filterTerms) == 0 {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	idf := func(t string) float64 {
+		return math.Log(1 + float64(c.docs)/(1+float64(c.df[t])))
+	}
+
+	docW := make(map[string]float64, len(docTerms))
+	var docNorm float64
+	for _, t := range docTerms {
+		w := idf(t)
+		docW[t] = w
+		docNorm += w * w
+	}
+	var dot, filterNorm float64
+	for _, t := range filterTerms {
+		w := idf(t)
+		filterNorm += w * w
+		if dw, ok := docW[t]; ok {
+			dot += dw * w
+		}
+	}
+	if dot == 0 || docNorm == 0 || filterNorm == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(docNorm) * math.Sqrt(filterNorm))
+}
+
+// ContainmentScore is the fraction of the filter's idf mass covered by the
+// document: Σ_{t ∈ f ∩ d} idf(t)² / Σ_{t ∈ f} idf(t)². Unlike cosine it
+// does not penalize long documents, which suits the paper's workload where
+// documents are 20–2000× longer than filters; it is the default scoring
+// for MatchThreshold filters.
+func (c *Corpus) ContainmentScore(docSet map[string]struct{}, filterTerms []string) float64 {
+	if len(docSet) == 0 || len(filterTerms) == 0 {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var dot, norm float64
+	for _, t := range filterTerms {
+		w := math.Log(1 + float64(c.docs)/(1+float64(c.df[t])))
+		norm += w * w
+		if _, ok := docSet[t]; ok {
+			dot += w * w
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	return dot / norm
+}

@@ -1,0 +1,169 @@
+package vsm
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func seededCorpus() *Corpus {
+	c := NewCorpus()
+	// "common" appears in every document; "rare" in one.
+	for i := 0; i < 100; i++ {
+		terms := []string{"common", "filler" + strconv.Itoa(i)}
+		if i == 0 {
+			terms = append(terms, "rare")
+		}
+		c.AddDocument(terms)
+	}
+	return c
+}
+
+func TestIDFOrdering(t *testing.T) {
+	c := seededCorpus()
+	if c.IDF("rare") <= c.IDF("common") {
+		t.Fatalf("idf(rare)=%v should exceed idf(common)=%v", c.IDF("rare"), c.IDF("common"))
+	}
+	if c.IDF("unseen") <= c.IDF("rare") {
+		t.Fatalf("idf(unseen)=%v should exceed idf(rare)=%v", c.IDF("unseen"), c.IDF("rare"))
+	}
+}
+
+func TestIDFEmptyCorpusFinite(t *testing.T) {
+	c := NewCorpus()
+	v := c.IDF("anything")
+	if math.IsInf(v, 0) || math.IsNaN(v) || v < 0 {
+		t.Fatalf("IDF on empty corpus = %v", v)
+	}
+}
+
+func TestCosineIdenticalSetsIsOne(t *testing.T) {
+	c := seededCorpus()
+	terms := []string{"common", "rare"}
+	if got := c.CosineScore(terms, terms); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("cosine of identical sets = %v, want 1", got)
+	}
+}
+
+func TestCosineDisjointIsZero(t *testing.T) {
+	c := seededCorpus()
+	if got := c.CosineScore([]string{"a", "b"}, []string{"c"}); got != 0 {
+		t.Fatalf("cosine of disjoint sets = %v, want 0", got)
+	}
+}
+
+func TestCosineEmptyInputs(t *testing.T) {
+	c := seededCorpus()
+	if c.CosineScore(nil, []string{"x"}) != 0 || c.CosineScore([]string{"x"}, nil) != 0 {
+		t.Fatal("empty input should score 0")
+	}
+}
+
+func TestCosinePartialBetween(t *testing.T) {
+	c := seededCorpus()
+	doc := []string{"common", "rare", "other"}
+	got := c.CosineScore(doc, []string{"rare"})
+	if got <= 0 || got >= 1 {
+		t.Fatalf("partial cosine = %v, want in (0,1)", got)
+	}
+}
+
+func TestRareTermDominates(t *testing.T) {
+	c := seededCorpus()
+	doc := []string{"common", "rare"}
+	rare := c.CosineScore(doc, []string{"rare"})
+	common := c.CosineScore(doc, []string{"common"})
+	if rare <= common {
+		t.Fatalf("matching the rare term (%v) should outscore the common one (%v)", rare, common)
+	}
+}
+
+func TestContainmentFullCoverageIsOne(t *testing.T) {
+	c := seededCorpus()
+	docSet := map[string]struct{}{"common": {}, "rare": {}, "noise1": {}, "noise2": {}}
+	got := c.ContainmentScore(docSet, []string{"common", "rare"})
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("containment with full coverage = %v, want 1 (long docs not penalized)", got)
+	}
+}
+
+func TestContainmentPartial(t *testing.T) {
+	c := seededCorpus()
+	docSet := map[string]struct{}{"rare": {}}
+	got := c.ContainmentScore(docSet, []string{"rare", "common"})
+	if got <= 0 || got >= 1 {
+		t.Fatalf("partial containment = %v, want in (0,1)", got)
+	}
+	// The covered term is the rare (heavier) one, so score > 0.5.
+	if got <= 0.5 {
+		t.Fatalf("rare-term coverage = %v, want > 0.5", got)
+	}
+}
+
+func TestContainmentEmpty(t *testing.T) {
+	c := seededCorpus()
+	if c.ContainmentScore(nil, []string{"x"}) != 0 {
+		t.Fatal("nil doc set should score 0")
+	}
+	if c.ContainmentScore(map[string]struct{}{"x": {}}, nil) != 0 {
+		t.Fatal("empty filter should score 0")
+	}
+}
+
+func TestScoresBoundedProperty(t *testing.T) {
+	c := seededCorpus()
+	prop := func(docRaw, filterRaw []uint8) bool {
+		doc := make([]string, 0, len(docRaw))
+		seen := map[string]struct{}{}
+		for _, b := range docRaw {
+			term := "t" + strconv.Itoa(int(b%40))
+			if _, dup := seen[term]; !dup {
+				seen[term] = struct{}{}
+				doc = append(doc, term)
+			}
+		}
+		filter := make([]string, 0, len(filterRaw))
+		seenF := map[string]struct{}{}
+		for _, b := range filterRaw {
+			term := "t" + strconv.Itoa(int(b%40))
+			if _, dup := seenF[term]; !dup {
+				seenF[term] = struct{}{}
+				filter = append(filter, term)
+			}
+		}
+		cos := c.CosineScore(doc, filter)
+		if cos < 0 || cos > 1+1e-9 || math.IsNaN(cos) {
+			return false
+		}
+		docSet := make(map[string]struct{}, len(doc))
+		for _, t := range doc {
+			docSet[t] = struct{}{}
+		}
+		cont := c.ContainmentScore(docSet, filter)
+		return cont >= 0 && cont <= 1+1e-9 && !math.IsNaN(cont)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusConcurrentUse(t *testing.T) {
+	c := NewCorpus()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.AddDocument([]string{"shared", "w" + strconv.Itoa(w)})
+				_ = c.CosineScore([]string{"shared"}, []string{"shared", "w0"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Docs() != 400 {
+		t.Fatalf("Docs = %d, want 400", c.Docs())
+	}
+}

@@ -1,0 +1,369 @@
+// Package move is a keyword-based content filtering and dissemination
+// system for clusters of commodity machines — a from-scratch Go
+// implementation of "Move: A Large Scale Keyword-based Content Filtering
+// and Dissemination System" (Rao, Chen, Hui, Tarkoma — ICDCS 2012).
+//
+// Users register keyword filters; publishers inject documents; the system
+// matches every fresh document against all registered filters and pushes it
+// to matching subscribers. Internally, filters are spread over a
+// Dynamo/Cassandra-style consistent-hash ring as a distributed inverted
+// list, and an adaptive allocation scheme replicates and separates hot
+// filter sets across nodes to maximize matching throughput under a storage
+// budget (the paper's §IV optimization).
+//
+// Quick start:
+//
+//	c, err := move.NewCluster(move.Config{Nodes: 8})
+//	...
+//	sub, err := c.Subscribe("alice", "breaking news")
+//	_, err = c.Publish("Breaking news: gophers ship a pub/sub system")
+//	n := <-sub.C // Notification for alice
+package move
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/cluster"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/text"
+)
+
+// Scheme selects the dissemination system.
+type Scheme int
+
+// Available schemes. SchemeMove (the default) enables adaptive filter
+// allocation; SchemeIL and SchemeRS are the paper's baselines, exposed for
+// comparison and benchmarking.
+const (
+	// SchemeMove is the full system with adaptive filter allocation.
+	SchemeMove Scheme = iota + 1
+	// SchemeIL is the distributed inverted list without allocation.
+	SchemeIL
+	// SchemeRS is the rendezvous (flooding) baseline.
+	SchemeRS
+)
+
+// MatchMode selects per-filter matching semantics.
+type MatchMode int
+
+// Matching semantics: MatchAny (the paper's boolean model) fires when any
+// filter term occurs in the document; MatchAll requires all terms;
+// MatchThreshold requires a tf-idf containment score above the filter's
+// threshold.
+const (
+	// MatchAny fires when at least one filter term appears.
+	MatchAny MatchMode = iota + 1
+	// MatchAll fires when every filter term appears.
+	MatchAll
+	// MatchThreshold fires when the relevance score reaches the threshold.
+	MatchThreshold
+)
+
+// Placement selects where allocated filter replicas go.
+type Placement int
+
+// Placement strategies (§V): PlacementHybrid (default) takes half ring
+// successors, half rack-local peers, trading throughput against
+// availability; the pure variants are exposed for experiments.
+const (
+	// PlacementRing uses consistent-hash ring successors.
+	PlacementRing Placement = iota + 1
+	// PlacementRack uses rack-local peers.
+	PlacementRack
+	// PlacementHybrid mixes both (the paper's choice).
+	PlacementHybrid
+)
+
+// Config parameterizes an embedded cluster.
+type Config struct {
+	// Nodes is the cluster size. Required.
+	Nodes int
+	// Scheme defaults to SchemeMove.
+	Scheme Scheme
+	// RackSize is the number of nodes per rack (default 5).
+	RackSize int
+	// Capacity is the per-node filter capacity C used by the allocation
+	// optimizer (default 3,000,000 as in the paper's evaluation).
+	Capacity int
+	// Placement defaults to PlacementHybrid.
+	Placement Placement
+	// SubscriptionBuffer is each subscription channel's capacity (default
+	// 128). When a subscriber does not drain its channel, further
+	// notifications for it are dropped and counted (Subscription.Dropped).
+	SubscriptionBuffer int
+	// Seed makes the embedded cluster deterministic (default 1).
+	Seed int64
+}
+
+// Notification is one delivered document.
+type Notification struct {
+	// DocID identifies the published document.
+	DocID uint64
+	// Terms is the document's preprocessed term set.
+	Terms []string
+	// FilterID identifies the matching filter.
+	FilterID uint64
+	// Subscriber echoes the subscription owner.
+	Subscriber string
+}
+
+// Subscription is a registered filter plus its delivery channel.
+type Subscription struct {
+	// ID is the cluster-wide filter ID.
+	ID uint64
+	// Subscriber is the owner name.
+	Subscriber string
+	// Terms is the preprocessed filter term set.
+	Terms []string
+	// C receives notifications.
+	C <-chan Notification
+
+	ch      chan Notification
+	dropped sync.Mutex
+	nDrop   int64
+}
+
+// Dropped returns how many notifications were discarded because the
+// channel was full.
+func (s *Subscription) Dropped() int64 {
+	s.dropped.Lock()
+	defer s.dropped.Unlock()
+	return s.nDrop
+}
+
+func (s *Subscription) deliver(n Notification) {
+	select {
+	case s.ch <- n:
+	default:
+		s.dropped.Lock()
+		s.nDrop++
+		s.dropped.Unlock()
+	}
+}
+
+// PublishReceipt summarizes one publication.
+type PublishReceipt struct {
+	// DocID is the assigned document ID.
+	DocID uint64
+	// Matched is the number of distinct filters that matched.
+	Matched int
+	// Complete is false when node failures prevented finding all matches.
+	Complete bool
+}
+
+// Cluster is an embedded MOVE deployment.
+type Cluster struct {
+	inner *cluster.Cluster
+	cfg   Config
+
+	mu     sync.RWMutex
+	subs   map[uint64]*Subscription
+	lastID uint64
+}
+
+// Errors returned by the public API.
+var (
+	// ErrEmptyQuery reports a subscription or document whose text contains
+	// no indexable terms after preprocessing.
+	ErrEmptyQuery = errors.New("move: no indexable terms")
+	// ErrBadConfig reports unusable configuration.
+	ErrBadConfig = errors.New("move: invalid config")
+)
+
+// NewCluster boots an embedded cluster of in-process nodes.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("%w: Nodes=%d", ErrBadConfig, cfg.Nodes)
+	}
+	if cfg.Scheme == 0 {
+		cfg.Scheme = SchemeMove
+	}
+	if cfg.SubscriptionBuffer == 0 {
+		cfg.SubscriptionBuffer = 128
+	}
+	c := &Cluster{cfg: cfg, subs: make(map[uint64]*Subscription)}
+
+	inner, err := cluster.New(cluster.Config{
+		Scheme:    cluster.Scheme(cfg.Scheme),
+		Nodes:     cfg.Nodes,
+		RackSize:  cfg.RackSize,
+		Capacity:  cfg.Capacity,
+		Placement: ring.Placement(cfg.Placement),
+		Seed:      cfg.Seed,
+		OnDeliver: c.dispatch,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("move: boot cluster: %w", err)
+	}
+	c.inner = inner
+	return c, nil
+}
+
+// dispatch fans a delivery out to subscription channels.
+func (c *Cluster) dispatch(doc *model.Document, matches []node.Match) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range matches {
+		sub, ok := c.subs[uint64(m.Filter)]
+		if !ok {
+			continue
+		}
+		sub.deliver(Notification{
+			DocID:      doc.ID,
+			Terms:      append([]string(nil), doc.Terms...),
+			FilterID:   uint64(m.Filter),
+			Subscriber: m.Subscriber,
+		})
+	}
+}
+
+// SubscribeOptions tweaks one subscription.
+type SubscribeOptions struct {
+	// Mode defaults to MatchAny.
+	Mode MatchMode
+	// Threshold applies to MatchThreshold (0 < Threshold ≤ 1).
+	Threshold float64
+}
+
+// Subscribe registers a keyword filter from raw text ("breaking news")
+// using the full preprocessing pipeline (lower-casing, stop-word removal,
+// Porter stemming).
+func (c *Cluster) Subscribe(subscriber, query string, opts ...SubscribeOptions) (*Subscription, error) {
+	terms := text.Terms(query, text.Options{})
+	return c.SubscribeTerms(subscriber, terms, opts...)
+}
+
+// SubscribeTerms registers a filter from preprocessed terms.
+func (c *Cluster) SubscribeTerms(subscriber string, terms []string, opts ...SubscribeOptions) (*Subscription, error) {
+	if len(terms) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	opt := SubscribeOptions{Mode: MatchAny}
+	if len(opts) > 0 {
+		opt = opts[0]
+		if opt.Mode == 0 {
+			opt.Mode = MatchAny
+		}
+	}
+	id, err := c.inner.Register(context.Background(), subscriber, terms, model.MatchMode(opt.Mode), opt.Threshold)
+	if err != nil {
+		return nil, fmt.Errorf("move: subscribe: %w", err)
+	}
+	ch := make(chan Notification, c.cfg.SubscriptionBuffer)
+	sub := &Subscription{
+		ID:         uint64(id),
+		Subscriber: subscriber,
+		Terms:      append([]string(nil), terms...),
+		C:          ch,
+		ch:         ch,
+	}
+	c.mu.Lock()
+	c.subs[uint64(id)] = sub
+	c.lastID = uint64(id)
+	c.mu.Unlock()
+	return sub, nil
+}
+
+// Unsubscribe removes the subscription's delivery channel and deletes the
+// filter definition from every node holding it (posting entries are
+// cleaned lazily on match).
+func (c *Cluster) Unsubscribe(sub *Subscription) {
+	c.mu.Lock()
+	delete(c.subs, sub.ID)
+	c.mu.Unlock()
+	// Best-effort cluster-wide removal; a dead holder drops the definition
+	// with its store anyway.
+	_ = c.inner.Unregister(context.Background(), model.FilterID(sub.ID))
+}
+
+// Publish disseminates raw content text through the full preprocessing
+// pipeline.
+func (c *Cluster) Publish(content string) (PublishReceipt, error) {
+	terms := text.Terms(content, text.Options{})
+	return c.PublishTerms(terms)
+}
+
+// PublishTerms disseminates a preprocessed term set.
+func (c *Cluster) PublishTerms(terms []string) (PublishReceipt, error) {
+	if len(terms) == 0 {
+		return PublishReceipt{}, ErrEmptyQuery
+	}
+	res, err := c.inner.Publish(context.Background(), terms)
+	if err != nil {
+		return PublishReceipt{}, fmt.Errorf("move: publish: %w", err)
+	}
+	return PublishReceipt{
+		DocID:    uint64(c.inner.TotalDocs()),
+		Matched:  len(res.Matches),
+		Complete: res.Complete,
+	}, nil
+}
+
+// Allocate runs one §IV allocation round: the coordinator aggregates node
+// statistics, solves the MOVE optimization problem, and migrates hot filter
+// sets onto allocation grids. Requires SchemeMove. Call it after the
+// initial registration burst (proactive policy) and periodically as
+// publication statistics accumulate.
+func (c *Cluster) Allocate(ctx context.Context) error {
+	_, err := c.inner.Allocate(ctx)
+	if err != nil {
+		return fmt.Errorf("move: allocate: %w", err)
+	}
+	return nil
+}
+
+// AllocateReport is Allocate plus the optimizer's decisions, for
+// observability.
+func (c *Cluster) AllocateReport(ctx context.Context) (cluster.AllocationReport, error) {
+	return c.inner.Allocate(ctx)
+}
+
+// RefreshBloom rebuilds and installs the global filter-term Bloom filter
+// that prunes dissemination fan-out (§V). Call after registration bursts.
+func (c *Cluster) RefreshBloom(ctx context.Context) error {
+	if err := c.inner.RefreshBloom(ctx); err != nil {
+		return fmt.Errorf("move: refresh bloom: %w", err)
+	}
+	return nil
+}
+
+// Stats is a cluster-level summary.
+type Stats struct {
+	// Nodes is the cluster size; Alive how many are up.
+	Nodes, Alive int
+	// Filters and Docs count registrations and publications.
+	Filters, Docs int
+	// AvailableFilters is the fraction of filters with a live replica.
+	AvailableFilters float64
+}
+
+// Stats snapshots the cluster.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Nodes:            c.inner.Size(),
+		Alive:            c.inner.AliveCount(),
+		Filters:          c.inner.TotalFilters(),
+		Docs:             c.inner.TotalDocs(),
+		AvailableFilters: c.inner.AvailableFilterFraction(),
+	}
+}
+
+// FailNodes crashes n random nodes (failure-injection for tests and the
+// failover example); rackCorrelated fails whole racks at a time. Returns
+// how many nodes were crashed.
+func (c *Cluster) FailNodes(fraction float64, rackCorrelated bool) int {
+	return len(c.inner.FailFraction(fraction, rackCorrelated))
+}
+
+// Internal exposes the underlying experiment-grade cluster to the
+// benchmark harness in this module. It is not part of the stable API.
+func (c *Cluster) Internal() *cluster.Cluster { return c.inner }
+
+// AllocStrategyName reports the active allocation strategy (for logs).
+func AllocStrategyName() string { return alloc.StrategyGeneral.String() }
