@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"github.com/movesys/move/internal/gossip"
+	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/resilience"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/store"
 	"github.com/movesys/move/internal/transport"
@@ -41,6 +43,20 @@ func run() error {
 	rack := flag.String("rack", "rack-0", "rack label for placement")
 	dir := flag.String("dir", "", "data directory ('' = in-memory)")
 	gossipEvery := flag.Duration("gossip", time.Second, "gossip interval")
+
+	retryAttempts := flag.Int("retry-attempts", 3, "max RPC attempts per destination (1 disables retries)")
+	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per attempt, full jitter)")
+	retryMax := flag.Duration("retry-max", time.Second, "backoff cap")
+	rpcTimeout := flag.Duration("rpc-timeout", 2*time.Second, "per-attempt RPC timeout (0 = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures before a peer's circuit opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
+
+	faultDrop := flag.Float64("fault-drop", 0, "injected probability of dropping an outbound RPC (testing)")
+	faultError := flag.Float64("fault-error", 0, "injected probability of losing an RPC response after delivery (testing)")
+	faultDup := flag.Float64("fault-dup", 0, "injected probability of duplicating an outbound RPC (testing)")
+	faultDelay := flag.Float64("fault-delay", 0, "injected probability of delaying an outbound RPC (testing)")
+	faultDelayFor := flag.Duration("fault-delay-for", time.Millisecond, "injected delay duration")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 	flag.Parse()
 
 	if *id == "" || *listen == "" {
@@ -73,12 +89,25 @@ func run() error {
 		return err
 	}
 
+	reg := metrics.NewRegistry()
+	exec := resilience.New(resilience.Policy{
+		MaxAttempts:      *retryAttempts,
+		BaseDelay:        *retryBase,
+		MaxDelay:         *retryMax,
+		AttemptTimeout:   *rpcTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Retryable:        transport.IsAvailabilityError,
+	}, reg)
+
 	var g *gossip.Gossiper
 	nd, err := node.New(node.Config{
-		ID:    ring.NodeID(*id),
-		Rack:  *rack,
-		Ring:  r,
-		Store: st,
+		ID:         ring.NodeID(*id),
+		Rack:       *rack,
+		Ring:       r,
+		Store:      st,
+		Resilience: exec,
+		Metrics:    reg,
 		Gossip: func(from ring.NodeID, digest []byte) ([]byte, error) {
 			return g.Handle(from, digest)
 		},
@@ -94,7 +123,21 @@ func run() error {
 	defer func() {
 		_ = tn.Close()
 	}()
-	nd.Attach(tn)
+
+	// Node RPCs go through the (optionally fault-injecting) decorated
+	// transport; gossip stays on the raw one so the failure detector sees
+	// the real network, not the injected one.
+	var dataPath transport.Transport = tn
+	probs := transport.FaultProbs{
+		Drop: *faultDrop, Error: *faultError, Duplicate: *faultDup,
+		Delay: *faultDelay, DelayFor: *faultDelayFor,
+	}
+	if *faultDrop > 0 || *faultError > 0 || *faultDup > 0 || *faultDelay > 0 {
+		dataPath = transport.NewFaulty(tn, transport.FaultConfig{Seed: *faultSeed, Default: probs})
+		fmt.Printf("moved: fault injection on (drop=%.3f error=%.3f dup=%.3f delay=%.3f seed=%d)\n",
+			*faultDrop, *faultError, *faultDup, *faultDelay, *faultSeed)
+	}
+	nd.Attach(dataPath)
 
 	g, err = gossip.New(gossip.Config{
 		Self:     gossip.Member{ID: ring.NodeID(*id), Rack: *rack, Addr: *listen},
@@ -125,6 +168,8 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("moved: shutting down")
+	snap := reg.Snapshot()
+	fmt.Printf("moved: shutting down (retries=%d giveups=%d breaker.open=%d failovers=%d)\n",
+		snap["rpc.retries"], snap["rpc.giveups"], snap["breaker.open"], snap["publish.failover"])
 	return nil
 }

@@ -94,7 +94,7 @@ func runPlacement(placement move.Placement) error {
 	failed := cluster.FailNodes(0.5, true)
 	after := cluster.Stats()
 
-	complete := 0
+	complete, degraded := 0, 0
 	const probes = 50
 	for i := 0; i < probes; i++ {
 		receipt, err := cluster.PublishTerms(post(rng))
@@ -104,10 +104,16 @@ func runPlacement(placement move.Placement) error {
 		if receipt.Complete {
 			complete++
 		}
+		if receipt.Degraded {
+			degraded++
+		}
 	}
-	fmt.Printf("placement=%-6s failed %d/%d nodes (whole racks): availability %.3f -> %.3f, %d/%d publishes complete\n",
+	m := cluster.Metrics()
+	fmt.Printf("placement=%-6s failed %d/%d nodes (whole racks): availability %.3f -> %.3f, %d/%d publishes complete, %d degraded\n",
 		placementName(placement), failed, before.Nodes,
-		before.AvailableFilters, after.AvailableFilters, complete, probes)
+		before.AvailableFilters, after.AvailableFilters, complete, probes, degraded)
+	fmt.Printf("    resilience: %d retries, %d give-ups, %d breaker opens, %d row failovers\n",
+		m["rpc.retries"], m["rpc.giveups"], m["breaker.open"], m["publish.failover"])
 	return nil
 }
 

@@ -26,8 +26,10 @@ import (
 
 	"github.com/movesys/move/internal/alloc"
 	"github.com/movesys/move/internal/bloom"
+	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
 	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/resilience"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/stats"
 	"github.com/movesys/move/internal/transport"
@@ -92,6 +94,22 @@ type Config struct {
 	Seed int64
 	// OnDeliver, if set, receives every (document, matches) delivery.
 	OnDeliver func(doc *model.Document, matches []node.Match)
+	// ControlTimeout bounds coordinator control RPCs (stats pulls,
+	// allocation commands). Default 30s.
+	ControlTimeout time.Duration
+	// Resilience overrides the in-process retry/breaker policy. Nil uses
+	// a policy tuned for the in-memory fabric (1ms base backoff, 3
+	// attempts, 250ms breaker cooldown).
+	Resilience *resilience.Policy
+	// Fault, when set, wraps every node's transport in a fault-injecting
+	// decorator (per-node seeds derived from Fault.Seed). Coordinator
+	// control RPCs bypass injection — they model the paper's dedicated
+	// master node, not the data path.
+	Fault *transport.FaultConfig
+	// Metrics receives the cluster's resilience counters (rpc.retries,
+	// breaker.open, publish.failover, ...). Nil creates a private registry
+	// exposed via Cluster.Metrics.
+	Metrics *metrics.Registry
 }
 
 // Cluster is an in-process MOVE deployment over the in-memory transport.
@@ -107,6 +125,13 @@ type Cluster struct {
 	alive    map[ring.NodeID]bool
 	aliveMu  sync.RWMutex
 	entrySeq atomic.Uint64
+
+	// Resilience: one executor per node (wired into node.send) plus one for
+	// coordinator control RPCs; kept together so RecoverNodes can reset the
+	// breakers of a rejoining peer everywhere at once.
+	metrics   *metrics.Registry
+	executors []*resilience.Executor
+	coordExec *resilience.Executor
 
 	// Coordinator state (the paper's dedicated master node).
 	filterSeq   atomic.Uint64
@@ -187,9 +212,16 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.BloomCapacity == 0 {
 		cfg.BloomCapacity = 1 << 20
 	}
+	if cfg.ControlTimeout == 0 {
+		cfg.ControlTimeout = 30 * time.Second
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
 
 	c := &Cluster{
@@ -208,7 +240,17 @@ func New(cfg Config) (*Cluster, error) {
 		filterTerms:      make(map[model.FilterID][]string),
 		perNodeRecv:      make(map[ring.NodeID]int64),
 		perNodeRecvLocal: make(map[ring.NodeID]int64),
+		metrics:          reg,
 	}
+
+	basePolicy := clusterPolicy()
+	if cfg.Resilience != nil {
+		basePolicy = *cfg.Resilience
+	}
+	coordPolicy := basePolicy
+	coordPolicy.Seed = seed
+	c.coordExec = resilience.New(coordPolicy, reg)
+	c.executors = append(c.executors, c.coordExec)
 
 	for i := 0; i < cfg.Nodes; i++ {
 		id := ring.NodeID("node-" + strconv.Itoa(i))
@@ -216,6 +258,10 @@ func New(cfg Config) (*Cluster, error) {
 		if err := c.ring.Add(ring.Member{ID: id, Rack: rack}); err != nil {
 			return nil, err
 		}
+		pol := basePolicy
+		pol.Seed = seed + int64(i) + 1
+		ex := resilience.New(pol, reg)
+		c.executors = append(c.executors, ex)
 		nd, err := node.New(node.Config{
 			ID:         id,
 			Rack:       rack,
@@ -223,11 +269,21 @@ func New(cfg Config) (*Cluster, error) {
 			Seed:       seed + int64(i) + 1,
 			OnDeliver:  cfg.OnDeliver,
 			OnTransfer: c.recordTransfer,
+			Resilience: ex,
+			Metrics:    reg,
 		})
 		if err != nil {
 			return nil, err
 		}
-		tr := c.net.Join(id, nd.Handle)
+		var tr transport.Transport = c.net.Join(id, nd.Handle)
+		if cfg.Fault != nil {
+			fc := *cfg.Fault
+			if fc.Seed == 0 {
+				fc.Seed = 1
+			}
+			fc.Seed = fc.Seed*1000 + int64(i)
+			tr = transport.NewFaulty(tr, fc)
+		}
 		nd.Attach(tr)
 		c.nodes[id] = nd
 		c.nodeIDs = append(c.nodeIDs, id)
@@ -236,6 +292,25 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// clusterPolicy is the retry/breaker policy for the in-memory fabric: the
+// backoff is tight (handlers run on caller goroutines, so failures surface
+// in microseconds) and only availability errors are retried — an ErrRemote
+// means the peer answered and retrying would just repeat the answer.
+func clusterPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:      3,
+		BaseDelay:        time.Millisecond,
+		MaxDelay:         10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+		Retryable:        transport.IsAvailabilityError,
+	}
+}
+
+// Metrics exposes the cluster's resilience counters (rpc.retries,
+// rpc.giveups, breaker.open, publish.failover, publish.degraded, ...).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 
 // Scheme returns the configured scheme.
 func (c *Cluster) Scheme() Scheme { return c.cfg.Scheme }
@@ -353,16 +428,25 @@ func (c *Cluster) registerFilter(ctx context.Context, f model.Filter) ([]ring.No
 }
 
 // sendTo routes through an arbitrary live endpoint (the in-memory fabric
-// delivers directly).
+// delivers directly). Control RPCs run under the coordinator's resilience
+// executor: transient unavailability is retried with backoff, and a peer
+// that keeps failing trips a breaker so subsequent control rounds fail
+// fast instead of burning their timeout budget on it.
 func (c *Cluster) sendTo(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
 	nd, ok := c.nodes[to]
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown node %s: %w", to, ErrNoMatchPath)
 	}
-	if c.net.Failed(to) {
-		return nil, fmt.Errorf("cluster: node %s down: %w", to, transport.ErrNodeDown)
+	raw, err := resilience.DoValue(c.coordExec, ctx, string(to), func(ctx context.Context) ([]byte, error) {
+		if c.net.Failed(to) {
+			return nil, fmt.Errorf("cluster: node %s down: %w", to, transport.ErrNodeDown)
+		}
+		return nd.Handle(ctx, "coordinator", payload)
+	})
+	if err != nil && errors.Is(err, resilience.ErrOpen) {
+		err = fmt.Errorf("cluster: node %s: %w: %w", to, transport.ErrNodeDown, err)
 	}
-	return nd.Handle(ctx, "coordinator", payload)
+	return raw, err
 }
 
 // Unregister removes a filter's definition from every live node. The
@@ -381,16 +465,16 @@ func (c *Cluster) Unregister(ctx context.Context, id model.FilterID) error {
 		return fmt.Errorf("cluster: unregister %s: unknown filter", id)
 	}
 	payload := node.EncodeUnregister(id)
-	var firstErr error
+	var errs []error
 	for _, h := range c.nodeIDs {
 		if c.net.Failed(h) {
 			continue
 		}
-		if _, err := c.sendTo(ctx, h, payload); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cluster: unregister %s on %s: %w", id, h, err)
+		if _, err := c.sendTo(ctx, h, payload); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: unregister %s on %s: %w", id, h, err))
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // PublishResult reports one document's dissemination outcome.
@@ -405,6 +489,12 @@ type PublishResult struct {
 	PostingsScanned int
 	// PostingLists is the number of posting lists retrieved cluster-wide.
 	PostingLists int
+	// Degraded is true when some allocation-grid columns had no live
+	// replica in any partition row, so Matches may be missing that slice
+	// of the filter set (§VI.D availability under failure).
+	Degraded bool
+	// ColumnsLost counts grid columns no row could serve.
+	ColumnsLost int
 }
 
 // Publish disseminates one document. Terms must be preprocessed.
@@ -439,14 +529,52 @@ func (c *Cluster) publishInverted(ctx context.Context, doc *model.Document) (Pub
 	matches, total, err := entry.PublishEntry(ctx, doc)
 	res := PublishResult{
 		Matches:         matches,
-		Complete:        err == nil,
+		Complete:        err == nil && !total.Degraded,
 		PostingsScanned: total.PostingsScanned,
 		PostingLists:    total.PostingLists,
+		Degraded:        total.Degraded,
+		ColumnsLost:     total.ColumnsLost,
 	}
-	if err != nil && !errors.Is(err, transport.ErrNodeDown) && !errors.Is(err, transport.ErrRemote) {
+	// err may aggregate several per-destination failures (errors.Join). A
+	// join whose every leaf is an availability error is the expected shape
+	// of publishing into a partially-failed cluster: record it as an
+	// incomplete result, not a hard error. Anything else (decode errors,
+	// cancellation) propagates.
+	if err != nil && !availabilityOnly(err) {
 		return res, err
 	}
 	return res, nil
+}
+
+// availabilityOnly reports whether every leaf of a (possibly joined,
+// possibly wrapped) error tree is an availability-class failure: node
+// down, breaker open, attempt deadline, or a remote peer that failed the
+// request. errors.Is alone cannot answer this — on a joined error it
+// matches if ANY branch matches, while swallowing requires ALL.
+func availabilityOnly(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() []error }:
+		errs := u.Unwrap()
+		if len(errs) == 0 {
+			return false
+		}
+		for _, e := range errs {
+			if !availabilityOnly(e) {
+				return false
+			}
+		}
+		return true
+	case interface{ Unwrap() error }:
+		if inner := u.Unwrap(); inner != nil {
+			return availabilityOnly(inner)
+		}
+	}
+	// Leaf: no traversal left, so errors.Is is a plain comparison here.
+	return errors.Is(err, transport.ErrNodeDown) || errors.Is(err, transport.ErrRemote) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, resilience.ErrOpen)
 }
 
 // publishFlood implements RS: the document goes to every live node, each of
@@ -483,9 +611,11 @@ func (c *Cluster) publishFlood(ctx context.Context, doc *model.Document) (Publis
 
 	res := PublishResult{Complete: true}
 	seen := make(map[model.FilterID]struct{})
-	for _, r := range results {
+	var errs []error
+	for i, r := range results {
 		if r.err != nil {
 			res.Complete = false
+			errs = append(errs, fmt.Errorf("cluster: flood to %s: %w", c.nodeIDs[i], r.err))
 			continue
 		}
 		res.PostingsScanned += r.resp.PostingsScanned
@@ -500,6 +630,12 @@ func (c *Cluster) publishFlood(ctx context.Context, doc *model.Document) (Publis
 	}
 	if c.cfg.OnDeliver != nil && len(res.Matches) > 0 {
 		c.cfg.OnDeliver(doc, res.Matches)
+	}
+	// Same contract as publishInverted: successes are kept, unreachable
+	// nodes only cost completeness, and non-availability failures surface
+	// with every per-destination error joined.
+	if err := errors.Join(errs...); err != nil && !availabilityOnly(err) {
+		return res, err
 	}
 	return res, nil
 }
@@ -539,15 +675,16 @@ func (c *Cluster) RefreshBloom(ctx context.Context) error {
 		bf.Add(t)
 	}
 	payload := node.EncodeInstallBloom(bf.Marshal())
+	var errs []error
 	for _, id := range c.nodeIDs {
 		if c.net.Failed(id) {
 			continue
 		}
 		if _, err := c.sendTo(ctx, id, payload); err != nil {
-			return fmt.Errorf("cluster: install bloom on %s: %w", id, err)
+			errs = append(errs, fmt.Errorf("cluster: install bloom on %s: %w", id, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // FailNodes crashes the given nodes and evicts them from the ring, exactly
@@ -578,6 +715,12 @@ func (c *Cluster) RecoverNodes(ids ...ring.NodeID) {
 		c.alive[id] = true
 		if !c.ring.Contains(id) {
 			_ = c.ring.Add(ring.Member{ID: id, Rack: c.rackOf[id]})
+		}
+		// The gossip node-up signal: clear every sender's breaker for the
+		// rejoined peer so it is probed immediately instead of after the
+		// cooldown of a breaker that opened while it was dead.
+		for _, ex := range c.executors {
+			ex.Reset(string(id))
 		}
 	}
 }
@@ -673,7 +816,8 @@ func (c *Cluster) TotalFilters() int { return int(c.filterSeq.Load()) }
 // TotalDocs returns the number of published documents.
 func (c *Cluster) TotalDocs() int { return int(c.docSeq.Load()) }
 
-// withTimeout wraps a context for internal control RPCs.
-func withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
-	return context.WithTimeout(ctx, 30*time.Second)
+// withTimeout wraps a context for internal control RPCs with the
+// configured ControlTimeout.
+func (c *Cluster) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, c.cfg.ControlTimeout)
 }

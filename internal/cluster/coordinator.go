@@ -32,7 +32,7 @@ type NodeLoad struct {
 
 // PullLoads fetches the per-node statistics (live nodes only).
 func (c *Cluster) PullLoads(ctx context.Context) ([]NodeLoad, error) {
-	ctx, cancel := withTimeout(ctx)
+	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	out := make([]NodeLoad, 0, len(c.nodeIDs))
 	for _, id := range c.nodeIDs {
@@ -85,7 +85,7 @@ func (c *Cluster) Allocate(ctx context.Context) (AllocationReport, error) {
 	if c.cfg.Scheme != SchemeMove {
 		return AllocationReport{}, fmt.Errorf("%w: allocation requires SchemeMove, have %v", ErrBadConfig, c.cfg.Scheme)
 	}
-	ctx, cancel := withTimeout(ctx)
+	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 
 	loads, err := c.PullLoads(ctx)
@@ -174,7 +174,7 @@ func (c *Cluster) AllocateByTerm(ctx context.Context, topK int) (AllocationRepor
 	if topK < 1 {
 		return AllocationReport{}, fmt.Errorf("%w: topK=%d", ErrBadConfig, topK)
 	}
-	ctx, cancel := withTimeout(ctx)
+	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 
 	P := c.TotalFilters()

@@ -13,6 +13,7 @@ import (
 	"github.com/movesys/move/internal/index"
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/resilience"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/store"
 	"github.com/movesys/move/internal/transport"
@@ -46,6 +47,13 @@ type Config struct {
 	// (entry→home and home→grid-row). The cluster cost model uses it to
 	// charge y_d with rack locality taken into account.
 	OnTransfer func(from, to ring.NodeID)
+	// Resilience, if set, applies retries with backoff and per-destination
+	// circuit breaking to every outbound RPC; nil sends straight through
+	// (single attempt, no breaker).
+	Resilience *resilience.Executor
+	// Metrics receives the node's failover counters (publish.failover,
+	// publish.degraded); nil creates a private registry.
+	Metrics *metrics.Registry
 }
 
 // Node is one MOVE server.
@@ -69,11 +77,19 @@ type Node struct {
 	// mail holds subscriber mailboxes for network-polling clients.
 	mail *mailboxes
 
+	// res, when non-nil, wraps outbound RPCs in retries and breakers.
+	res *resilience.Executor
+
 	// Counters for §V statistics and Figure 9 load accounting.
 	docsProcessed   metrics.Counter
 	postingsScanned metrics.Counter
 	postingLists    metrics.Counter
 	homePublishes   metrics.Counter
+
+	// Failure-handling observability (§VI.D): replica-row failovers and
+	// degraded (partial-coverage) publishes.
+	failoverC *metrics.Counter
+	degradedC *metrics.Counter
 }
 
 // New builds a node. Call Attach to connect it to a transport before use.
@@ -101,12 +117,19 @@ func New(cfg Config) (*Node, error) {
 	if seed == 0 {
 		seed = int64(ring.HashKey(string(cfg.ID) + "/rng"))
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Node{
 		cfg:       cfg,
 		ix:        ix,
 		termGrids: make(map[string]*alloc.Grid),
 		mail:      newMailboxes(),
 		rng:       rand.New(rand.NewSource(seed)),
+		res:       cfg.Resilience,
+		failoverC: reg.Counter("publish.failover"),
+		degradedC: reg.Counter("publish.degraded"),
 	}, nil
 }
 
@@ -126,7 +149,10 @@ func (n *Node) Rack() string { return n.cfg.Rack }
 // Index exposes the local filter index (tests, load accounting).
 func (n *Node) Index() *index.Index { return n.ix }
 
-// send issues an RPC through the attached transport.
+// send issues an RPC through the attached transport, applying the
+// resilience policy (retries, backoff, per-destination breaker) when one
+// is configured. A breaker-open fast-fail is surfaced as ErrNodeDown so
+// callers treat it like any other unreachable peer.
 func (n *Node) send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
 	n.trMu.RLock()
 	tr := n.tr
@@ -138,7 +164,16 @@ func (n *Node) send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte
 		// Local fast path: skip the network for self-addressed requests.
 		return n.Handle(ctx, n.cfg.ID, payload)
 	}
-	return tr.Send(ctx, to, payload)
+	if n.res == nil {
+		return tr.Send(ctx, to, payload)
+	}
+	raw, err := resilience.DoValue(n.res, ctx, string(to), func(ctx context.Context) ([]byte, error) {
+		return tr.Send(ctx, to, payload)
+	})
+	if err != nil && errors.Is(err, resilience.ErrOpen) {
+		err = fmt.Errorf("node %s: %s: %w: %w", n.cfg.ID, to, transport.ErrNodeDown, err)
+	}
+	return raw, err
 }
 
 // Handle is the node's transport handler: it dispatches on the message
@@ -316,20 +351,23 @@ type termGridRef struct {
 }
 
 // forwardToGridColumn copies one registration onto its grid column across
-// all partition rows.
+// all partition rows. Every row is attempted even when one fails — a dead
+// replica must not prevent the live rows from receiving the filter — and
+// the per-row errors are aggregated.
 func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, req RegisterReq) error {
 	col := g.Column(req.Filter.ID)
 	payload := EncodeMigrate(MigrateReq{Entries: []RegisterReq{req}})
+	var errs []error
 	for row := 0; row < g.Rows(); row++ {
 		target := g.Node(row, col)
 		if target == n.cfg.ID {
 			continue
 		}
 		if _, err := n.send(ctx, target, payload); err != nil {
-			return fmt.Errorf("node %s: forward registration to grid node %s: %w", n.cfg.ID, target, err)
+			errs = append(errs, fmt.Errorf("node %s: forward registration to grid node %s: %w", n.cfg.ID, target, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // handleMigrate installs a batch of allocated filters.
@@ -391,50 +429,59 @@ func (n *Node) handlePublish(ctx context.Context, req PublishReq) (MatchResp, er
 		return n.matchLocal(&req.Doc, req.Term)
 	}
 
-	// Try partitions in random order until one row fully answers; replica
-	// rows make the match available under node failures (§VI.D).
-	rows := grid.Rows()
 	n.mu.Lock()
 	first := grid.PickRow(req.Doc.ID, n.rng)
 	n.mu.Unlock()
 	payload := EncodePublish(msgPublishLocal, req)
-	var lastErr error
-	for attempt := 0; attempt < rows; attempt++ {
-		row := (first + attempt) % rows
-		resp, err := n.fanOutRow(ctx, grid, row, &req, payload)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-	}
-	return MatchResp{}, fmt.Errorf("node %s: all %d partitions failed: %w", n.cfg.ID, rows, lastErr)
+	return n.fanOutRow(ctx, grid, first, payload)
 }
 
-// fanOutRow sends the document to every node of one partition row in
-// parallel and merges their matches.
-func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, row int, req *PublishReq, payload []byte) (MatchResp, error) {
-	nodes := grid.RowNodes(row)
-	type result struct {
+// fanOutRow dispatches the document to the chosen partition row, one RPC
+// per grid column in parallel. A column whose node is unreachable (after
+// the transport's retry policy) fails over to the same column of the next
+// row — every row holds a full replica of the unit's filter set, and
+// column c of every row stores the same filter subset, so the re-route
+// preserves the exact match set (§VI.D). A column with no live replica in
+// any row is reported through Degraded/ColumnsLost instead of failing the
+// whole publish.
+func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, payload []byte) (MatchResp, error) {
+	rows, cols := grid.Rows(), grid.Cols()
+	type colResult struct {
 		resp MatchResp
-		err  error
+		err  error // non-availability failure: fatal for the publish
+		lost bool  // no row could serve this column
 	}
-	results := make([]result, len(nodes))
+	results := make([]colResult, cols)
 	var wg sync.WaitGroup
-	for i, id := range nodes {
-		if n.cfg.OnTransfer != nil {
-			n.cfg.OnTransfer(n.cfg.ID, id)
-		}
+	for col := 0; col < cols; col++ {
 		wg.Add(1)
-		go func(i int, id ring.NodeID) {
+		go func(col int) {
 			defer wg.Done()
-			raw, err := n.send(ctx, id, payload)
-			if err != nil {
-				results[i] = result{err: err}
-				return
+			for attempt := 0; attempt < rows; attempt++ {
+				target := grid.Node((first+attempt)%rows, col)
+				if n.cfg.OnTransfer != nil {
+					n.cfg.OnTransfer(n.cfg.ID, target)
+				}
+				raw, err := n.send(ctx, target, payload)
+				if err == nil {
+					resp, derr := DecodeMatchResp(raw)
+					if derr != nil {
+						results[col] = colResult{err: derr}
+						return
+					}
+					if attempt > 0 {
+						n.failoverC.Inc()
+					}
+					results[col] = colResult{resp: resp}
+					return
+				}
+				if !transport.IsAvailabilityError(err) {
+					results[col] = colResult{err: err}
+					return
+				}
 			}
-			resp, err := DecodeMatchResp(raw)
-			results[i] = result{resp: resp, err: err}
-		}(i, id)
+			results[col] = colResult{lost: true}
+		}(col)
 	}
 	wg.Wait()
 
@@ -443,9 +490,17 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, row int, req *Pu
 		if res.err != nil {
 			return MatchResp{}, res.err
 		}
+		if res.lost {
+			merged.Degraded = true
+			merged.ColumnsLost++
+			continue
+		}
 		merged.Matches = append(merged.Matches, res.resp.Matches...)
 		merged.PostingsScanned += res.resp.PostingsScanned
 		merged.PostingLists += res.resp.PostingLists
+	}
+	if merged.Degraded {
+		n.degradedC.Inc()
 	}
 	return merged, nil
 }
@@ -542,18 +597,18 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 	wg.Wait()
 
 	var total MatchResp
-	var firstErr error
+	var errs []error
 	seen := make(map[model.FilterID]struct{})
 	var matches []Match
 	for _, res := range results {
 		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
+			errs = append(errs, res.err)
 			continue
 		}
 		total.PostingsScanned += res.resp.PostingsScanned
 		total.PostingLists += res.resp.PostingLists
+		total.Degraded = total.Degraded || res.resp.Degraded
+		total.ColumnsLost += res.resp.ColumnsLost
 		for _, m := range res.resp.Matches {
 			if _, dup := seen[m.Filter]; dup {
 				continue
@@ -565,9 +620,9 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 	if n.cfg.OnDeliver != nil && len(matches) > 0 {
 		n.cfg.OnDeliver(doc, matches)
 	}
-	// Partial failure: report what matched alongside the error so the
-	// caller can account availability (Figure 9 c–d).
-	return matches, total, firstErr
+	// Partial failure: report what matched alongside the aggregated
+	// per-term errors so the caller can account availability (Fig. 9 c–d).
+	return matches, total, errors.Join(errs...)
 }
 
 // migrateBatch caps the number of filters per msgMigrate frame.
@@ -624,8 +679,11 @@ func (n *Node) BuildAllocation(ctx context.Context, epoch uint64, g *alloc.Grid)
 
 // sendMigrations ships batched filter copies, charging one transfer per
 // copy so the passive-policy cost (§V: migration "further aggravates the
-// workload of the home node") is visible to the cost model.
+// workload of the home node") is visible to the cost model. One dead
+// target does not abort the other targets' migrations; the per-target
+// errors are aggregated.
 func (n *Node) sendMigrations(ctx context.Context, epoch uint64, batches map[ring.NodeID][]RegisterReq) error {
+	var errs []error
 	for target, entries := range batches {
 		if n.cfg.OnTransfer != nil {
 			for range entries {
@@ -639,11 +697,12 @@ func (n *Node) sendMigrations(ctx context.Context, epoch uint64, batches map[rin
 			}
 			payload := EncodeMigrate(MigrateReq{Epoch: epoch, Entries: entries[start:end]})
 			if _, err := n.send(ctx, target, payload); err != nil {
-				return fmt.Errorf("node %s: migrate to %s: %w", n.cfg.ID, target, err)
+				errs = append(errs, fmt.Errorf("node %s: migrate to %s: %w", n.cfg.ID, target, err))
+				break // the target is unreachable; skip its remaining batches
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // InstallTermGrid installs a grid for one specific term.

@@ -249,21 +249,31 @@ func TestGridFailoverToReplicaRow(t *testing.T) {
 		h.net.Fail(id)
 	}
 	doc := &model.Document{ID: 5, Terms: []string{"hot"}}
-	matches, _, err := h.nodes[0].PublishEntry(context.Background(), doc)
+	matches, total, err := h.nodes[0].PublishEntry(context.Background(), doc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(matches) != 10 {
 		t.Fatalf("matches = %d, want 10 after failover", len(matches))
 	}
+	if total.Degraded || total.ColumnsLost != 0 {
+		t.Fatalf("failover result degraded=%v lost=%d, want full coverage", total.Degraded, total.ColumnsLost)
+	}
 
-	// Kill row 1 as well: the publish must now fail.
+	// Kill row 1 as well: with no live replica in any row the publish
+	// reports the lost columns instead of failing outright.
 	for _, id := range grid.RowNodes(1) {
 		h.net.Fail(id)
 	}
-	_, _, err = h.nodes[0].PublishEntry(context.Background(), &model.Document{ID: 6, Terms: []string{"hot"}})
-	if err == nil {
-		t.Fatal("expected error with all partitions down")
+	matches, total, err = h.nodes[0].PublishEntry(context.Background(), &model.Document{ID: 6, Terms: []string{"hot"}})
+	if err != nil {
+		t.Fatalf("all-rows-down publish = %v, want degraded result instead of error", err)
+	}
+	if !total.Degraded || total.ColumnsLost != 2 {
+		t.Fatalf("degraded=%v lost=%d, want degraded with 2 lost columns", total.Degraded, total.ColumnsLost)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("matches = %d with every grid replica down, want 0", len(matches))
 	}
 }
 

@@ -142,6 +142,13 @@ type MatchResp struct {
 	PostingsScanned int
 	// PostingLists is the number of posting lists retrieved.
 	PostingLists int
+	// Degraded is true when some grid columns had no live replica in any
+	// partition row, so Matches may be missing that slice of the filter
+	// set (§VI.D availability under failure).
+	Degraded bool
+	// ColumnsLost counts the grid columns whose filters could not be
+	// matched by any row.
+	ColumnsLost int
 }
 
 // EncodeMatchResp serializes a MatchResp.
@@ -154,6 +161,8 @@ func EncodeMatchResp(resp MatchResp) []byte {
 	}
 	w.Uvarint(uint64(resp.PostingsScanned))
 	w.Uvarint(uint64(resp.PostingLists))
+	w.Bool(resp.Degraded)
+	w.Uvarint(uint64(resp.ColumnsLost))
 	return w.Bytes()
 }
 
@@ -190,6 +199,14 @@ func DecodeMatchResp(data []byte) (MatchResp, error) {
 	}
 	resp.PostingsScanned = int(scanned)
 	resp.PostingLists = int(lists)
+	if resp.Degraded, err = r.Bool(); err != nil {
+		return resp, err
+	}
+	lost, err := r.Uvarint()
+	if err != nil {
+		return resp, err
+	}
+	resp.ColumnsLost = int(lost)
 	return resp, nil
 }
 

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState int
+
+// The three classic breaker states.
+const (
+	// StateClosed passes every call through.
+	StateClosed BreakerState = iota
+	// StateOpen rejects every call until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen admits a bounded number of probe calls; one success
+	// closes the breaker, one failure re-opens it.
+	StateHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes one Breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker.
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many probe calls a half-open breaker admits
+	// before rejecting again.
+	HalfOpenProbes int
+}
+
+// Breaker is a per-destination circuit breaker. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probes   int
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 1
+	}
+	if cfg.HalfOpenProbes < 1 {
+		cfg.HalfOpenProbes = 1
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed, consuming a probe slot when
+// half-open. An open breaker whose cooldown elapsed transitions to
+// half-open on the way.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if time.Since(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probes = b.cfg.HalfOpenProbes
+		fallthrough
+	default: // StateHalfOpen
+		if b.probes > 0 {
+			b.probes--
+			return true
+		}
+		return false
+	}
+}
+
+// RecordSuccess closes the breaker and clears the failure streak.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateClosed
+	b.failures = 0
+}
+
+// RecordFailure notes one availability failure; the return value is true
+// exactly when this call transitioned the breaker to open (a half-open
+// probe failure re-opens immediately; a closed breaker opens at the
+// threshold).
+func (b *Breaker) RecordFailure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = time.Now()
+		return true
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = StateOpen
+			b.openedAt = time.Now()
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the current state without consuming probes (an open
+// breaker past its cooldown reports half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && time.Since(b.openedAt) >= b.cfg.Cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Reset force-closes the breaker.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateClosed
+	b.failures = 0
+	b.probes = 0
+}

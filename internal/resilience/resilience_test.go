@@ -1,0 +1,254 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/metrics"
+)
+
+var errFlaky = errors.New("flaky")
+
+// fastPolicy keeps test wall-clock time negligible.
+func fastPolicy() Policy {
+	return Policy{
+		MaxAttempts:      3,
+		BaseDelay:        time.Microsecond,
+		MaxDelay:         10 * time.Microsecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  20 * time.Millisecond,
+		Seed:             42,
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := New(fastPolicy(), reg)
+	calls := 0
+	err := e.Do(context.Background(), "n1", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success on third attempt", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if got := reg.Counter("rpc.retries").Value(); got != 2 {
+		t.Fatalf("rpc.retries = %d, want 2", got)
+	}
+	if got := reg.Counter("rpc.giveups").Value(); got != 0 {
+		t.Fatalf("rpc.giveups = %d, want 0", got)
+	}
+}
+
+func TestGiveUpAfterMaxAttempts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := New(fastPolicy(), reg)
+	calls := 0
+	err := e.Do(context.Background(), "n1", func(context.Context) error {
+		calls++
+		return errFlaky
+	})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("Do = %v, want errFlaky", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want MaxAttempts=3", calls)
+	}
+	if got := reg.Counter("rpc.giveups").Value(); got != 1 {
+		t.Fatalf("rpc.giveups = %d, want 1", got)
+	}
+}
+
+func TestNonRetryableReturnsImmediately(t *testing.T) {
+	p := fastPolicy()
+	appErr := errors.New("bad request")
+	p.Retryable = func(err error) bool { return !errors.Is(err, appErr) }
+	e := New(p, nil)
+	calls := 0
+	err := e.Do(context.Background(), "n1", func(context.Context) error {
+		calls++
+		return appErr
+	})
+	if !errors.Is(err, appErr) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want appErr after 1", err, calls)
+	}
+	// Application errors must not trip the breaker: the peer answered.
+	if st := e.State("n1"); st != StateClosed {
+		t.Fatalf("breaker state = %v, want closed", st)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := New(fastPolicy(), reg)
+	// One failing call makes MaxAttempts=3 consecutive failures — exactly
+	// the breaker threshold.
+	_ = e.Do(context.Background(), "n1", func(context.Context) error { return errFlaky })
+	if st := e.State("n1"); st != StateOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	if got := reg.Counter("breaker.open").Value(); got == 0 {
+		t.Fatal("breaker.open counter not incremented")
+	}
+
+	// While open: fail fast without invoking the call.
+	calls := 0
+	err := e.Do(context.Background(), "n1", func(context.Context) error { calls++; return nil })
+	if !errors.Is(err, ErrOpen) || calls != 0 {
+		t.Fatalf("Do = %v with %d calls, want ErrOpen with 0", err, calls)
+	}
+	if got := reg.Counter("breaker.fastfail").Value(); got != 1 {
+		t.Fatalf("breaker.fastfail = %d, want 1", got)
+	}
+
+	// After the cooldown a half-open probe succeeds and closes the breaker.
+	time.Sleep(25 * time.Millisecond)
+	if err := e.Do(context.Background(), "n1", func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe Do = %v, want success", err)
+	}
+	if st := e.State("n1"); st != StateClosed {
+		t.Fatalf("breaker state after probe = %v, want closed", st)
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Millisecond, HalfOpenProbes: 1})
+	if b.RecordFailure() != true {
+		t.Fatal("first failure should open a threshold-1 breaker")
+	}
+	time.Sleep(12 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker should admit one probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker should admit only one probe")
+	}
+	if !b.RecordFailure() {
+		t.Fatal("failed probe should re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker should reject")
+	}
+}
+
+func TestResetClosesBreaker(t *testing.T) {
+	e := New(fastPolicy(), nil)
+	_ = e.Do(context.Background(), "n1", func(context.Context) error { return errFlaky })
+	if e.State("n1") != StateOpen {
+		t.Fatal("breaker should be open")
+	}
+	e.Reset("n1")
+	if e.State("n1") != StateClosed {
+		t.Fatal("Reset should close the breaker")
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	p := fastPolicy()
+	p.RetryBudget = 2
+	reg := metrics.NewRegistry()
+	e := New(p, reg)
+	calls := 0
+	// First call burns both retry tokens (2 retries), opening nothing new;
+	// use distinct destinations so the breaker does not interfere.
+	_ = e.Do(context.Background(), "a", func(context.Context) error { calls++; return errFlaky })
+	if calls != 3 {
+		t.Fatalf("first call attempts = %d, want 3", calls)
+	}
+	calls = 0
+	_ = e.Do(context.Background(), "b", func(context.Context) error { calls++; return errFlaky })
+	if calls != 1 {
+		t.Fatalf("budget-exhausted call attempts = %d, want 1 (no retries)", calls)
+	}
+	// Successes refund the budget: after two first-attempt successes a
+	// retry token is available again.
+	_ = e.Do(context.Background(), "c", func(context.Context) error { return nil })
+	_ = e.Do(context.Background(), "d", func(context.Context) error { return nil })
+	calls = 0
+	_ = e.Do(context.Background(), "e", func(context.Context) error { calls++; return errFlaky })
+	if calls != 2 {
+		t.Fatalf("post-refund call attempts = %d, want 2", calls)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	e := New(fastPolicy(), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := e.Do(ctx, "n1", func(context.Context) error {
+		calls++
+		cancel()
+		return errFlaky
+	})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("Do = %v, want last error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancel)", calls)
+	}
+}
+
+func TestAttemptTimeoutAppliesPerAttempt(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	p.AttemptTimeout = 5 * time.Millisecond
+	p.Retryable = func(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+	e := New(p, nil)
+	calls := 0
+	err := e.Do(context.Background(), "n1", func(ctx context.Context) error {
+		calls++
+		<-ctx.Done() // simulate a hung peer; the attempt deadline fires
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want deadline exceeded", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (hung attempt retried once)", calls)
+	}
+}
+
+func TestDoValueReturnsResult(t *testing.T) {
+	e := New(fastPolicy(), nil)
+	calls := 0
+	v, err := DoValue(e, context.Background(), "n1", func(context.Context) (int, error) {
+		calls++
+		if calls < 2 {
+			return 0, errFlaky
+		}
+		return 41 + 1, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("DoValue = (%d, %v), want (42, nil)", v, err)
+	}
+}
+
+func TestExecutorConcurrentUse(t *testing.T) {
+	e := New(fastPolicy(), nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dest := string(rune('a' + i%4))
+			for j := 0; j < 50; j++ {
+				_ = e.Do(context.Background(), dest, func(context.Context) error {
+					if j%3 == 0 {
+						return errFlaky
+					}
+					return nil
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+}

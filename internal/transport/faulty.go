@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/movesys/move/internal/ring"
+)
+
+// ErrInjected marks a failure produced by the Faulty decorator rather than
+// the underlying fabric, so tests can tell scripted faults from real ones.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultProbs sets the per-send probabilities of each fault class on one
+// link. Probabilities are independent draws in [0, 1].
+type FaultProbs struct {
+	// Drop loses the request before delivery; the send fails with
+	// ErrInjected wrapping ErrNodeDown (indistinguishable from a dead
+	// peer, which is how a lost message looks to the sender).
+	Drop float64
+	// Delay adds DelayFor of extra latency before delivery.
+	Delay float64
+	// DelayFor is the added latency for Delay hits (default 1ms).
+	DelayFor time.Duration
+	// Error delivers the request but loses the response: the handler runs,
+	// yet the send returns ErrInjected wrapping ErrNodeDown — the
+	// ambiguous at-most-once failure that retry layers must tolerate.
+	Error float64
+	// Duplicate delivers the request twice (the first response is
+	// discarded), modeling a retransmit racing a slow ack; handlers must
+	// be idempotent to survive it.
+	Duplicate float64
+}
+
+// zero reports whether no fault class is enabled.
+func (p FaultProbs) zero() bool {
+	return p.Drop == 0 && p.Delay == 0 && p.Error == 0 && p.Duplicate == 0
+}
+
+// FaultConfig parameterizes a Faulty decorator.
+type FaultConfig struct {
+	// Seed makes the fault schedule deterministic; zero uses 1.
+	Seed int64
+	// Default applies to every link without a per-link override.
+	Default FaultProbs
+	// Links overrides Default for specific destinations (the link is
+	// local endpoint → destination).
+	Links map[ring.NodeID]FaultProbs
+}
+
+// Faulty wraps any Transport with seeded, probabilistic fault injection so
+// the same fault schedule can run against both the in-memory fabric and
+// TCP. It implements Transport.
+type Faulty struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Transport = (*Faulty)(nil)
+
+// NewFaulty decorates inner with the configured fault schedule.
+func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Self returns the inner endpoint's ID.
+func (f *Faulty) Self() ring.NodeID { return f.inner.Self() }
+
+// Close closes the inner endpoint.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// probs resolves the fault probabilities for the link to `to`.
+func (f *Faulty) probs(to ring.NodeID) FaultProbs {
+	if p, ok := f.cfg.Links[to]; ok {
+		return p
+	}
+	return f.cfg.Default
+}
+
+// Send applies the link's fault schedule around the inner Send. All four
+// random draws happen on every send so the schedule for a given seed is
+// independent of which probabilities are enabled.
+func (f *Faulty) Send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
+	p := f.probs(to)
+	f.mu.Lock()
+	drop := f.rng.Float64() < p.Drop
+	delay := f.rng.Float64() < p.Delay
+	loseResp := f.rng.Float64() < p.Error
+	dup := f.rng.Float64() < p.Duplicate
+	f.mu.Unlock()
+	if p.zero() {
+		return f.inner.Send(ctx, to, payload)
+	}
+
+	if drop {
+		return nil, fmt.Errorf("fault: dropped %s->%s: %w: %w", f.Self(), to, ErrInjected, ErrNodeDown)
+	}
+	if delay {
+		d := p.DelayFor
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if dup {
+		// Duplicate delivery: the redundant copy's response (and error) is
+		// discarded, as a retransmitted datagram's would be.
+		_, _ = f.inner.Send(ctx, to, payload)
+	}
+	resp, err := f.inner.Send(ctx, to, payload)
+	if err != nil {
+		return nil, err
+	}
+	if loseResp {
+		return nil, fmt.Errorf("fault: response lost %s->%s: %w: %w", f.Self(), to, ErrInjected, ErrNodeDown)
+	}
+	return resp, nil
+}

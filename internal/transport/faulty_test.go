@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/ring"
+)
+
+// faultHarness joins two memnet nodes and wraps a's endpoint in Faulty.
+func faultHarness(t *testing.T, cfg FaultConfig) (*Faulty, *atomic.Int64) {
+	t.Helper()
+	net := NewNetwork(NetworkConfig{})
+	var handled atomic.Int64
+	net.Join("b", func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		handled.Add(1)
+		return []byte("ok"), nil
+	})
+	ep := net.Join("a", func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		return nil, nil
+	})
+	return NewFaulty(ep, cfg), &handled
+}
+
+func TestFaultyPassthroughWhenZero(t *testing.T) {
+	ft, handled := faultHarness(t, FaultConfig{Seed: 7})
+	for i := 0; i < 10; i++ {
+		resp, err := ft.Send(context.Background(), "b", []byte("x"))
+		if err != nil || string(resp) != "ok" {
+			t.Fatalf("Send = (%q, %v), want (ok, nil)", resp, err)
+		}
+	}
+	if handled.Load() != 10 {
+		t.Fatalf("handled = %d, want 10", handled.Load())
+	}
+}
+
+func TestFaultyDropIsDeterministicAndNodeDown(t *testing.T) {
+	run := func() (drops int, err1 error) {
+		ft, _ := faultHarness(t, FaultConfig{Seed: 7, Default: FaultProbs{Drop: 0.5}})
+		for i := 0; i < 100; i++ {
+			if _, err := ft.Send(context.Background(), "b", []byte("x")); err != nil {
+				drops++
+				if err1 == nil {
+					err1 = err
+				}
+			}
+		}
+		return drops, err1
+	}
+	d1, err := run()
+	d2, _ := run()
+	if d1 != d2 {
+		t.Fatalf("same seed gave %d then %d drops", d1, d2)
+	}
+	if d1 < 30 || d1 > 70 {
+		t.Fatalf("drops = %d/100 at p=0.5, want ~50", d1)
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("drop error %v should wrap ErrInjected and ErrNodeDown", err)
+	}
+}
+
+func TestFaultyDuplicateInvokesHandlerTwice(t *testing.T) {
+	ft, handled := faultHarness(t, FaultConfig{Seed: 7, Default: FaultProbs{Duplicate: 1}})
+	resp, err := ft.Send(context.Background(), "b", []byte("x"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("Send = (%q, %v), want (ok, nil)", resp, err)
+	}
+	if handled.Load() != 2 {
+		t.Fatalf("handled = %d, want 2 (duplicate delivery)", handled.Load())
+	}
+}
+
+func TestFaultyErrorDeliversButLosesResponse(t *testing.T) {
+	ft, handled := faultHarness(t, FaultConfig{Seed: 7, Default: FaultProbs{Error: 1}})
+	_, err := ft.Send(context.Background(), "b", []byte("x"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Send err = %v, want injected node-down", err)
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("handled = %d, want 1 (request delivered despite lost response)", handled.Load())
+	}
+}
+
+func TestFaultyDelayRespectsContext(t *testing.T) {
+	ft, handled := faultHarness(t, FaultConfig{Seed: 7, Default: FaultProbs{Delay: 1, DelayFor: time.Minute}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ft.Send(ctx, "b", []byte("x"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Send err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("delayed Send did not honor context cancellation")
+	}
+	if handled.Load() != 0 {
+		t.Fatal("canceled delayed Send still delivered")
+	}
+}
+
+func TestFaultyPerLinkOverride(t *testing.T) {
+	ft, _ := faultHarness(t, FaultConfig{
+		Seed:    7,
+		Default: FaultProbs{Drop: 1},
+		Links:   map[ring.NodeID]FaultProbs{"b": {}},
+	})
+	// The per-link override clears the default drop for b. An all-zero
+	// override means passthrough.
+	if _, err := ft.Send(context.Background(), "b", []byte("x")); err != nil {
+		t.Fatalf("Send with clean per-link override = %v, want nil", err)
+	}
+}

@@ -137,6 +137,11 @@ func (e *memEndpoint) Send(ctx context.Context, to ring.NodeID, payload []byte) 
 	if closed {
 		return nil, ErrClosed
 	}
+	// A canceled context must fail fast — in particular it must never wait
+	// out the injected latency below.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dst, err := e.net.lookup(e.id, to)
 	if err != nil {
 		return nil, err

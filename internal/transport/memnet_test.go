@@ -177,3 +177,37 @@ func TestMemNetRejoinReplacesEndpoint(t *testing.T) {
 		t.Fatalf("resp = %q, want v2 (rejoin should replace handler)", resp)
 	}
 }
+
+// TestMemnetSendCancellation: a canceled Send must return promptly instead
+// of waiting out the injected latency, and a context canceled before the
+// call must not be delivered at all.
+func TestMemnetSendCancellation(t *testing.T) {
+	net := NewNetwork(NetworkConfig{Latency: time.Minute})
+	delivered := 0
+	net.Join("b", func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		delivered++
+		return nil, nil
+	})
+	ep := net.Join("a", func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		return nil, nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := ep.Send(ctx, "b", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Send with pre-canceled ctx = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	if _, err := ep.Send(ctx2, "b", []byte("x")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Send under latency = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, latency sleep not interrupted", elapsed)
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", delivered)
+	}
+}

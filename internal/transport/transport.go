@@ -13,6 +13,14 @@ import (
 	"github.com/movesys/move/internal/ring"
 )
 
+// IsAvailabilityError reports whether err signals that the peer may be
+// unreachable (down, partitioned, or timed out) rather than a remote
+// handler failure — the class of error worth retrying or failing over.
+// Context cancellation is excluded: the caller gave up, the peer did not.
+func IsAvailabilityError(err error) bool {
+	return errors.Is(err, ErrNodeDown) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Handler processes one inbound request and returns the response payload.
 // Handlers must be safe for concurrent use.
 type Handler func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error)

@@ -155,6 +155,12 @@ type PublishReceipt struct {
 	Matched int
 	// Complete is false when node failures prevented finding all matches.
 	Complete bool
+	// Degraded is true when some allocation-grid columns had no live
+	// replica in any partition row: the publish succeeded but Matched may
+	// be missing that slice of the filter population.
+	Degraded bool
+	// ColumnsLost counts the unreachable grid columns behind Degraded.
+	ColumnsLost int
 }
 
 // Cluster is an embedded MOVE deployment.
@@ -299,10 +305,19 @@ func (c *Cluster) PublishTerms(terms []string) (PublishReceipt, error) {
 		return PublishReceipt{}, fmt.Errorf("move: publish: %w", err)
 	}
 	return PublishReceipt{
-		DocID:    uint64(c.inner.TotalDocs()),
-		Matched:  len(res.Matches),
-		Complete: res.Complete,
+		DocID:       uint64(c.inner.TotalDocs()),
+		Matched:     len(res.Matches),
+		Complete:    res.Complete,
+		Degraded:    res.Degraded,
+		ColumnsLost: res.ColumnsLost,
 	}, nil
+}
+
+// Metrics snapshots the cluster's resilience counters: rpc.retries,
+// rpc.giveups, breaker.open, breaker.fastfail, publish.failover,
+// publish.degraded.
+func (c *Cluster) Metrics() map[string]int64 {
+	return c.inner.Metrics().Snapshot()
 }
 
 // Allocate runs one §IV allocation round: the coordinator aggregates node
