@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench fuzz-smoke bench-publish ci
 
 build:
 	$(GO) build ./...
@@ -17,4 +17,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-ci: vet build race
+# Short native-fuzzing runs of every checked-in fuzz target — enough to
+# shake out regressions in the codec and tokenizer invariants on each CI
+# run without burning minutes.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzCodecRoundTrip -fuzztime=10s ./internal/codec
+	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/text
+
+# Regenerate the checked-in publish-latency baseline (BENCH_publish.json):
+# e2e publish p50/p95/p99 plus match throughput on the calibrated workload.
+bench-publish:
+	$(GO) run ./cmd/movebench -fig bench -out BENCH_publish.json
+
+ci: vet build race fuzz-smoke

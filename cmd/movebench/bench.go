@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/movesys/move/internal/cluster"
+	"github.com/movesys/move/internal/dataset"
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/model"
+)
+
+// benchReport is the JSON document `movebench -fig bench` writes: the
+// end-to-end publish latency distribution plus match throughput for a
+// MOVE cluster under an MSN/TREC-calibrated workload. Checked into the
+// repo as BENCH_publish.json so PRs carry a latency baseline.
+type benchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	Scheme      string `json:"scheme"`
+	Nodes       int    `json:"nodes"`
+	Filters     int    `json:"filters"`
+	Docs        int    `json:"docs"`
+	Seed        int64  `json:"seed"`
+
+	// PublishE2E is the node-side publish.e2e latency histogram (ns).
+	PublishE2E metrics.HistogramSnapshot `json:"publish_e2e"`
+	// PublishFanout is the per-term home-RPC latency histogram (ns).
+	PublishFanout metrics.HistogramSnapshot `json:"publish_fanout"`
+
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	DocsPerSec     float64 `json:"docs_per_sec"`
+	MatchesTotal   int64   `json:"matches_total"`
+	MatchesPerSec  float64 `json:"matches_per_sec"`
+	FiltersMatched int64   `json:"filters_matched"`
+
+	Counters map[string]int64 `json:"counters"`
+}
+
+// runBench publishes a calibrated workload through an in-process MOVE
+// cluster and writes the latency/throughput report to outPath.
+func runBench(outPath string, nodes, filters, docs int, seed int64) error {
+	c, err := cluster.New(cluster.Config{
+		Scheme: cluster.SchemeMove,
+		Nodes:  nodes,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	fg, err := dataset.NewFilterGen(dataset.FilterConfig{DistinctTerms: 20_000, Seed: seed})
+	if err != nil {
+		return err
+	}
+	dg, err := dataset.NewDocGen(dataset.CorpusConfig{
+		Kind: dataset.CorpusWT, DistinctTerms: 20_000, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	for i := 0; i < filters; i++ {
+		if _, err := c.Register(ctx, fmt.Sprintf("bench-sub-%d", i), fg.Next(), model.MatchAny, 0); err != nil {
+			return fmt.Errorf("register filter %d: %w", i, err)
+		}
+	}
+
+	var matches int64
+	matchedFilters := make(map[model.FilterID]struct{})
+	start := time.Now()
+	for i := 0; i < docs; i++ {
+		res, err := c.Publish(ctx, dg.Next())
+		if err != nil {
+			return fmt.Errorf("publish doc %d: %w", i, err)
+		}
+		matches += int64(len(res.Matches))
+		for _, m := range res.Matches {
+			matchedFilters[m.Filter] = struct{}{}
+		}
+	}
+	elapsed := time.Since(start)
+
+	dump := c.Metrics().Dump()
+	rep := benchReport{
+		GeneratedBy:    "movebench -fig bench",
+		Scheme:         c.Scheme().String(),
+		Nodes:          nodes,
+		Filters:        filters,
+		Docs:           docs,
+		Seed:           seed,
+		PublishE2E:     dump.Histograms["publish.e2e"],
+		PublishFanout:  dump.Histograms["publish.fanout"],
+		ElapsedMS:      float64(elapsed.Nanoseconds()) / 1e6,
+		DocsPerSec:     float64(docs) / elapsed.Seconds(),
+		MatchesTotal:   matches,
+		MatchesPerSec:  float64(matches) / elapsed.Seconds(),
+		FiltersMatched: int64(len(matchedFilters)),
+		Counters:       dump.Counters,
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d docs through %d nodes in %.1fms (p50=%.2fms p95=%.2fms p99=%.2fms e2e) -> %s\n",
+		docs, nodes, rep.ElapsedMS,
+		float64(rep.PublishE2E.P50NS)/1e6, float64(rep.PublishE2E.P95NS)/1e6, float64(rep.PublishE2E.P99NS)/1e6,
+		outPath)
+	return nil
+}

@@ -30,14 +30,24 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, all")
+	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, all")
 	scale := flag.Float64("scale", float64(experiments.DefaultScale), "workload scale relative to the paper (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")
 	filtersTrace := flag.String("filters-trace", "", "trace file of preprocessed filters (one per line) for -fig trace")
 	docsTrace := flag.String("docs-trace", "", "trace file of preprocessed documents for -fig trace")
-	nodes := flag.Int("nodes", 20, "cluster size for -fig trace")
+	nodes := flag.Int("nodes", 20, "cluster size for -fig trace and -fig bench")
+	out := flag.String("out", "BENCH_publish.json", "output path for -fig bench ('-' = stdout)")
+	benchFilters := flag.Int("bench-filters", 2000, "registered filters for -fig bench")
+	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench")
 	flag.Parse()
 
+	if *fig == "bench" {
+		if err := runBench(*out, *nodes, *benchFilters, *benchDocs, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "trace" {
 		if err := runTrace(*filtersTrace, *docsTrace, *nodes, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "movebench: %v\n", err)

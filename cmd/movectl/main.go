@@ -22,6 +22,7 @@ import (
 	"github.com/movesys/move/internal/node"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/text"
+	"github.com/movesys/move/internal/trace"
 	"github.com/movesys/move/internal/transport"
 )
 
@@ -101,13 +102,14 @@ func run() error {
 	case "publish":
 		fs := flag.NewFlagSet("publish", flag.ExitOnError)
 		content := fs.String("text", "", "document text")
+		showTrace := fs.Bool("trace", false, "print the per-term hop path (home hops, grid columns, failovers)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
 		if *content == "" {
 			return fmt.Errorf("publish requires -text")
 		}
-		return c.publish(ctx, *content)
+		return c.publish(ctx, *content, *showTrace)
 	case "watch":
 		fs := flag.NewFlagSet("watch", flag.ExitOnError)
 		sub := fs.String("sub", "", "subscriber name")
@@ -268,19 +270,22 @@ func (c *client) register(ctx context.Context, id model.FilterID, sub, query str
 }
 
 // publish routes the document to the home node of each term and merges the
-// matches.
-func (c *client) publish(ctx context.Context, content string) error {
+// matches. With showTrace, the hop path each home node reports (grid
+// columns visited, failover substitutions) is printed after the matches.
+func (c *client) publish(ctx context.Context, content string, showTrace bool) error {
 	terms := text.Terms(content, text.Options{})
 	if len(terms) == 0 {
 		return fmt.Errorf("document has no indexable terms")
 	}
 	doc := model.Document{ID: uint64(time.Now().UnixNano()), Terms: terms}
 	seen := make(map[model.FilterID]string)
+	var hops []trace.Hop
 	for _, t := range terms {
 		home, err := c.ring.HomeNode(t)
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		raw, err := c.tn.Send(ctx, home, node.EncodePublishHome(node.PublishReq{Doc: doc, Term: t}))
 		if err != nil {
 			return fmt.Errorf("publish term %q to %s: %w", t, home, err)
@@ -289,9 +294,17 @@ func (c *client) publish(ctx context.Context, content string) error {
 		if err != nil {
 			return err
 		}
+		hops = append(hops, trace.Hop{
+			Stage: "home", To: string(home), Term: t,
+			ElapsedNS: time.Since(start).Nanoseconds(),
+		})
+		hops = append(hops, resp.Hops...)
 		for _, m := range resp.Matches {
 			seen[m.Filter] = m.Subscriber
 		}
+	}
+	if showTrace {
+		printHops(hops)
 	}
 	fmt.Printf("published doc with %d terms; %d matching filter(s)\n", len(terms), len(seen))
 	for id, sub := range seen {
@@ -307,6 +320,36 @@ func (c *client) publish(ctx context.Context, content string) error {
 		}
 	}
 	return nil
+}
+
+// printHops renders a publish hop path, one line per hop, flagging
+// failovers (a column served by a substitute partition row) and lost
+// columns (every replica row exhausted).
+func printHops(hops []trace.Hop) {
+	fmt.Printf("trace (%d hop(s)):\n", len(hops))
+	for _, h := range hops {
+		line := fmt.Sprintf("  [%s]", h.Stage)
+		if h.Term != "" {
+			line += fmt.Sprintf(" term=%q", h.Term)
+		}
+		if h.To != "" {
+			line += " -> " + h.To
+		}
+		if h.Stage == "column" {
+			line += fmt.Sprintf(" row=%d col=%d", h.Row, h.Col)
+		}
+		if h.Failover {
+			line += fmt.Sprintf(" FAILOVER(attempt=%d)", h.Attempt)
+		}
+		if h.Lost {
+			line += " LOST"
+		}
+		if h.Err != "" {
+			line += " err=" + h.Err
+		}
+		line += fmt.Sprintf(" (%.2fms)", float64(h.ElapsedNS)/1e6)
+		fmt.Println(line)
+	}
 }
 
 // stats pulls and prints every node's counters.

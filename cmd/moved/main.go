@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/movesys/move/internal/debugserver"
 	"github.com/movesys/move/internal/gossip"
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/node"
@@ -43,6 +44,7 @@ func run() error {
 	rack := flag.String("rack", "rack-0", "rack label for placement")
 	dir := flag.String("dir", "", "data directory ('' = in-memory)")
 	gossipEvery := flag.Duration("gossip", time.Second, "gossip interval")
+	debugAddr := flag.String("debug.addr", "", "debug HTTP listen address serving /metrics, /trace/last, /healthz and /debug/pprof ('' = disabled)")
 
 	retryAttempts := flag.Int("retry-attempts", 3, "max RPC attempts per destination (1 disables retries)")
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per attempt, full jitter)")
@@ -138,6 +140,20 @@ func run() error {
 			*faultDrop, *faultError, *faultDup, *faultDelay, *faultSeed)
 	}
 	nd.Attach(dataPath)
+
+	if *debugAddr != "" {
+		ds, err := debugserver.Start(debugserver.Config{
+			Addr:     *debugAddr,
+			Registry: reg,
+			Traces:   nd.Traces(),
+			Info:     map[string]string{"id": *id, "rack": *rack, "listen": tn.Addr()},
+		})
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Printf("moved: debug server on http://%s (/metrics /trace/last /healthz /debug/pprof)\n", ds.Addr())
+	}
 
 	g, err = gossip.New(gossip.Config{
 		Self:     gossip.Member{ID: ring.NodeID(*id), Rack: *rack, Addr: *listen},

@@ -32,6 +32,7 @@ import (
 	"github.com/movesys/move/internal/resilience"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/stats"
+	"github.com/movesys/move/internal/trace"
 	"github.com/movesys/move/internal/transport"
 )
 
@@ -495,6 +496,10 @@ type PublishResult struct {
 	Degraded bool
 	// ColumnsLost counts grid columns no row could serve.
 	ColumnsLost int
+	// Trace is the publish-path record: one hop per forwarding edge (entry
+	// → home, home → grid column, failovers included) plus per-stage wall
+	// times — why the document went where it did.
+	Trace trace.Summary
 }
 
 // Publish disseminates one document. Terms must be preprocessed.
@@ -509,11 +514,21 @@ func (c *Cluster) Publish(ctx context.Context, terms []string) (PublishResult, e
 	c.qCounter.Observe(doc.Terms)
 	c.qSketch.ObserveSet(doc.Terms)
 
+	sp := trace.New("publish", doc.ID)
+	ctx = trace.With(ctx, sp)
+	res, err := c.publish(ctx, &doc)
+	sp.Finish()
+	res.Trace = sp.Summary()
+	return res, err
+}
+
+// publish dispatches to the scheme's dissemination path.
+func (c *Cluster) publish(ctx context.Context, doc *model.Document) (PublishResult, error) {
 	switch c.cfg.Scheme {
 	case SchemeMove, SchemeIL:
-		return c.publishInverted(ctx, &doc)
+		return c.publishInverted(ctx, doc)
 	case SchemeRS:
-		return c.publishFlood(ctx, &doc)
+		return c.publishFlood(ctx, doc)
 	default:
 		return PublishResult{}, fmt.Errorf("%w: scheme=%v", ErrBadConfig, c.cfg.Scheme)
 	}
@@ -591,6 +606,7 @@ func (c *Cluster) publishFlood(ctx context.Context, doc *model.Document) (Publis
 		resp node.MatchResp
 		err  error
 	}
+	sp := trace.From(ctx)
 	results := make([]result, len(c.nodeIDs))
 	var wg sync.WaitGroup
 	for i, id := range c.nodeIDs {
@@ -598,12 +614,21 @@ func (c *Cluster) publishFlood(ctx context.Context, doc *model.Document) (Publis
 		wg.Add(1)
 		go func(i int, id ring.NodeID) {
 			defer wg.Done()
+			floodStart := time.Now()
 			raw, err := c.sendTo(ctx, id, payload)
 			if err != nil {
+				sp.AddHop(trace.Hop{
+					Stage: "flood", From: string(entryID), To: string(id),
+					Err: err.Error(), ElapsedNS: time.Since(floodStart).Nanoseconds(),
+				})
 				results[i] = result{err: err}
 				return
 			}
 			resp, err := node.DecodeMatchResp(raw)
+			sp.AddHop(trace.Hop{
+				Stage: "flood", From: string(entryID), To: string(id),
+				ElapsedNS: time.Since(floodStart).Nanoseconds(),
+			})
 			results[i] = result{resp: resp, err: err}
 		}(i, id)
 	}

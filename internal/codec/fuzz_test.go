@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzCodecRoundTrip checks the two properties every wire frame in the
+// system rests on: decode(encode(x)) == x for any value of every primitive,
+// and decoding arbitrary bytes never panics — it returns ErrTruncated /
+// ErrOverflow instead (a malformed RPC must not take down a node).
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(0), "", "", []byte(nil), 0.0, false)
+	f.Add(uint64(1<<63), "hello", "a,b,c", []byte{0x00, 0xff}, math.Pi, true)
+	f.Add(uint64(300), "breaking news", "hot,", []byte("go test fuzz"), math.Inf(-1), false)
+	f.Add(uint64(math.MaxUint64), strings.Repeat("x", 300), ",,", []byte{0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, math.NaN(), true)
+
+	f.Fuzz(func(t *testing.T, u uint64, s, csv string, raw []byte, fl float64, b bool) {
+		ss := strings.Split(csv, ",")
+
+		w := NewWriter(0)
+		w.Uvarint(u)
+		w.Uint8(uint8(u))
+		w.Bool(b)
+		w.Float64(fl)
+		w.String(s)
+		w.StringSlice(ss)
+		w.Bytes0(raw)
+		if w.Len() != len(w.Bytes()) {
+			t.Fatalf("Len() = %d, len(Bytes()) = %d", w.Len(), len(w.Bytes()))
+		}
+
+		r := NewReader(w.Bytes())
+		gotU, err := r.Uvarint()
+		if err != nil || gotU != u {
+			t.Fatalf("Uvarint: %d, %v (want %d)", gotU, err, u)
+		}
+		gotU8, err := r.Uint8()
+		if err != nil || gotU8 != uint8(u) {
+			t.Fatalf("Uint8: %d, %v (want %d)", gotU8, err, uint8(u))
+		}
+		gotB, err := r.Bool()
+		if err != nil || gotB != b {
+			t.Fatalf("Bool: %v, %v (want %v)", gotB, err, b)
+		}
+		gotF, err := r.Float64()
+		// Bit-pattern equality so NaN round-trips count as equal.
+		if err != nil || math.Float64bits(gotF) != math.Float64bits(fl) {
+			t.Fatalf("Float64: %v, %v (want %v)", gotF, err, fl)
+		}
+		gotS, err := r.String()
+		if err != nil || gotS != s {
+			t.Fatalf("String: %q, %v (want %q)", gotS, err, s)
+		}
+		gotSS, err := r.StringSlice()
+		if err != nil || len(gotSS) != len(ss) {
+			t.Fatalf("StringSlice: %v, %v (want %v)", gotSS, err, ss)
+		}
+		for i := range ss {
+			if gotSS[i] != ss[i] {
+				t.Fatalf("StringSlice[%d]: %q, want %q", i, gotSS[i], ss[i])
+			}
+		}
+		gotRaw, err := r.Bytes0()
+		if err != nil || string(gotRaw) != string(raw) {
+			t.Fatalf("Bytes0: %v, %v (want %v)", gotRaw, err, raw)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left after decoding everything written", r.Remaining())
+		}
+
+		// Decode-never-panics: run every decoder over the raw fuzz bytes
+		// from every starting offset. Errors are expected; panics are bugs.
+		for off := 0; off < len(raw) && off < 32; off++ {
+			decodeAll(NewReader(raw[off:]))
+		}
+		// ... and over a truncated prefix of a valid frame, which is the
+		// wire shape a torn TCP read actually produces.
+		valid := w.Bytes()
+		for cut := 0; cut < len(valid) && cut < 64; cut++ {
+			decodeAll(NewReader(valid[:cut]))
+		}
+	})
+}
+
+// decodeAll drives every Reader method until the first error, discarding
+// results: the property under test is "no panic, no infinite loop".
+func decodeAll(r *Reader) {
+	for r.Remaining() > 0 {
+		before := r.Remaining()
+		if _, err := r.Uvarint(); err != nil {
+			break
+		}
+		if _, err := r.String(); err != nil {
+			break
+		}
+		if _, err := r.StringSlice(); err != nil {
+			break
+		}
+		if _, err := r.Bytes0(); err != nil {
+			break
+		}
+		if _, err := r.Float64(); err != nil {
+			break
+		}
+		if _, err := r.Bool(); err != nil {
+			break
+		}
+		if r.Remaining() >= before {
+			panic("codec: Reader made no progress")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package debugserver is the optional observability endpoint of a MOVE
+// node (moved -debug.addr): pprof profiling, a JSON dump of the metrics
+// registry (counters plus histogram quantiles), and the ring of recent
+// publish traces. It binds its own listener so the debug surface shares
+// nothing with the data-path transport — a wedged publish pipeline must
+// still be inspectable.
+package debugserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/trace"
+)
+
+// Config parameterizes a debug server.
+type Config struct {
+	// Addr is the listen address (host:port; port 0 picks a free port).
+	Addr string
+	// Registry backs /metrics; nil serves an empty dump.
+	Registry *metrics.Registry
+	// Traces backs /trace/last; nil serves an empty list.
+	Traces *trace.Ring
+	// Info is static node metadata served on /healthz (id, rack, ...).
+	Info map[string]string
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// defaultTraceCount bounds /trace/last responses without an n parameter.
+const defaultTraceCount = 16
+
+// Start binds the listener and serves in the background. Close releases it.
+func Start(cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserver: listen %s: %w", cfg.Addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var d metrics.Dump
+		if cfg.Registry != nil {
+			d = cfg.Registry.Dump()
+		}
+		writeJSON(w, d)
+	})
+	mux.HandleFunc("/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		n := defaultTraceCount
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		summaries := cfg.Traces.Last(n)
+		if summaries == nil {
+			summaries = []trace.Summary{}
+		}
+		writeJSON(w, summaries)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"status": "ok", "info": cfg.Info})
+	})
+	// pprof handlers are registered explicitly rather than through the
+	// package's DefaultServeMux side effect, keeping the debug mux closed
+	// over exactly what it serves.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed after Close; anything else is lost with the
+		// process anyway (the debug surface is best-effort).
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// writeJSON serves v as indented JSON (these endpoints are read by humans
+// and tests, not a scrape pipeline; bytes are not the constraint).
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

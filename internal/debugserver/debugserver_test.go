@@ -1,0 +1,124 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/trace"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return body
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("rpc.retries").Add(3)
+	h := reg.Histogram("publish.e2e")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	ring := trace.NewRing(8)
+	sp := trace.New("publish", 1)
+	sp.AddHop(trace.Hop{Stage: "column", Row: 1, Col: 0, Attempt: 1, Failover: true})
+	sp.Finish()
+	ring.Add(sp.Summary())
+
+	s, err := Start(Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Traces:   ring,
+		Info:     map[string]string{"id": "node-a"},
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	var dump metrics.Dump
+	if err := json.Unmarshal(get(t, base+"/metrics"), &dump); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	if dump.Counters["rpc.retries"] != 3 {
+		t.Fatalf("rpc.retries = %d, want 3", dump.Counters["rpc.retries"])
+	}
+	e2e, ok := dump.Histograms["publish.e2e"]
+	if !ok {
+		t.Fatalf("publish.e2e histogram missing from dump: %+v", dump.Histograms)
+	}
+	if e2e.Count != 100 || e2e.P50NS <= 0 || e2e.P99NS < e2e.P50NS {
+		t.Fatalf("implausible publish.e2e snapshot: %+v", e2e)
+	}
+
+	var summaries []trace.Summary
+	if err := json.Unmarshal(get(t, base+"/trace/last?n=4"), &summaries); err != nil {
+		t.Fatalf("decode /trace/last: %v", err)
+	}
+	if len(summaries) != 1 || summaries[0].DocID != 1 || summaries[0].Failovers != 1 {
+		t.Fatalf("unexpected /trace/last payload: %+v", summaries)
+	}
+
+	var health struct {
+		Status string            `json:"status"`
+		Info   map[string]string `json:"info"`
+	}
+	if err := json.Unmarshal(get(t, base+"/healthz"), &health); err != nil {
+		t.Fatalf("decode /healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Info["id"] != "node-a" {
+		t.Fatalf("unexpected /healthz payload: %+v", health)
+	}
+
+	// pprof index must be wired on the same mux.
+	if body := get(t, base+"/debug/pprof/"); len(body) == 0 {
+		t.Fatal("/debug/pprof/ returned empty body")
+	}
+}
+
+func TestNilBackends(t *testing.T) {
+	s, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	var dump metrics.Dump
+	if err := json.Unmarshal(get(t, base+"/metrics"), &dump); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	var summaries []trace.Summary
+	if err := json.Unmarshal(get(t, base+"/trace/last"), &summaries); err != nil {
+		t.Fatalf("decode /trace/last: %v", err)
+	}
+	if len(summaries) != 0 {
+		t.Fatalf("expected empty trace list, got %+v", summaries)
+	}
+
+	resp, err := http.Get(base + "/trace/last?n=bogus")
+	if err != nil {
+		t.Fatalf("GET bad n: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n: status %d, want 400", resp.StatusCode)
+	}
+}

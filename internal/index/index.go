@@ -17,7 +17,9 @@ package index
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
 	"github.com/movesys/move/internal/store"
 	"github.com/movesys/move/internal/vsm"
@@ -30,9 +32,27 @@ type Index struct {
 	postings *store.PostingStore
 	corpus   *vsm.Corpus
 
+	// Optional per-stage latency instrumentation (§IV cost model: the
+	// posting-list read is the "disk seek" y_seek, the evaluation loop is
+	// the per-posting scan y_p). Nil histograms record nothing.
+	postingReadH *metrics.Histogram
+	evalH        *metrics.Histogram
+
 	mu          sync.RWMutex
 	numFilters  int
 	numPostings int
+}
+
+// Instrument routes the index's per-stage latencies into reg:
+// index.posting.read (one observation per posting-list retrieval) and
+// index.eval (one observation per match call, covering the whole candidate
+// evaluation loop).
+func (ix *Index) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	ix.postingReadH = reg.Histogram("index.posting.read")
+	ix.evalH = reg.Histogram("index.eval")
 }
 
 // New builds an index over a node-local store. When the store was opened
@@ -159,7 +179,9 @@ func (s *MatchStats) Add(other MatchStats) {
 // engine only routes documents to home nodes of their own terms).
 func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, MatchStats, error) {
 	var st MatchStats
+	readTm := ix.postingReadH.Start()
 	ids, err := ix.postings.Get(term)
+	readTm.Stop()
 	if err != nil {
 		return nil, st, fmt.Errorf("index: posting list %q: %w", term, err)
 	}
@@ -170,6 +192,8 @@ func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, Matc
 	}
 	st.Postings = len(ids)
 	docSet := d.TermSet()
+	evalTm := ix.evalH.Start()
+	defer evalTm.Stop()
 	matched := make([]model.Filter, 0, len(ids))
 	for _, id := range ids {
 		f, ok, err := ix.filters.Get(id)
@@ -195,8 +219,12 @@ func (ix *Index) MatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error
 	docSet := d.TermSet()
 	seen := make(map[model.FilterID]struct{})
 	var matched []model.Filter
+	evalStart := time.Now()
+	defer func() { ix.evalH.Observe(time.Since(evalStart)) }()
 	for _, term := range d.Terms {
+		readTm := ix.postingReadH.Start()
 		ids, err := ix.postings.Get(term)
+		readTm.Stop()
 		if err != nil {
 			return nil, st, fmt.Errorf("index: posting list %q: %w", term, err)
 		}

@@ -1,0 +1,108 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// propVocab is a small vocabulary so random filters and documents overlap
+// often enough that the property is exercised on non-empty match sets.
+var propVocab = func() []string {
+	v := make([]string, 12)
+	for i := range v {
+		v[i] = fmt.Sprintf("t%d", i)
+	}
+	return v
+}()
+
+// randTerms draws 1..maxLen distinct vocabulary terms.
+func randTerms(rng *rand.Rand, maxLen int) []string {
+	n := 1 + rng.Intn(maxLen)
+	perm := rng.Perm(len(propVocab))
+	terms := make([]string, 0, n)
+	for _, p := range perm[:n] {
+		terms = append(terms, propVocab[p])
+	}
+	return terms
+}
+
+// randMode draws a matching mode; thresholds stay low enough that
+// MatchThreshold filters can fire.
+func randMode(rng *rand.Rand) (model.MatchMode, float64) {
+	switch rng.Intn(3) {
+	case 0:
+		return model.MatchAny, 0
+	case 1:
+		return model.MatchAll, 0
+	default:
+		return model.MatchThreshold, 0.2 + 0.5*rng.Float64()
+	}
+}
+
+// TestMatchTermSubsetOfSIFT is the §III.B correctness property linking the
+// two matchers: for any filter set and document, the filters MatchTerm
+// finds on the home node of term t (for every t in the document) must be a
+// subset of what the centralized SIFT matcher finds — MatchTerm only
+// narrows the posting lists read, never the answer. Conversely every SIFT
+// match must be found by MatchTerm on at least one document term it was
+// posted under, so the union over home nodes recovers the full match set.
+func TestMatchTermSubsetOfSIFT(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := newIndex(t)
+		numFilters := 1 + rng.Intn(30)
+		for i := 1; i <= numFilters; i++ {
+			mode, thr := randMode(rng)
+			f := model.Filter{
+				ID: model.FilterID(i), Subscriber: "s",
+				Terms: randTerms(rng, 4), Mode: mode, Threshold: thr,
+			}
+			// Home-node style: posted under every one of its terms (the
+			// union property below needs each term's list to carry it).
+			if err := ix.Register(f, f.Terms); err != nil {
+				t.Fatal(err)
+			}
+		}
+		doc := &model.Document{ID: uint64(seed)&0xffff + 1, Terms: randTerms(rng, 6)}
+		// Corpus statistics feed the threshold matcher's idf scores; both
+		// matchers must see the same corpus state, so observe before both.
+		ix.ObserveDocument(doc)
+
+		siftMatches, _, err := ix.MatchSIFT(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sift := make(map[model.FilterID]struct{}, len(siftMatches))
+		for _, f := range siftMatches {
+			sift[f.ID] = struct{}{}
+		}
+
+		union := make(map[model.FilterID]struct{})
+		for _, term := range doc.Terms {
+			fs, _, err := ix.MatchTerm(doc, term)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range fs {
+				if _, ok := sift[f.ID]; !ok {
+					t.Logf("seed %d: MatchTerm(%q) found %v which SIFT did not", seed, term, f.ID)
+					return false
+				}
+				union[f.ID] = struct{}{}
+			}
+		}
+		if !reflect.DeepEqual(union, sift) && !(len(union) == 0 && len(sift) == 0) {
+			t.Logf("seed %d: union over home nodes %v != SIFT %v", seed, union, sift)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

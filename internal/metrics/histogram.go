@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-linear latency histogram. Values (durations
+// in nanoseconds) land in buckets whose width grows geometrically: each
+// power-of-two octave is split into 2^subBits linear sub-buckets, bounding
+// the relative quantile error at 1/2^subBits (12.5%). Recording is a single
+// atomic add on the bucket plus atomic updates of count/sum/max, so the hot
+// publish path can record per-stage latencies without contention; quantiles
+// are computed from snapshots.
+//
+// The layout mirrors HDR-histogram's bucketing, sized for durations: 61
+// octaves x 8 sub-buckets cover 1ns..~2.5y, which is every latency the §IV
+// cost model can produce.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+const (
+	subBits    = 3
+	subCount   = 1 << subBits // sub-buckets per octave
+	numBuckets = subCount + (63-subBits)*subCount
+)
+
+// bucketIndex maps a nanosecond value to its bucket. Values < subCount are
+// exact; larger values share an octave's sub-bucket with up to 12.5% of
+// their magnitude.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	e := bits.Len64(u) // number of significant bits
+	if e <= subBits {
+		return int(u)
+	}
+	sub := int(u>>(uint(e)-subBits-1)) - subCount
+	idx := subCount + (e-subBits-1)*subCount + sub
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketBounds returns the [lower, upper) value range of a bucket.
+func bucketBounds(idx int) (int64, int64) {
+	if idx < subCount {
+		return int64(idx), int64(idx) + 1
+	}
+	block := (idx - subCount) / subCount
+	sub := (idx - subCount) % subCount
+	lower := int64(subCount+sub) << uint(block)
+	width := int64(1) << uint(block)
+	return lower, lower + width
+}
+
+// Observe records one duration. Negative durations clamp to zero. Safe for
+// concurrent use; nil-safe so optional instrumentation can skip the check.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Timer measures one interval into a histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins a timing interval. Usage: tm := h.Start(); defer tm.Stop().
+func (h *Histogram) Start() Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time and returns it. Safe on a Timer whose
+// histogram is nil (the elapsed time is still returned).
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(d)
+	return d
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram. Durations
+// serialize as nanoseconds so the /metrics JSON dump is unit-unambiguous.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	// MeanNS is SumNS/Count (0 for an empty histogram).
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	// MaxNS is the exact largest recorded value (not bucket-quantized).
+	MaxNS int64 `json:"max_ns"`
+
+	buckets []int64
+}
+
+// Snapshot copies the bucket counts and computes the summary quantiles.
+// Recording may proceed concurrently; the snapshot is a consistent-enough
+// view (bucket copies are not atomic as a set, so Count may differ from the
+// bucket sum by in-flight observations — quantiles use the bucket sum).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.buckets = make([]int64, numBuckets)
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.buckets[i] = c
+		total += c
+	}
+	s.Count = total
+	s.SumNS = h.sum.Load()
+	s.MaxNS = h.max.Load()
+	if total == 0 {
+		return s
+	}
+	s.MeanNS = s.SumNS / total
+	s.P50NS = s.quantile(0.50)
+	s.P90NS = s.quantile(0.90)
+	s.P95NS = s.quantile(0.95)
+	s.P99NS = s.quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the snapshot's
+// buckets, interpolating at the bucket midpoint. The estimate's relative
+// error is bounded by the sub-bucket width (12.5%); the top quantile is
+// additionally clamped to the exact observed max.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	return s.quantile(q)
+}
+
+func (s HistogramSnapshot) quantile(q float64) int64 {
+	if s.Count == 0 || len(s.buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.buckets {
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			mid := lo + (hi-lo)/2
+			if mid > s.MaxNS {
+				return s.MaxNS
+			}
+			return mid
+		}
+	}
+	return s.MaxNS
+}

@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// maxRelErr is the histogram's quantile error bound: one sub-bucket width,
+// 1/2^subBits = 12.5%.
+const maxRelErr = 1.0 / float64(subCount)
+
+func relErr(got, want int64) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got)-float64(want)) / float64(want)
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	// Bucket index must be non-decreasing in the value, and bounds must
+	// contain the value they bucket.
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 7, 8, 9, 15, 16, 17, 100, 1000, 4095, 4096, 1 << 20, 1 << 40, 1 << 62, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, numBuckets)
+		}
+		lo, hi := bucketBounds(idx)
+		// The clamped top bucket may not contain MaxInt64; everything else
+		// must contain its value.
+		if idx < numBuckets-1 && (v < lo || v >= hi) {
+			t.Fatalf("value %d not in bucket %d bounds [%d,%d)", v, idx, lo, hi)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// Every bucket above the exact range must be narrower than maxRelErr of
+	// its lower bound — the invariant the quantile error bound rests on.
+	for idx := subCount; idx < numBuckets-1; idx++ {
+		lo, hi := bucketBounds(idx)
+		if w := float64(hi - lo); w/float64(lo) > maxRelErr+1e-9 {
+			t.Fatalf("bucket %d [%d,%d): width %.0f exceeds %.1f%% of lower bound", idx, lo, hi, w, maxRelErr*100)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 1..100000µs uniform: the true q-th quantile is q·100000µs.
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100_000; i++ {
+		h.Observe(time.Duration(rng.Intn(100_000)+1) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, int64(50_000 * time.Microsecond)},
+		{0.90, int64(90_000 * time.Microsecond)},
+		{0.95, int64(95_000 * time.Microsecond)},
+		{0.99, int64(99_000 * time.Microsecond)},
+	} {
+		got := s.Quantile(tc.q)
+		// Bucket width error plus sampling noise; 13% covers both.
+		if e := relErr(got, tc.want); e > 0.13 {
+			t.Errorf("q=%.2f: got %d want ~%d (rel err %.1f%%)", tc.q, got, tc.want, e*100)
+		}
+	}
+	if s.P50NS != s.Quantile(0.50) || s.P99NS != s.Quantile(0.99) {
+		t.Error("snapshot fields disagree with Quantile()")
+	}
+}
+
+func TestQuantileExponential(t *testing.T) {
+	// Exponential with mean 1ms: q-th quantile is -mean·ln(1-q). A skewed
+	// distribution exercises the log buckets across several octaves.
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	mean := float64(time.Millisecond)
+	for i := 0; i < 200_000; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * mean))
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		want := int64(-mean * math.Log(1-q))
+		got := s.Quantile(q)
+		if e := relErr(got, want); e > 0.13 {
+			t.Errorf("q=%.2f: got %d want ~%d (rel err %.1f%%)", q, got, want, e*100)
+		}
+	}
+}
+
+func TestQuantilePointMass(t *testing.T) {
+	// All observations identical: every quantile must land in that value's
+	// bucket and the max must be exact.
+	var h Histogram
+	v := 3 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.MaxNS != int64(v) {
+		t.Fatalf("MaxNS = %d, want exact %d", s.MaxNS, int64(v))
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); relErr(got, int64(v)) > maxRelErr {
+			t.Errorf("q=%.2f: got %d, want within %.1f%% of %d", q, got, maxRelErr*100, int64(v))
+		}
+	}
+	if s.MeanNS != int64(v) {
+		t.Errorf("MeanNS = %d, want %d", s.MeanNS, int64(v))
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Values below subCount ns get dedicated buckets: quantiles are exact.
+	var h Histogram
+	for v := int64(0); v < subCount; v++ {
+		h.Observe(time.Duration(v))
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != subCount-1 {
+		t.Errorf("q=1: got %d, want exact %d", got, subCount-1)
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.MeanNS != 0 {
+		t.Errorf("empty histogram snapshot not zero: %+v", s)
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Count() != 0 {
+		t.Error("nil histogram Count != 0")
+	}
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+	tm := nilH.Start()
+	if d := tm.Stop(); d < 0 {
+		t.Error("nil-histogram timer returned negative duration")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Hammer one histogram from many goroutines; exercised with -race in CI.
+	var h Histogram
+	const (
+		workers = 8
+		perW    = 20_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(rng.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*perW)
+	}
+	var total int64
+	for _, c := range s.buckets {
+		total += c
+	}
+	if total != workers*perW {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*perW)
+	}
+}
+
+func TestSnapshotUnderLoad(t *testing.T) {
+	// Snapshots taken while writers run must stay internally consistent:
+	// monotone quantiles, max >= p99, count never decreasing.
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(time.Duration(rng.Intn(10_000_000)))
+				}
+			}
+		}(int64(w))
+	}
+	var prevCount int64
+	for i := 0; i < 50; i++ {
+		s := h.Snapshot()
+		if s.Count < prevCount {
+			t.Fatalf("snapshot %d: count went backwards (%d -> %d)", i, prevCount, s.Count)
+		}
+		prevCount = s.Count
+		if s.Count == 0 {
+			continue
+		}
+		if s.P50NS > s.P90NS || s.P90NS > s.P95NS || s.P95NS > s.P99NS {
+			t.Fatalf("snapshot %d: quantiles not monotone: %+v", i, s)
+		}
+		if s.P99NS > s.MaxNS {
+			t.Fatalf("snapshot %d: p99 %d exceeds max %d", i, s.P99NS, s.MaxNS)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTimer(t *testing.T) {
+	var h Histogram
+	tm := h.Start()
+	time.Sleep(2 * time.Millisecond)
+	d := tm.Stop()
+	if d < 2*time.Millisecond {
+		t.Fatalf("timer measured %v, slept 2ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d after one timer stop", h.Count())
+	}
+	if s := h.Snapshot(); s.MaxNS < int64(2*time.Millisecond) {
+		t.Fatalf("MaxNS = %d, want >= 2ms", s.MaxNS)
+	}
+}
+
+func TestRegistryHistograms(t *testing.T) {
+	reg := NewRegistry()
+	h1 := reg.Histogram("a")
+	if reg.Histogram("a") != h1 {
+		t.Fatal("Histogram(name) not idempotent")
+	}
+	h1.Observe(5 * time.Millisecond)
+	reg.Counter("c").Inc()
+	d := reg.Dump()
+	if d.Counters["c"] != 1 {
+		t.Fatalf("dump counters: %+v", d.Counters)
+	}
+	if snap, ok := d.Histograms["a"]; !ok || snap.Count != 1 {
+		t.Fatalf("dump histograms: %+v", d.Histograms)
+	}
+}

@@ -29,15 +29,19 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset zeroes the counter (epoch renewals, §V allocation refresh).
 func (c *Counter) Reset() { c.v.Store(0) }
 
-// Registry is a named set of counters.
+// Registry is a named set of counters and histograms.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -52,6 +56,18 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot returns all counter values.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
@@ -61,6 +77,37 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[name] = c.Value()
 	}
 	return out
+}
+
+// Histograms snapshots every registered histogram.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, len(r.histograms))
+	names := make([]string, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		names = append(names, name)
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	// Snapshots are taken outside the registry lock: quantile computation
+	// over hundreds of buckets must not block hot-path Counter() lookups.
+	out := make(map[string]HistogramSnapshot, len(hs))
+	for i, h := range hs {
+		out[names[i]] = h.Snapshot()
+	}
+	return out
+}
+
+// Dump is the full registry state, shaped for the debug server's /metrics
+// JSON endpoint.
+type Dump struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Dump snapshots every counter and histogram.
+func (r *Registry) Dump() Dump {
+	return Dump{Counters: r.Snapshot(), Histograms: r.Histograms()}
 }
 
 // Distribution summarizes a per-node load vector the way Figure 9 plots it:

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/movesys/move/internal/alloc"
 	"github.com/movesys/move/internal/bloom"
@@ -16,6 +17,7 @@ import (
 	"github.com/movesys/move/internal/resilience"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/store"
+	"github.com/movesys/move/internal/trace"
 	"github.com/movesys/move/internal/transport"
 )
 
@@ -52,8 +54,13 @@ type Config struct {
 	// (single attempt, no breaker).
 	Resilience *resilience.Executor
 	// Metrics receives the node's failover counters (publish.failover,
-	// publish.degraded); nil creates a private registry.
+	// publish.degraded) and per-stage latency histograms (publish.e2e,
+	// publish.home, publish.fanout, publish.column.rpc, match.term, match.sift,
+	// index.posting.read, index.eval); nil creates a private registry.
 	Metrics *metrics.Registry
+	// TraceDepth sizes the ring buffer of recent publish traces the node
+	// keeps for the debug server's /trace/last; 0 means 64.
+	TraceDepth int
 }
 
 // Node is one MOVE server.
@@ -90,6 +97,16 @@ type Node struct {
 	// degraded (partial-coverage) publishes.
 	failoverC *metrics.Counter
 	degradedC *metrics.Counter
+
+	// Per-stage latency histograms (§IV latency model, one per pipeline
+	// stage) and the ring of recent publish traces.
+	hE2E       *metrics.Histogram
+	hHome      *metrics.Histogram
+	hFanout    *metrics.Histogram
+	hColumnRPC *metrics.Histogram
+	hMatchTerm *metrics.Histogram
+	hMatchSIFT *metrics.Histogram
+	traces     *trace.Ring
 }
 
 // New builds a node. Call Attach to connect it to a transport before use.
@@ -121,17 +138,33 @@ func New(cfg Config) (*Node, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	ix.Instrument(reg)
+	depth := cfg.TraceDepth
+	if depth == 0 {
+		depth = 64
+	}
 	return &Node{
-		cfg:       cfg,
-		ix:        ix,
-		termGrids: make(map[string]*alloc.Grid),
-		mail:      newMailboxes(),
-		rng:       rand.New(rand.NewSource(seed)),
-		res:       cfg.Resilience,
-		failoverC: reg.Counter("publish.failover"),
-		degradedC: reg.Counter("publish.degraded"),
+		cfg:        cfg,
+		ix:         ix,
+		termGrids:  make(map[string]*alloc.Grid),
+		mail:       newMailboxes(),
+		rng:        rand.New(rand.NewSource(seed)),
+		res:        cfg.Resilience,
+		failoverC:  reg.Counter("publish.failover"),
+		degradedC:  reg.Counter("publish.degraded"),
+		hE2E:       reg.Histogram("publish.e2e"),
+		hHome:      reg.Histogram("publish.home"),
+		hFanout:    reg.Histogram("publish.fanout"),
+		hColumnRPC: reg.Histogram("publish.column.rpc"),
+		hMatchTerm: reg.Histogram("match.term"),
+		hMatchSIFT: reg.Histogram("match.sift"),
+		traces:     trace.NewRing(depth),
 	}, nil
 }
+
+// Traces exposes the node's ring of recent publish traces (the debug
+// server's /trace/last source).
+func (n *Node) Traces() *trace.Ring { return n.traces }
 
 // Attach connects the node to its transport endpoint.
 func (n *Node) Attach(tr transport.Transport) {
@@ -419,6 +452,25 @@ func (n *Node) InstallBloom(bf *bloom.Filter) {
 // node-wide grid.
 func (n *Node) handlePublish(ctx context.Context, req PublishReq) (MatchResp, error) {
 	n.homePublishes.Inc()
+	// The home-side handling gets its own span and histogram: in a TCP
+	// deployment the entry is an external client, so this is where the
+	// server-side publish path starts and the only place its traces can be
+	// recorded.
+	sp := trace.New("publish.home", req.Doc.ID)
+	tm := n.hHome.Start()
+	resp, err := n.homePublish(ctx, req)
+	sp.AddStage("publish.home", tm.Stop())
+	if err == nil {
+		sp.AddHops(resp.Hops)
+	}
+	sp.Finish()
+	n.traces.Add(sp.Summary())
+	return resp, err
+}
+
+// homePublish matches a term-routed document: through the term's
+// allocation grid when one is installed, locally otherwise.
+func (n *Node) homePublish(ctx context.Context, req PublishReq) (MatchResp, error) {
 	n.mu.RLock()
 	grid := n.termGrids[req.Term]
 	if grid == nil {
@@ -426,7 +478,13 @@ func (n *Node) handlePublish(ctx context.Context, req PublishReq) (MatchResp, er
 	}
 	n.mu.RUnlock()
 	if grid == nil {
-		return n.matchLocal(&req.Doc, req.Term)
+		resp, err := n.matchLocal(&req.Doc, req.Term)
+		if err == nil {
+			resp.Hops = append(resp.Hops, trace.Hop{
+				Stage: "local", To: string(n.cfg.ID), Term: req.Term,
+			})
+		}
+		return resp, err
 	}
 
 	n.mu.Lock()
@@ -450,6 +508,7 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 		resp MatchResp
 		err  error // non-availability failure: fatal for the publish
 		lost bool  // no row could serve this column
+		hops []trace.Hop
 	}
 	results := make([]colResult, cols)
 	var wg sync.WaitGroup
@@ -457,12 +516,22 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 		wg.Add(1)
 		go func(col int) {
 			defer wg.Done()
+			var hops []trace.Hop
 			for attempt := 0; attempt < rows; attempt++ {
-				target := grid.Node((first+attempt)%rows, col)
+				row := (first + attempt) % rows
+				target := grid.Node(row, col)
 				if n.cfg.OnTransfer != nil {
 					n.cfg.OnTransfer(n.cfg.ID, target)
 				}
+				rpcStart := time.Now()
 				raw, err := n.send(ctx, target, payload)
+				elapsed := time.Since(rpcStart)
+				n.hColumnRPC.Observe(elapsed)
+				hop := trace.Hop{
+					Stage: "column", From: string(n.cfg.ID), To: string(target),
+					Row: row, Col: col, Attempt: attempt, Failover: attempt > 0,
+					ElapsedNS: elapsed.Nanoseconds(),
+				}
 				if err == nil {
 					resp, derr := DecodeMatchResp(raw)
 					if derr != nil {
@@ -472,15 +541,18 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 					if attempt > 0 {
 						n.failoverC.Inc()
 					}
-					results[col] = colResult{resp: resp}
+					results[col] = colResult{resp: resp, hops: append(hops, hop)}
 					return
 				}
+				hop.Err = err.Error()
+				hops = append(hops, hop)
 				if !transport.IsAvailabilityError(err) {
 					results[col] = colResult{err: err}
 					return
 				}
 			}
-			results[col] = colResult{lost: true}
+			hops = append(hops, trace.Hop{Stage: "column", From: string(n.cfg.ID), Col: col, Lost: true})
+			results[col] = colResult{lost: true, hops: hops}
 		}(col)
 	}
 	wg.Wait()
@@ -490,6 +562,7 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 		if res.err != nil {
 			return MatchResp{}, res.err
 		}
+		merged.Hops = append(merged.Hops, res.hops...)
 		if res.lost {
 			merged.Degraded = true
 			merged.ColumnsLost++
@@ -509,7 +582,9 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 func (n *Node) matchLocal(doc *model.Document, term string) (MatchResp, error) {
 	n.docsProcessed.Inc()
 	n.ix.ObserveDocument(doc)
+	tm := n.hMatchTerm.Start()
 	matched, st, err := n.ix.MatchTerm(doc, term)
+	tm.Stop()
 	if err != nil {
 		return MatchResp{}, err
 	}
@@ -522,7 +597,9 @@ func (n *Node) matchLocal(doc *model.Document, term string) (MatchResp, error) {
 func (n *Node) matchSIFT(doc *model.Document) (MatchResp, error) {
 	n.docsProcessed.Inc()
 	n.ix.ObserveDocument(doc)
+	tm := n.hMatchSIFT.Start()
 	matched, st, err := n.ix.MatchSIFT(doc)
+	tm.Stop()
 	if err != nil {
 		return MatchResp{}, err
 	}
@@ -548,10 +625,26 @@ func toResp(matched []model.Filter, st index.MatchStats) MatchResp {
 // nodes of every document term that passes the Bloom membership check, and
 // merge the matches. Returns the deduplicated matches and the total
 // matching cost.
+//
+// The publish is traced: a trace.Span on the context (or a private one when
+// the caller attached none) records one "home" hop per fanned-out term plus
+// the grid hops each home node reports back, and the finished span lands in
+// the node's trace ring for the debug server.
 func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, MatchResp, error) {
 	if err := doc.Validate(); err != nil {
 		return nil, MatchResp{}, err
 	}
+	sp := trace.From(ctx)
+	if sp == nil {
+		sp = trace.New("publish", doc.ID)
+	}
+	e2e := n.hE2E.Start()
+	defer func() {
+		sp.AddStage("publish.e2e", e2e.Stop())
+		sp.Finish()
+		n.traces.Add(sp.Summary())
+	}()
+
 	n.mu.RLock()
 	bf := n.bloomF
 	n.mu.RUnlock()
@@ -583,16 +676,30 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 			n.cfg.OnTransfer(n.cfg.ID, home)
 		}
 		wg.Add(1)
-		go func(i int, home ring.NodeID) {
+		go func(i int, t string, home ring.NodeID) {
 			defer wg.Done()
+			rpcStart := time.Now()
 			raw, err := n.send(ctx, home, payload)
 			if err != nil {
+				elapsed := time.Since(rpcStart)
+				n.hFanout.Observe(elapsed)
+				sp.AddHop(trace.Hop{
+					Stage: "home", From: string(n.cfg.ID), To: string(home),
+					Term: t, Err: err.Error(), ElapsedNS: elapsed.Nanoseconds(),
+				})
 				results[i] = result{err: err}
 				return
 			}
 			resp, err := DecodeMatchResp(raw)
+			elapsed := time.Since(rpcStart)
+			n.hFanout.Observe(elapsed)
+			sp.AddHop(trace.Hop{
+				Stage: "home", From: string(n.cfg.ID), To: string(home),
+				Term: t, ElapsedNS: elapsed.Nanoseconds(),
+			})
+			sp.AddHops(resp.Hops)
 			results[i] = result{resp: resp, err: err}
-		}(i, home)
+		}(i, t, home)
 	}
 	wg.Wait()
 
@@ -609,6 +716,7 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 		total.PostingLists += res.resp.PostingLists
 		total.Degraded = total.Degraded || res.resp.Degraded
 		total.ColumnsLost += res.resp.ColumnsLost
+		total.Hops = append(total.Hops, res.resp.Hops...)
 		for _, m := range res.resp.Matches {
 			if _, dup := seen[m.Filter]; dup {
 				continue

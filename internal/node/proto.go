@@ -11,6 +11,7 @@ import (
 	"github.com/movesys/move/internal/alloc"
 	"github.com/movesys/move/internal/codec"
 	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/trace"
 )
 
 // Message types (first payload byte).
@@ -149,6 +150,10 @@ type MatchResp struct {
 	// ColumnsLost counts the grid columns whose filters could not be
 	// matched by any row.
 	ColumnsLost int
+	// Hops is the publish-path trace recorded while serving this request
+	// (the grid hops a home node took), carried back to the entry node so
+	// the end-to-end span sees the full path even over TCP.
+	Hops []trace.Hop
 }
 
 // EncodeMatchResp serializes a MatchResp.
@@ -163,7 +168,87 @@ func EncodeMatchResp(resp MatchResp) []byte {
 	w.Uvarint(uint64(resp.PostingLists))
 	w.Bool(resp.Degraded)
 	w.Uvarint(uint64(resp.ColumnsLost))
+	encodeHops(w, resp.Hops)
 	return w.Bytes()
+}
+
+// encodeHops appends the hop list to the wire frame.
+func encodeHops(w *codec.Writer, hops []trace.Hop) {
+	w.Uvarint(uint64(len(hops)))
+	for _, h := range hops {
+		w.String(h.Stage)
+		w.String(h.From)
+		w.String(h.To)
+		w.String(h.Term)
+		w.Uvarint(uint64(h.Row))
+		w.Uvarint(uint64(h.Col))
+		w.Uvarint(uint64(h.Attempt))
+		w.Bool(h.Failover)
+		w.Bool(h.Lost)
+		w.String(h.Err)
+		w.Uvarint(uint64(h.ElapsedNS))
+	}
+}
+
+// decodeHops parses the hop list.
+func decodeHops(r *codec.Reader) ([]trace.Hop, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Each hop takes at least 8 bytes on the wire (5 length prefixes + 3
+	// varints); reject counts no valid payload could hold.
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: hop count %d overflows payload", n)
+	}
+	hops := make([]trace.Hop, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var h trace.Hop
+		if h.Stage, err = r.String(); err != nil {
+			return nil, err
+		}
+		if h.From, err = r.String(); err != nil {
+			return nil, err
+		}
+		if h.To, err = r.String(); err != nil {
+			return nil, err
+		}
+		if h.Term, err = r.String(); err != nil {
+			return nil, err
+		}
+		row, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		col, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		attempt, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		h.Row, h.Col, h.Attempt = int(row), int(col), int(attempt)
+		if h.Failover, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if h.Lost, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if h.Err, err = r.String(); err != nil {
+			return nil, err
+		}
+		elapsed, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		h.ElapsedNS = int64(elapsed)
+		hops = append(hops, h)
+	}
+	return hops, nil
 }
 
 // DecodeMatchResp parses a MatchResp.
@@ -207,6 +292,9 @@ func DecodeMatchResp(data []byte) (MatchResp, error) {
 		return resp, err
 	}
 	resp.ColumnsLost = int(lost)
+	if resp.Hops, err = decodeHops(r); err != nil {
+		return resp, err
+	}
 	return resp, nil
 }
 

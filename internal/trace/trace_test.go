@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.AddHop(Hop{Stage: "home"})
+	s.AddHops([]Hop{{Stage: "column"}})
+	s.AddStage("x", time.Second)
+	s.Finish()
+	if sm := s.Summary(); sm.Op != "" || len(sm.Hops) != 0 {
+		t.Fatalf("nil span summary not empty: %+v", sm)
+	}
+}
+
+func TestSummaryCounting(t *testing.T) {
+	s := New("publish", 7)
+	s.AddHop(Hop{Stage: "home", To: "n1", Term: "hot"})
+	// Failed primary attempt: errored, not a served failover.
+	s.AddHop(Hop{Stage: "column", To: "n2", Row: 0, Col: 0, Err: "rpc: dropped"})
+	// Substitute row served it.
+	s.AddHop(Hop{Stage: "column", To: "n3", Row: 1, Col: 0, Attempt: 1, Failover: true})
+	// A column every row failed on.
+	s.AddHop(Hop{Stage: "column", Col: 1, Lost: true})
+	s.AddStage("publish.e2e", 3*time.Millisecond)
+	s.AddStage("publish.e2e", 2*time.Millisecond)
+	s.Finish()
+
+	sm := s.Summary()
+	if sm.Op != "publish" || sm.DocID != 7 {
+		t.Fatalf("identity fields wrong: %+v", sm)
+	}
+	if len(sm.Hops) != 4 {
+		t.Fatalf("hops = %d, want 4", len(sm.Hops))
+	}
+	if sm.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1 (errored attempts and lost columns don't count)", sm.Failovers)
+	}
+	if sm.ColumnsLost != 1 {
+		t.Fatalf("ColumnsLost = %d, want 1", sm.ColumnsLost)
+	}
+	if sm.StageNS["publish.e2e"] != int64(5*time.Millisecond) {
+		t.Fatalf("AddStage must accumulate: got %d", sm.StageNS["publish.e2e"])
+	}
+	if sm.DurationNS <= 0 {
+		t.Fatalf("DurationNS = %d, want > 0", sm.DurationNS)
+	}
+}
+
+func TestFinishFirstCallWins(t *testing.T) {
+	s := New("publish", 1)
+	s.Finish()
+	d1 := s.Summary().DurationNS
+	time.Sleep(5 * time.Millisecond)
+	s.Finish() // no-op
+	if d2 := s.Summary().DurationNS; d2 != d1 {
+		t.Fatalf("second Finish moved the end time: %d -> %d", d1, d2)
+	}
+}
+
+func TestSummaryIsCopy(t *testing.T) {
+	s := New("publish", 1)
+	s.AddHop(Hop{Stage: "home"})
+	sm := s.Summary()
+	s.AddHop(Hop{Stage: "column"})
+	if len(sm.Hops) != 1 {
+		t.Fatal("summary shares the span's hop slice")
+	}
+}
+
+func TestConcurrentHops(t *testing.T) {
+	// Fan-out stages append from many goroutines; exercised with -race.
+	s := New("publish", 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.AddHop(Hop{Stage: "column", Col: w})
+				s.AddStage("fanout", time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Finish()
+	sm := s.Summary()
+	if len(sm.Hops) != 800 {
+		t.Fatalf("hops = %d, want 800", len(sm.Hops))
+	}
+	if sm.StageNS["fanout"] != int64(800*time.Microsecond) {
+		t.Fatalf("fanout stage = %d, want %d", sm.StageNS["fanout"], int64(800*time.Microsecond))
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context must carry no span")
+	}
+	s := New("publish", 1)
+	ctx := With(context.Background(), s)
+	if From(ctx) != s {
+		t.Fatal("With/From round trip failed")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Last(5); len(got) != 0 {
+		t.Fatalf("empty ring returned %d summaries", len(got))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		r.Add(Summary{DocID: i})
+	}
+	got := r.Last(10)
+	if len(got) != 3 {
+		t.Fatalf("Last(10) = %d summaries, want capacity 3", len(got))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []uint64{5, 4, 3} {
+		if got[i].DocID != want {
+			t.Fatalf("Last order: got %v", got)
+		}
+	}
+	if got := r.Last(1); len(got) != 1 || got[0].DocID != 5 {
+		t.Fatalf("Last(1) = %v, want just doc 5", got)
+	}
+}
+
+func TestRingNilAndTiny(t *testing.T) {
+	var r *Ring
+	r.Add(Summary{}) // must not panic
+	if r.Last(3) != nil {
+		t.Fatal("nil ring returned summaries")
+	}
+	tiny := NewRing(0) // clamps to 1
+	tiny.Add(Summary{DocID: 1})
+	tiny.Add(Summary{DocID: 2})
+	if got := tiny.Last(5); len(got) != 1 || got[0].DocID != 2 {
+		t.Fatalf("capacity-1 ring: %v", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(Summary{DocID: uint64(w*1000 + i)})
+				r.Last(8)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Last(16); len(got) != 16 {
+		t.Fatalf("full ring Last(16) = %d", len(got))
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	// The summary is the debug server's wire format; field names are API.
+	s := New("publish", 9)
+	s.AddHop(Hop{Stage: "column", To: "n3", Row: 1, Col: 0, Attempt: 1, Failover: true, ElapsedNS: 1500})
+	s.Finish()
+	data, err := json.Marshal(s.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"op":"publish"`, `"doc_id":9`, `"failovers":1`, `"stage":"column"`, `"row":1`, `"attempt":1`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("summary JSON missing %s: %s", key, data)
+		}
+	}
+}

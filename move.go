@@ -32,6 +32,7 @@ import (
 	"github.com/movesys/move/internal/node"
 	"github.com/movesys/move/internal/ring"
 	"github.com/movesys/move/internal/text"
+	"github.com/movesys/move/internal/trace"
 )
 
 // Scheme selects the dissemination system.
@@ -161,6 +162,9 @@ type PublishReceipt struct {
 	Degraded bool
 	// ColumnsLost counts the unreachable grid columns behind Degraded.
 	ColumnsLost int
+	// Trace records the publish path — the hop sequence (entry → home
+	// nodes → grid columns, failovers included) and per-stage wall times.
+	Trace trace.Summary
 }
 
 // Cluster is an embedded MOVE deployment.
@@ -310,6 +314,7 @@ func (c *Cluster) PublishTerms(terms []string) (PublishReceipt, error) {
 		Complete:    res.Complete,
 		Degraded:    res.Degraded,
 		ColumnsLost: res.ColumnsLost,
+		Trace:       res.Trace,
 	}, nil
 }
 
