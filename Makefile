@@ -9,10 +9,10 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -25,8 +25,11 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/text
 
 # Regenerate the checked-in publish-latency baseline (BENCH_publish.json):
-# e2e publish p50/p95/p99 plus match throughput on the calibrated workload.
+# e2e publish p50/p95/p99 plus single-vs-batch match throughput on the
+# calibrated workload. The fresh run is compared against the checked-in
+# baseline first — a >20% publish p95 regression fails the target (and
+# CI) before the file is overwritten.
 bench-publish:
-	$(GO) run ./cmd/movebench -fig bench -out BENCH_publish.json
+	$(GO) run ./cmd/movebench -fig bench -out BENCH_publish.json -baseline BENCH_publish.json
 
-ci: vet build race fuzz-smoke
+ci: vet build race fuzz-smoke bench-publish

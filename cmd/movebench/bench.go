@@ -15,8 +15,9 @@ import (
 
 // benchReport is the JSON document `movebench -fig bench` writes: the
 // end-to-end publish latency distribution plus match throughput for a
-// MOVE cluster under an MSN/TREC-calibrated workload. Checked into the
-// repo as BENCH_publish.json so PRs carry a latency baseline.
+// MOVE cluster under an MSN/TREC-calibrated workload, for both the
+// single-document and the coalescing batch publish paths. Checked into
+// the repo as BENCH_publish.json so PRs carry a latency baseline.
 type benchReport struct {
 	GeneratedBy string `json:"generated_by"`
 	Scheme      string `json:"scheme"`
@@ -24,8 +25,12 @@ type benchReport struct {
 	Filters     int    `json:"filters"`
 	Docs        int    `json:"docs"`
 	Seed        int64  `json:"seed"`
+	// RPCLatencyMS is the simulated one-way RPC latency of the fabric.
+	RPCLatencyMS float64 `json:"rpc_latency_ms"`
 
-	// PublishE2E is the node-side publish.e2e latency histogram (ns).
+	// PublishE2E is the node-side publish.e2e latency histogram (ns),
+	// snapshotted after the single-publish phase only so the batch phase
+	// cannot contaminate the regression baseline.
 	PublishE2E metrics.HistogramSnapshot `json:"publish_e2e"`
 	// PublishFanout is the per-term home-RPC latency histogram (ns).
 	PublishFanout metrics.HistogramSnapshot `json:"publish_fanout"`
@@ -36,16 +41,72 @@ type benchReport struct {
 	MatchesPerSec  float64 `json:"matches_per_sec"`
 	FiltersMatched int64   `json:"filters_matched"`
 
+	// Batch figure: the same pregenerated documents re-published through
+	// Cluster.PublishBatch (coalesced frames, worker-pool drain).
+	BatchElapsedMS    float64 `json:"batch_elapsed_ms"`
+	BatchDocsPerSec   float64 `json:"batch_docs_per_sec"`
+	BatchMatchesTotal int64   `json:"batch_matches_total"`
+	// BatchSpeedup is batch_docs_per_sec / docs_per_sec.
+	BatchSpeedup float64 `json:"batch_speedup"`
+	// PublishBatchSize is the coalesced-frame size distribution
+	// (dimensionless: 1 "ns" = 1 document in the frame).
+	PublishBatchSize metrics.HistogramSnapshot `json:"publish_batch_size"`
+
 	Counters map[string]int64 `json:"counters"`
 }
 
+// benchRPCLatency is the simulated one-way RPC latency of the bench
+// cluster's in-memory fabric — a LAN-scale cost per delivery, so the
+// figures price RPC count the way a deployment would instead of the
+// free function calls of a bare memnet. Recorded in the report.
+const benchRPCLatency = 2 * time.Millisecond
+
+// benchP95Tolerance is the regression budget enforced against -baseline:
+// a new publish.e2e p95 more than 20% above the checked-in baseline
+// fails the run (and CI).
+const benchP95Tolerance = 0.20
+
+// checkBaseline compares a fresh report against the checked-in baseline,
+// failing on a >benchP95Tolerance publish.e2e p95 regression. A missing
+// baseline file is not an error — first runs have nothing to compare.
+func checkBaseline(path string, rep benchReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("bench: baseline %s not found, skipping regression check\n", path)
+			return nil
+		}
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.PublishE2E.P95NS <= 0 {
+		fmt.Printf("bench: baseline %s has no publish.e2e p95, skipping regression check\n", path)
+		return nil
+	}
+	limit := float64(base.PublishE2E.P95NS) * (1 + benchP95Tolerance)
+	if got := float64(rep.PublishE2E.P95NS); got > limit {
+		return fmt.Errorf("publish.e2e p95 regression: %.2fms vs baseline %.2fms (budget +%d%%)",
+			got/1e6, float64(base.PublishE2E.P95NS)/1e6, int(benchP95Tolerance*100))
+	}
+	fmt.Printf("bench: publish.e2e p95 %.2fms within +%d%% of baseline %.2fms\n",
+		float64(rep.PublishE2E.P95NS)/1e6, int(benchP95Tolerance*100), float64(base.PublishE2E.P95NS)/1e6)
+	return nil
+}
+
 // runBench publishes a calibrated workload through an in-process MOVE
-// cluster and writes the latency/throughput report to outPath.
-func runBench(outPath string, nodes, filters, docs int, seed int64) error {
+// cluster — once sequentially, once through the coalescing batch
+// pipeline — and writes the latency/throughput report to outPath. With a
+// non-empty baselinePath the fresh numbers are checked against the
+// checked-in report before it is overwritten.
+func runBench(outPath, baselinePath string, nodes, filters, docs int, seed int64) error {
 	c, err := cluster.New(cluster.Config{
-		Scheme: cluster.SchemeMove,
-		Nodes:  nodes,
-		Seed:   seed,
+		Scheme:     cluster.SchemeMove,
+		Nodes:      nodes,
+		Seed:       seed,
+		RPCLatency: benchRPCLatency,
 	})
 	if err != nil {
 		return err
@@ -68,11 +129,18 @@ func runBench(outPath string, nodes, filters, docs int, seed int64) error {
 		}
 	}
 
+	// Both phases publish the same pregenerated documents, so the batch
+	// speedup is measured on an identical workload.
+	docTerms := make([][]string, docs)
+	for i := range docTerms {
+		docTerms[i] = dg.Next()
+	}
+
 	var matches int64
 	matchedFilters := make(map[model.FilterID]struct{})
 	start := time.Now()
-	for i := 0; i < docs; i++ {
-		res, err := c.Publish(ctx, dg.Next())
+	for i, terms := range docTerms {
+		res, err := c.Publish(ctx, terms)
 		if err != nil {
 			return fmt.Errorf("publish doc %d: %w", i, err)
 		}
@@ -82,6 +150,20 @@ func runBench(outPath string, nodes, filters, docs int, seed int64) error {
 		}
 	}
 	elapsed := time.Since(start)
+	// Snapshot publish.e2e now: the batch phase records into the same
+	// histogram and must not skew the single-publish baseline.
+	singleDump := c.Metrics().Dump()
+
+	batchStart := time.Now()
+	results, err := c.PublishBatch(ctx, docTerms)
+	if err != nil {
+		return fmt.Errorf("batch publish: %w", err)
+	}
+	batchElapsed := time.Since(batchStart)
+	var batchMatches int64
+	for _, res := range results {
+		batchMatches += int64(len(res.Matches))
+	}
 
 	dump := c.Metrics().Dump()
 	rep := benchReport{
@@ -91,14 +173,27 @@ func runBench(outPath string, nodes, filters, docs int, seed int64) error {
 		Filters:        filters,
 		Docs:           docs,
 		Seed:           seed,
-		PublishE2E:     dump.Histograms["publish.e2e"],
-		PublishFanout:  dump.Histograms["publish.fanout"],
+		RPCLatencyMS:   float64(benchRPCLatency.Nanoseconds()) / 1e6,
+		PublishE2E:     singleDump.Histograms["publish.e2e"],
+		PublishFanout:  singleDump.Histograms["publish.fanout"],
 		ElapsedMS:      float64(elapsed.Nanoseconds()) / 1e6,
 		DocsPerSec:     float64(docs) / elapsed.Seconds(),
 		MatchesTotal:   matches,
 		MatchesPerSec:  float64(matches) / elapsed.Seconds(),
 		FiltersMatched: int64(len(matchedFilters)),
-		Counters:       dump.Counters,
+
+		BatchElapsedMS:    float64(batchElapsed.Nanoseconds()) / 1e6,
+		BatchDocsPerSec:   float64(docs) / batchElapsed.Seconds(),
+		BatchMatchesTotal: batchMatches,
+		BatchSpeedup:      elapsed.Seconds() / batchElapsed.Seconds(),
+		PublishBatchSize:  dump.Histograms["publish.batch.size"],
+
+		Counters: dump.Counters,
+	}
+	if baselinePath != "" {
+		if err := checkBaseline(baselinePath, rep); err != nil {
+			return err
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -117,5 +212,7 @@ func runBench(outPath string, nodes, filters, docs int, seed int64) error {
 		docs, nodes, rep.ElapsedMS,
 		float64(rep.PublishE2E.P50NS)/1e6, float64(rep.PublishE2E.P95NS)/1e6, float64(rep.PublishE2E.P99NS)/1e6,
 		outPath)
+	fmt.Printf("bench: batch publish %d docs in %.1fms (%.1f docs/s, %.2fx vs single, mean frame %.1f docs)\n",
+		docs, rep.BatchElapsedMS, rep.BatchDocsPerSec, rep.BatchSpeedup, float64(rep.PublishBatchSize.MeanNS))
 	return nil
 }

@@ -37,12 +37,13 @@ func main() {
 	docsTrace := flag.String("docs-trace", "", "trace file of preprocessed documents for -fig trace")
 	nodes := flag.Int("nodes", 20, "cluster size for -fig trace and -fig bench")
 	out := flag.String("out", "BENCH_publish.json", "output path for -fig bench ('-' = stdout)")
+	baseline := flag.String("baseline", "", "prior -fig bench report to guard against (>20% publish p95 regression fails)")
 	benchFilters := flag.Int("bench-filters", 2000, "registered filters for -fig bench")
 	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench")
 	flag.Parse()
 
 	if *fig == "bench" {
-		if err := runBench(*out, *nodes, *benchFilters, *benchDocs, *seed); err != nil {
+		if err := runBench(*out, *baseline, *nodes, *benchFilters, *benchDocs, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
 			os.Exit(1)
 		}

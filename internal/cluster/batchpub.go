@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/trace"
+)
+
+// BatchPublisher is the coalescing counterpart of Cluster.Publish: it pins
+// one live entry node and routes every document through that node's batch
+// pipeline, so concurrent publishes bound for the same home node share
+// RPC frames. Per-document semantics — Bloom gate, match dedup, delivery
+// hook, availability-error swallowing, trace — match Publish exactly.
+type BatchPublisher struct {
+	c       *Cluster
+	batcher *node.Batcher
+}
+
+// NewBatchPublisher opens a batch pipeline on a live entry node. The RS
+// scheme floods every node per document, so per-home coalescing does not
+// apply and construction is refused; callers fall back to Publish.
+func (c *Cluster) NewBatchPublisher(cfg node.BatcherConfig) (*BatchPublisher, error) {
+	if c.cfg.Scheme == SchemeRS {
+		return nil, fmt.Errorf("%w: batch publishing requires home-node routing (scheme=%v)", ErrBadConfig, c.cfg.Scheme)
+	}
+	entry := c.pickEntry()
+	if entry == nil {
+		return nil, ErrNoMatchPath
+	}
+	return &BatchPublisher{c: c, batcher: node.NewBatcher(entry, cfg)}, nil
+}
+
+// Publish disseminates one document through the batch pipeline, blocking
+// until its matches are known. Safe for concurrent use — concurrency is
+// what fills batches.
+func (p *BatchPublisher) Publish(ctx context.Context, terms []string) (PublishResult, error) {
+	c := p.c
+	doc := model.Document{
+		ID:    c.docSeq.Add(1),
+		Terms: model.SortTerms(append([]string(nil), terms...)),
+	}
+	if err := doc.Validate(); err != nil {
+		return PublishResult{}, err
+	}
+	c.qCounter.Observe(doc.Terms)
+	c.qSketch.ObserveSet(doc.Terms)
+
+	sp := trace.New("publish.batch", doc.ID)
+	ctx = trace.With(ctx, sp)
+	matches, total, err := p.batcher.Publish(ctx, &doc)
+	res := PublishResult{
+		Matches:         matches,
+		Complete:        err == nil && !total.Degraded,
+		PostingsScanned: total.PostingsScanned,
+		PostingLists:    total.PostingLists,
+		Degraded:        total.Degraded,
+		ColumnsLost:     total.ColumnsLost,
+	}
+	sp.Finish()
+	res.Trace = sp.Summary()
+	if err != nil && !availabilityOnly(err) {
+		return res, err
+	}
+	return res, nil
+}
+
+// Close flushes pending batches and releases the pipeline's workers.
+func (p *BatchPublisher) Close() { p.batcher.Close() }
+
+// publishBatchPumpers bounds PublishBatch's concurrent in-flight
+// publishes. Concurrency is what lets documents coalesce: a lone
+// publisher would only ever flush interval-expired singleton batches.
+const publishBatchPumpers = 32
+
+// PublishBatch disseminates many documents through one shared batch
+// pipeline and returns their results in input order. Hard (non-
+// availability) per-document errors are aggregated into the returned
+// error; the corresponding slots still carry whatever partial result the
+// publish produced. Under RS the documents are published sequentially —
+// flooding has no per-home frames to share.
+func (c *Cluster) PublishBatch(ctx context.Context, docs [][]string) ([]PublishResult, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	if c.cfg.Scheme == SchemeRS {
+		out := make([]PublishResult, len(docs))
+		var errs []error
+		for i, terms := range docs {
+			res, err := c.Publish(ctx, terms)
+			out[i] = res
+			if err != nil {
+				errs = append(errs, fmt.Errorf("doc %d: %w", i, err))
+			}
+		}
+		return out, errors.Join(errs...)
+	}
+	// Workers are scaled to the pumper pool so coalesced frames drain
+	// concurrently even when per-RPC latency dominates; the bounded queue
+	// still applies backpressure when the fabric falls behind.
+	bp, err := c.NewBatchPublisher(node.BatcherConfig{Workers: publishBatchPumpers / 2})
+	if err != nil {
+		return nil, err
+	}
+	defer bp.Close()
+
+	out := make([]PublishResult, len(docs))
+	errSlots := make([]error, len(docs))
+	var next atomic.Int64
+	workers := publishBatchPumpers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				res, err := bp.Publish(ctx, docs[i])
+				out[i] = res
+				if err != nil {
+					errSlots[i] = fmt.Errorf("doc %d: %w", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errSlots...)
+}

@@ -107,6 +107,11 @@ type Config struct {
 	// control RPCs bypass injection — they model the paper's dedicated
 	// master node, not the data path.
 	Fault *transport.FaultConfig
+	// RPCLatency adds a fixed one-way delivery delay to every RPC on the
+	// in-memory transport. Zero (the default) keeps the fabric
+	// instantaneous; benchmarks set it so publish figures include a
+	// realistic per-RPC cost for frame coalescing to amortize.
+	RPCLatency time.Duration
 	// Metrics receives the cluster's resilience counters (rpc.retries,
 	// breaker.open, publish.failover, ...). Nil creates a private registry
 	// exposed via Cluster.Metrics.
@@ -227,7 +232,7 @@ func New(cfg Config) (*Cluster, error) {
 
 	c := &Cluster{
 		cfg:              cfg,
-		net:              transport.NewNetwork(transport.NetworkConfig{}),
+		net:              transport.NewNetwork(transport.NetworkConfig{Latency: cfg.RPCLatency}),
 		ring:             ring.New(ring.Config{}),
 		rng:              rand.New(rand.NewSource(seed)),
 		nodes:            make(map[ring.NodeID]*node.Node, cfg.Nodes),

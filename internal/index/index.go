@@ -12,11 +12,18 @@
 // evaluated) so the experiment harness can charge the §IV latency model's
 // y_p cost exactly where the paper says it accrues: in local (disk) reads
 // of posting lists.
+//
+// The index is sharded: posting lists and filter definitions live in
+// power-of-two in-memory shards with per-shard locks (see shard.go), so
+// concurrent registers, unregisters, and matches on different terms do not
+// contend. The match path is served entirely from the shards via snapshot
+// reads; the store is a write-through durability layer that is only read
+// again at startup, when the shards are rebuilt from it.
 package index
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/movesys/move/internal/metrics"
@@ -32,15 +39,18 @@ type Index struct {
 	postings *store.PostingStore
 	corpus   *vsm.Corpus
 
+	// state is the sharded in-memory serving layer; every match reads from
+	// it and never touches the store.
+	state *shardedState
+
 	// Optional per-stage latency instrumentation (§IV cost model: the
 	// posting-list read is the "disk seek" y_seek, the evaluation loop is
 	// the per-posting scan y_p). Nil histograms record nothing.
 	postingReadH *metrics.Histogram
 	evalH        *metrics.Histogram
 
-	mu          sync.RWMutex
-	numFilters  int
-	numPostings int
+	numFilters  atomic.Int64
+	numPostings atomic.Int64
 }
 
 // Instrument routes the index's per-stage latencies into reg:
@@ -56,9 +66,9 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 }
 
 // New builds an index over a node-local store. When the store was opened
-// from a data directory, the counters are rebuilt from the recovered
-// filters and posting lists, so a restarted node resumes with correct
-// load-accounting state.
+// from a data directory, the in-memory shards and counters are rebuilt
+// from the recovered filters and posting lists, so a restarted node
+// resumes serving matches with its full pre-crash state.
 func New(s *store.Store) (*Index, error) {
 	fs, err := store.NewFilterStore(s)
 	if err != nil {
@@ -72,40 +82,54 @@ func New(s *store.Store) (*Index, error) {
 		filters:  fs,
 		postings: ps,
 		corpus:   vsm.NewCorpus(),
+		state:    newShardedState(),
 	}
-	if err := ix.recoverCounters(); err != nil {
-		return nil, fmt.Errorf("index: recover counters: %w", err)
+	if err := ix.loadFromStore(); err != nil {
+		return nil, fmt.Errorf("index: load from store: %w", err)
 	}
 	return ix, nil
 }
 
-// recoverCounters recounts filters and posting entries after a restart.
-func (ix *Index) recoverCounters() error {
-	n, err := ix.filters.Count()
+// loadFromStore rebuilds the sharded serving layer and counters after a
+// restart. Posting lists come back deduplicated (PostingStore.Get merges),
+// so the recovered numPostings counts distinct entries even if the live
+// counter had drifted past that before the crash.
+func (ix *Index) loadFromStore() error {
+	count := 0
+	err := ix.filters.Each(func(f model.Filter) bool {
+		ix.state.filterShard(f.ID).put(f)
+		count++
+		return true
+	})
 	if err != nil {
 		return err
 	}
-	ix.numFilters = n
+	ix.numFilters.Store(int64(count))
 	terms, err := ix.postings.Terms()
 	if err != nil {
 		return err
 	}
 	total := 0
 	for _, t := range terms {
-		l, err := ix.postings.Len(t)
+		ids, err := ix.postings.Get(t)
 		if err != nil {
 			return err
 		}
-		total += l
+		sh := ix.state.termShard(t)
+		for _, id := range ids {
+			sh.add(t, id)
+		}
+		total += len(ids)
 	}
-	ix.numPostings = total
+	ix.numPostings.Store(int64(total))
 	return nil
 }
 
 // Register stores filter f and adds it to the posting lists of
 // postingTerms. On a home node postingTerms is the single responsible term
 // (or the node's responsible subset of f's terms); the RS baseline passes
-// all of f's terms.
+// all of f's terms. The store write happens first, so the in-memory shards
+// never serve a filter the durability layer doesn't have.
 func (ix *Index) Register(f model.Filter, postingTerms []string) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -118,10 +142,12 @@ func (ix *Index) Register(f model.Filter, postingTerms []string) error {
 			return err
 		}
 	}
-	ix.mu.Lock()
-	ix.numFilters++
-	ix.numPostings += len(postingTerms)
-	ix.mu.Unlock()
+	ix.state.filterShard(f.ID).put(f.Clone())
+	for _, t := range postingTerms {
+		ix.state.termShard(t).add(t, f.ID)
+	}
+	ix.numFilters.Add(1)
+	ix.numPostings.Add(int64(len(postingTerms)))
 	return nil
 }
 
@@ -130,19 +156,23 @@ func (ix *Index) Register(f model.Filter, postingTerms []string) error {
 // filtered lazily on match (a standard tombstone-style design: posting
 // lists are append-only; a missing filter definition drops the candidate).
 func (ix *Index) Unregister(id model.FilterID) error {
-	_, ok, err := ix.filters.Get(id)
-	if err != nil {
-		return err
-	}
-	if !ok {
+	sh := ix.state.filterShard(id)
+	sh.mu.Lock()
+	_, present := sh.filters[id]
+	if !present {
+		sh.mu.Unlock()
 		return nil
 	}
+	// Delete from the store while holding the shard lock so a concurrent
+	// Register of the same ID cannot interleave between the two layers and
+	// leave them disagreeing.
 	if err := ix.filters.Delete(id); err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	ix.mu.Lock()
-	ix.numFilters--
-	ix.mu.Unlock()
+	delete(sh.filters, id)
+	sh.mu.Unlock()
+	ix.numFilters.Add(-1)
 	return nil
 }
 
@@ -176,15 +206,14 @@ func (s *MatchStats) Add(other MatchStats) {
 
 // MatchTerm finds the filters matching d among those on term's posting
 // list only (§III.B). The caller guarantees term ∈ d (the forwarding
-// engine only routes documents to home nodes of their own terms).
+// engine only routes documents to home nodes of their own terms). The
+// posting list is read as a lock-free snapshot, so matches on different
+// terms — and matches racing registers of other filters — never contend.
 func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, MatchStats, error) {
 	var st MatchStats
 	readTm := ix.postingReadH.Start()
-	ids, err := ix.postings.Get(term)
+	ids := ix.state.termShard(term).snapshot(term)
 	readTm.Stop()
-	if err != nil {
-		return nil, st, fmt.Errorf("index: posting list %q: %w", term, err)
-	}
 	// Only non-empty lists count as retrievals: a miss is answered by the
 	// in-memory term dictionary and never touches the list store.
 	if len(ids) > 0 {
@@ -196,16 +225,13 @@ func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, Matc
 	defer evalTm.Stop()
 	matched := make([]model.Filter, 0, len(ids))
 	for _, id := range ids {
-		f, ok, err := ix.filters.Get(id)
-		if err != nil {
-			return nil, st, err
-		}
+		f, ok := ix.state.filterShard(id).get(id)
 		if !ok {
 			continue // unregistered; lazy posting cleanup
 		}
 		st.Evaluated++
 		if ix.evaluate(&f, docSet) {
-			matched = append(matched, f)
+			matched = append(matched, f.Clone())
 		}
 	}
 	return matched, st, nil
@@ -223,11 +249,8 @@ func (ix *Index) MatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error
 	defer func() { ix.evalH.Observe(time.Since(evalStart)) }()
 	for _, term := range d.Terms {
 		readTm := ix.postingReadH.Start()
-		ids, err := ix.postings.Get(term)
+		ids := ix.state.termShard(term).snapshot(term)
 		readTm.Stop()
-		if err != nil {
-			return nil, st, fmt.Errorf("index: posting list %q: %w", term, err)
-		}
 		// SIFT retrieves the posting list of every document term with local
 		// postings; misses are answered by the in-memory dictionary. The
 		// per-node retrieval count is what makes blind flooding expensive
@@ -241,16 +264,13 @@ func (ix *Index) MatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error
 				continue
 			}
 			seen[id] = struct{}{}
-			f, ok, err := ix.filters.Get(id)
-			if err != nil {
-				return nil, st, err
-			}
+			f, ok := ix.state.filterShard(id).get(id)
 			if !ok {
 				continue
 			}
 			st.Evaluated++
 			if ix.evaluate(&f, docSet) {
-				matched = append(matched, f)
+				matched = append(matched, f.Clone())
 			}
 		}
 	}
@@ -284,30 +304,33 @@ func (ix *Index) evaluate(f *model.Filter, docSet map[string]struct{}) bool {
 
 // NumFilters returns the count of registered filter definitions.
 func (ix *Index) NumFilters() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.numFilters
+	return int(ix.numFilters.Load())
 }
 
 // NumPostings returns the total posting entries written (storage-cost
 // accounting for Figure 9(a)).
 func (ix *Index) NumPostings() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.numPostings
+	return int(ix.numPostings.Load())
 }
 
-// PostingIDs returns the filter IDs on term's posting list.
+// PostingIDs returns the filter IDs on term's posting list, as a fresh
+// copy the caller may keep or mutate.
 func (ix *Index) PostingIDs(term string) ([]model.FilterID, error) {
-	return ix.postings.Get(term)
+	snap := ix.state.termShard(term).snapshot(term)
+	if len(snap) == 0 {
+		return nil, nil
+	}
+	return append([]model.FilterID(nil), snap...), nil
 }
 
 // PostingLen returns the posting-list length of term.
 func (ix *Index) PostingLen(term string) (int, error) {
-	return ix.postings.Len(term)
+	return len(ix.state.termShard(term).snapshot(term)), nil
 }
 
-// Terms lists the terms with posting lists on this node.
+// Terms lists the terms with posting lists on this node. Delegates to the
+// store so the result stays in sorted key order (allocation relies on a
+// deterministic walk).
 func (ix *Index) Terms() ([]string, error) {
 	return ix.postings.Terms()
 }
@@ -318,12 +341,20 @@ func (ix *Index) EachFilter(fn func(model.Filter) bool) error {
 }
 
 // DropTerm removes a term's posting list (allocation migration moves its
-// filters elsewhere).
+// filters elsewhere) from both the serving shards and the store.
 func (ix *Index) DropTerm(term string) error {
-	return ix.postings.Remove(term)
+	if err := ix.postings.Remove(term); err != nil {
+		return err
+	}
+	ix.state.termShard(term).remove(term)
+	return nil
 }
 
 // GetFilter loads one filter definition.
 func (ix *Index) GetFilter(id model.FilterID) (model.Filter, bool, error) {
-	return ix.filters.Get(id)
+	f, ok := ix.state.filterShard(id).get(id)
+	if !ok {
+		return model.Filter{}, false, nil
+	}
+	return f.Clone(), true, nil
 }

@@ -1,0 +1,156 @@
+package index
+
+import (
+	"sync"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// DefaultShards is the number of term shards and filter shards in an
+// Index. It must be a power of two so shard selection is a mask, not a
+// modulo. 32 shards keeps per-shard maps small at the paper's filter
+// densities while giving concurrent registers/matches on different terms
+// independent locks.
+const DefaultShards = 32
+
+const shardMask = DefaultShards - 1
+
+// termShardFor hashes a term to its shard with FNV-1a. The low bits of
+// FNV-1a are well distributed for short ASCII terms, which is exactly the
+// key population here (tokenized words).
+func termShardFor(term string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(term); i++ {
+		h ^= uint64(term[i])
+		h *= prime64
+	}
+	return uint32(h) & shardMask
+}
+
+// filterShardFor hashes a filter ID to its shard with a Fibonacci
+// multiply, which spreads the low bits of sequential IDs (the common
+// allocation pattern) across shards.
+func filterShardFor(id model.FilterID) uint32 {
+	return uint32((uint64(id)*0x9E3779B97F4A7C15)>>56) & shardMask
+}
+
+// posting is one term's in-memory posting list. ids is the published
+// snapshot: readers copy the slice header under the shard's read lock and
+// then iterate without any lock. Appends happen in place under the shard's
+// write lock; a writer only ever stores to indexes >= every published
+// snapshot's length (or into a freshly grown backing array), so a snapshot
+// taken before the append never observes the written element and the two
+// accesses touch disjoint memory. seen makes the append-side dedup O(1),
+// mirroring PostingStore.Get's first-insertion-wins ordering.
+type posting struct {
+	ids  []model.FilterID
+	seen map[model.FilterID]struct{}
+}
+
+// termShard holds the posting lists whose terms hash to it.
+type termShard struct {
+	mu    sync.RWMutex
+	lists map[string]*posting
+}
+
+// add appends id to term's posting list, creating the list on first use.
+// Duplicate ids are ignored (posting lists are sets in insertion order).
+func (s *termShard) add(term string, id model.FilterID) {
+	s.mu.Lock()
+	p := s.lists[term]
+	if p == nil {
+		p = &posting{seen: make(map[model.FilterID]struct{}, 4)}
+		s.lists[term] = p
+	}
+	if _, dup := p.seen[id]; !dup {
+		p.seen[id] = struct{}{}
+		p.ids = append(p.ids, id)
+	}
+	s.mu.Unlock()
+}
+
+// snapshot returns the current posting list for term. The returned slice
+// is an immutable snapshot: callers may iterate it freely but must not
+// append to or mutate it.
+func (s *termShard) snapshot(term string) []model.FilterID {
+	s.mu.RLock()
+	var ids []model.FilterID
+	if p := s.lists[term]; p != nil {
+		ids = p.ids
+	}
+	s.mu.RUnlock()
+	return ids
+}
+
+// remove drops term's posting list entirely.
+func (s *termShard) remove(term string) {
+	s.mu.Lock()
+	delete(s.lists, term)
+	s.mu.Unlock()
+}
+
+// filterShard holds the filter definitions whose IDs hash to it.
+type filterShard struct {
+	mu      sync.RWMutex
+	filters map[model.FilterID]model.Filter
+}
+
+// get returns the filter definition for id, if registered. The returned
+// filter shares its Terms slice with the shard; callers must treat it as
+// read-only (Clone before handing it out of the package).
+func (s *filterShard) get(id model.FilterID) (model.Filter, bool) {
+	s.mu.RLock()
+	f, ok := s.filters[id]
+	s.mu.RUnlock()
+	return f, ok
+}
+
+// put stores (or replaces) a filter definition.
+func (s *filterShard) put(f model.Filter) {
+	s.mu.Lock()
+	s.filters[f.ID] = f
+	s.mu.Unlock()
+}
+
+// del removes id's definition, reporting whether it was present.
+func (s *filterShard) del(id model.FilterID) bool {
+	s.mu.Lock()
+	_, ok := s.filters[id]
+	if ok {
+		delete(s.filters, id)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// shardedState is the in-memory serving layer of an Index: every read the
+// match path performs is answered here, so matches never touch the store
+// (and never contend with its column-family mutex). Writes go through the
+// shards and are mirrored to the store for durability.
+type shardedState struct {
+	terms   [DefaultShards]termShard
+	filters [DefaultShards]filterShard
+}
+
+func newShardedState() *shardedState {
+	st := &shardedState{}
+	for i := range st.terms {
+		st.terms[i].lists = make(map[string]*posting)
+	}
+	for i := range st.filters {
+		st.filters[i].filters = make(map[model.FilterID]model.Filter)
+	}
+	return st
+}
+
+func (st *shardedState) termShard(term string) *termShard {
+	return &st.terms[termShardFor(term)]
+}
+
+func (st *shardedState) filterShard(id model.FilterID) *filterShard {
+	return &st.filters[filterShardFor(id)]
+}

@@ -1,0 +1,368 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/store"
+	"github.com/movesys/move/internal/vsm"
+)
+
+// refIndex is the pre-sharding reference implementation: one RWMutex over
+// plain maps, with the exact match semantics of Index (insertion-ordered
+// deduplicated posting lists, lazy tombstones, the same evaluate logic).
+// The equivalence property below holds the sharded Index to byte-identical
+// results against it.
+type refIndex struct {
+	mu       sync.RWMutex
+	filters  map[model.FilterID]model.Filter
+	postings map[string][]model.FilterID
+	corpus   *vsm.Corpus
+}
+
+func newRefIndex() *refIndex {
+	return &refIndex{
+		filters:  make(map[model.FilterID]model.Filter),
+		postings: make(map[string][]model.FilterID),
+		corpus:   vsm.NewCorpus(),
+	}
+}
+
+func (r *refIndex) register(f model.Filter, postingTerms []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.filters[f.ID] = f.Clone()
+	for _, t := range postingTerms {
+		dup := false
+		for _, id := range r.postings[t] {
+			if id == f.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.postings[t] = append(r.postings[t], f.ID)
+		}
+	}
+}
+
+func (r *refIndex) unregister(id model.FilterID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.filters, id)
+}
+
+func (r *refIndex) dropTerm(term string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.postings, term)
+}
+
+func (r *refIndex) evaluate(f *model.Filter, docSet map[string]struct{}) bool {
+	switch f.Mode {
+	case model.MatchAny:
+		for _, t := range f.Terms {
+			if _, ok := docSet[t]; ok {
+				return true
+			}
+		}
+		return false
+	case model.MatchAll:
+		for _, t := range f.Terms {
+			if _, ok := docSet[t]; !ok {
+				return false
+			}
+		}
+		return true
+	case model.MatchThreshold:
+		return r.corpus.ContainmentScore(docSet, f.Terms) >= f.Threshold
+	default:
+		return false
+	}
+}
+
+func (r *refIndex) matchTerm(d *model.Document, term string) ([]model.Filter, MatchStats) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var st MatchStats
+	ids := r.postings[term]
+	if len(ids) > 0 {
+		st.PostingLists = 1
+	}
+	st.Postings = len(ids)
+	docSet := d.TermSet()
+	var matched []model.Filter
+	for _, id := range ids {
+		f, ok := r.filters[id]
+		if !ok {
+			continue
+		}
+		st.Evaluated++
+		if r.evaluate(&f, docSet) {
+			matched = append(matched, f)
+		}
+	}
+	return matched, st
+}
+
+func (r *refIndex) matchSIFT(d *model.Document) ([]model.Filter, MatchStats) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var st MatchStats
+	docSet := d.TermSet()
+	seen := make(map[model.FilterID]struct{})
+	var matched []model.Filter
+	for _, term := range d.Terms {
+		ids := r.postings[term]
+		if len(ids) > 0 {
+			st.PostingLists++
+		}
+		st.Postings += len(ids)
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			f, ok := r.filters[id]
+			if !ok {
+				continue
+			}
+			st.Evaluated++
+			if r.evaluate(&f, docSet) {
+				matched = append(matched, f)
+			}
+		}
+	}
+	return matched, st
+}
+
+// encodeMatches flattens an ordered match result to bytes, so equivalence
+// is byte-level: same filters, same order, same field contents.
+func encodeMatches(matched []model.Filter, st MatchStats) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "lists=%d postings=%d eval=%d\n", st.PostingLists, st.Postings, st.Evaluated)
+	for i := range matched {
+		buf.Write(matched[i].Encode())
+	}
+	return buf.Bytes()
+}
+
+// TestShardedMatchesReferenceByteIdentical drives random workloads
+// (register / unregister / drop-term / observe, across all three match
+// modes) into the sharded Index and the single-lock reference, then
+// compares MatchTerm and MatchSIFT byte-for-byte on random documents.
+func TestShardedMatchesReferenceByteIdentical(t *testing.T) {
+	vocab := make([]string, 24)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%d", i)
+	}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, err := store.Open("", store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := New(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefIndex()
+
+		pick := func(n int) []string {
+			seen := map[string]struct{}{}
+			var out []string
+			for len(out) < n {
+				w := vocab[rng.Intn(len(vocab))]
+				if _, dup := seen[w]; dup {
+					continue
+				}
+				seen[w] = struct{}{}
+				out = append(out, w)
+			}
+			return model.SortTerms(out)
+		}
+		var registered []model.FilterID
+		nextID := model.FilterID(1)
+
+		for step := 0; step < 120; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // register
+				f := model.Filter{
+					ID:         nextID,
+					Subscriber: fmt.Sprintf("s%d", rng.Intn(5)),
+					Terms:      pick(1 + rng.Intn(3)),
+				}
+				nextID++
+				switch rng.Intn(3) {
+				case 0:
+					f.Mode = model.MatchAny
+				case 1:
+					f.Mode = model.MatchAll
+				default:
+					f.Mode = model.MatchThreshold
+					f.Threshold = 0.2 + 0.6*rng.Float64()
+				}
+				postingTerms := f.Terms
+				if len(f.Terms) > 1 && rng.Intn(2) == 0 {
+					postingTerms = f.Terms[:1+rng.Intn(len(f.Terms))]
+				}
+				if err := ix.Register(f, postingTerms); err != nil {
+					t.Fatalf("seed %d step %d: register: %v", seed, step, err)
+				}
+				ref.register(f, postingTerms)
+				registered = append(registered, f.ID)
+			case op < 6 && len(registered) > 0: // unregister
+				id := registered[rng.Intn(len(registered))]
+				if err := ix.Unregister(id); err != nil {
+					t.Fatalf("seed %d step %d: unregister: %v", seed, step, err)
+				}
+				ref.unregister(id)
+			case op == 6: // drop a term's posting list
+				term := vocab[rng.Intn(len(vocab))]
+				if err := ix.DropTerm(term); err != nil {
+					t.Fatalf("seed %d step %d: drop term: %v", seed, step, err)
+				}
+				ref.dropTerm(term)
+			case op == 7: // feed idf statistics (threshold-mode inputs)
+				doc := model.Document{ID: uint64(step), Terms: pick(1 + rng.Intn(5))}
+				ix.ObserveDocument(&doc)
+				ref.corpus.AddDocument(doc.Terms)
+			default: // match and compare
+				doc := model.Document{ID: uint64(step), Terms: pick(1 + rng.Intn(5))}
+				term := doc.Terms[rng.Intn(len(doc.Terms))]
+				gotM, gotSt, err := ix.MatchTerm(&doc, term)
+				if err != nil {
+					t.Fatalf("seed %d step %d: match term: %v", seed, step, err)
+				}
+				refM, refSt := ref.matchTerm(&doc, term)
+				if !bytes.Equal(encodeMatches(gotM, gotSt), encodeMatches(refM, refSt)) {
+					t.Logf("seed %d step %d: MatchTerm(%v, %q) diverged:\n sharded: %v %+v\n ref:     %v %+v",
+						seed, step, doc.Terms, term, gotM, gotSt, refM, refSt)
+					return false
+				}
+				gotM, gotSt, err = ix.MatchSIFT(&doc)
+				if err != nil {
+					t.Fatalf("seed %d step %d: match sift: %v", seed, step, err)
+				}
+				refM, refSt = ref.matchSIFT(&doc)
+				if !bytes.Equal(encodeMatches(gotM, gotSt), encodeMatches(refM, refSt)) {
+					t.Logf("seed %d step %d: MatchSIFT(%v) diverged:\n sharded: %v %+v\n ref:     %v %+v",
+						seed, step, doc.Terms, gotM, gotSt, refM, refSt)
+					return false
+				}
+			}
+		}
+		// Counter parity with the reference's live state.
+		if ix.NumFilters() != len(ref.filters) {
+			t.Logf("seed %d: NumFilters = %d, reference has %d", seed, ix.NumFilters(), len(ref.filters))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedIndexConcurrentMutationsAndMatches hammers one Index from
+// concurrent registrars, unregistrars, and matchers. Run under -race this
+// is the shard-layout safety net: snapshot reads must never tear, and the
+// final state must reflect every registration that wasn't removed.
+func TestShardedIndexConcurrentMutationsAndMatches(t *testing.T) {
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers   = 4
+		matchers  = 4
+		perWriter = 150
+	)
+	terms := make([]string, 16)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("w%d", i)
+	}
+	var writerWg, matcherWg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for i := 0; i < perWriter; i++ {
+				id := model.FilterID(w*perWriter + i + 1)
+				term := terms[rng.Intn(len(terms))]
+				f := model.Filter{ID: id, Subscriber: "s", Terms: []string{term}, Mode: model.MatchAny}
+				if err := ix.Register(f, f.Terms); err != nil {
+					t.Errorf("register %v: %v", id, err)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					if err := ix.Unregister(id); err != nil {
+						t.Errorf("unregister %v: %v", id, err)
+						return
+					}
+					// Re-register under the same ID: exercises the posting
+					// dedup path (the ID is already on the term's list).
+					if err := ix.Register(f, f.Terms); err != nil {
+						t.Errorf("re-register %v: %v", id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for m := 0; m < matchers; m++ {
+		matcherWg.Add(1)
+		go func(m int) {
+			defer matcherWg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + m)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doc := model.Document{ID: 1, Terms: []string{terms[rng.Intn(len(terms))], terms[rng.Intn(len(terms))]}}
+				doc.Terms = model.SortTerms(doc.Terms)
+				if _, _, err := ix.MatchTerm(&doc, doc.Terms[0]); err != nil {
+					t.Errorf("match term: %v", err)
+					return
+				}
+				if _, _, err := ix.MatchSIFT(&doc); err != nil {
+					t.Errorf("match sift: %v", err)
+					return
+				}
+			}
+		}(m)
+	}
+	writerWg.Wait()
+	close(stop)
+	matcherWg.Wait()
+
+	if got, want := ix.NumFilters(), writers*perWriter; got != want {
+		t.Fatalf("NumFilters after quiesce = %d, want %d", got, want)
+	}
+	// Every registered filter must be matchable through its term.
+	total := 0
+	for _, term := range terms {
+		doc := model.Document{ID: 99, Terms: []string{term}}
+		matched, _, err := ix.MatchTerm(&doc, term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(matched)
+	}
+	if total != writers*perWriter {
+		t.Fatalf("matchable filters = %d, want %d", total, writers*perWriter)
+	}
+}

@@ -1,0 +1,209 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// registerHotFilters registers n single-term ("hot") filters directly on
+// the term's home node, with no allocation grid — the home matches them
+// locally.
+func registerHotFilters(t *testing.T, h *harness, n int) {
+	t.Helper()
+	home, err := h.ring.HomeNode("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeNode := h.nodeByID(home)
+	for i := 1; i <= n; i++ {
+		f := model.Filter{ID: model.FilterID(i), Subscriber: "s", Terms: []string{"hot"}, Mode: model.MatchAny}
+		payload := EncodeRegister(RegisterReq{Filter: f, PostingTerms: []string{"hot"}})
+		if _, err := homeNode.Handle(context.Background(), "test", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBatcherEdgeCases drives the coalescing publisher through its flush
+// boundaries: a batch of one (interval-flushed singleton), a batch at
+// exactly the size cap (one full-flush, deterministic frame size), and an
+// interval-triggered partial batch below the cap. Every case checks the
+// match set, the flush-reason counters, and the Batch size recorded on
+// the home hops.
+func TestBatcherEdgeCases(t *testing.T) {
+	type result struct {
+		matches []Match
+		resp    MatchResp
+		err     error
+	}
+	cases := []struct {
+		name string
+		cfg  BatcherConfig
+		docs int
+		// exact marks the deterministic case: every doc must ride one
+		// frame of exactly `docs` items.
+		exact      bool
+		wantReason string // flush-reason counter that must fire
+		zeroReason string // flush-reason counter that must stay zero
+	}{
+		{
+			name:       "batch of one",
+			cfg:        BatcherConfig{MaxBatch: 8, FlushInterval: 2 * time.Millisecond},
+			docs:       1,
+			wantReason: "publish.batch.flush.interval",
+			zeroReason: "publish.batch.flush.full",
+		},
+		{
+			name:       "batch at exact size cap",
+			cfg:        BatcherConfig{MaxBatch: 4, FlushInterval: time.Minute},
+			docs:       4,
+			exact:      true,
+			wantReason: "publish.batch.flush.full",
+			zeroReason: "publish.batch.flush.interval",
+		},
+		{
+			name:       "flush interval partial batch",
+			cfg:        BatcherConfig{MaxBatch: 64, FlushInterval: 3 * time.Millisecond},
+			docs:       3,
+			wantReason: "publish.batch.flush.interval",
+			zeroReason: "publish.batch.flush.full",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, reg := newResilientHarness(t, 6)
+			const filters = 10
+			registerHotFilters(t, h, filters)
+			b := NewBatcher(h.nodes[0], tc.cfg)
+			defer b.Close()
+
+			results := make([]result, tc.docs)
+			var wg sync.WaitGroup
+			for i := 0; i < tc.docs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					doc := model.Document{ID: uint64(i + 1), Terms: []string{"hot"}}
+					m, resp, err := b.Publish(context.Background(), &doc)
+					results[i] = result{matches: m, resp: resp, err: err}
+				}(i)
+			}
+			wg.Wait()
+
+			for i, r := range results {
+				if r.err != nil {
+					t.Fatalf("doc %d: %v", i, r.err)
+				}
+				if len(r.matches) != filters {
+					t.Fatalf("doc %d: %d matches, want %d", i, len(r.matches), filters)
+				}
+				// The home node stamps every match-side hop ("local" here,
+				// "column" when a grid is installed) with the frame size it
+				// arrived in.
+				sawBatchHop := false
+				for _, hop := range r.resp.Hops {
+					if hop.Stage != "local" && hop.Stage != "column" {
+						continue
+					}
+					sawBatchHop = true
+					if hop.Batch < 1 || hop.Batch > tc.docs {
+						t.Fatalf("doc %d: %s hop batch = %d, want 1..%d", i, hop.Stage, hop.Batch, tc.docs)
+					}
+					if tc.exact && hop.Batch != tc.docs {
+						t.Fatalf("doc %d: %s hop batch = %d, want exactly %d", i, hop.Stage, hop.Batch, tc.docs)
+					}
+				}
+				if !sawBatchHop {
+					t.Fatalf("doc %d: no batch-stamped hop recorded: %+v", i, r.resp.Hops)
+				}
+			}
+			if got := reg.Counter(tc.wantReason).Value(); got == 0 {
+				t.Fatalf("%s = 0, want > 0", tc.wantReason)
+			}
+			if got := reg.Counter(tc.zeroReason).Value(); got != 0 {
+				t.Fatalf("%s = %d, want 0", tc.zeroReason, got)
+			}
+			if got := reg.Counter("publish.batch.docs").Value(); got != int64(tc.docs) {
+				t.Fatalf("publish.batch.docs = %d, want %d", got, tc.docs)
+			}
+			if tc.exact {
+				if got := reg.Counter(tc.wantReason).Value(); got != 1 {
+					t.Fatalf("%s = %d, want exactly 1 flush at the cap", tc.wantReason, got)
+				}
+				sh := reg.Histograms()["publish.batch.size"]
+				if sh.Count != 1 || sh.MaxNS != int64(tc.docs) {
+					t.Fatalf("publish.batch.size count=%d max=%d, want one observation of %d", sh.Count, sh.MaxNS, tc.docs)
+				}
+			}
+		})
+	}
+}
+
+// TestBatcherCloseFlushesPending parks publishes in a bucket that neither
+// fills nor expires, then closes the batcher: the close flush must
+// deliver every pending document's matches, and later publishes must be
+// refused.
+func TestBatcherCloseFlushesPending(t *testing.T) {
+	h, reg := newResilientHarness(t, 6)
+	const filters = 8
+	registerHotFilters(t, h, filters)
+	b := NewBatcher(h.nodes[0], BatcherConfig{MaxBatch: 64, FlushInterval: time.Minute})
+
+	const docs = 3
+	var wg sync.WaitGroup
+	errs := make([]error, docs)
+	counts := make([]int, docs)
+	for i := 0; i < docs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doc := model.Document{ID: uint64(i + 1), Terms: []string{"hot"}}
+			m, _, err := b.Publish(context.Background(), &doc)
+			errs[i], counts[i] = err, len(m)
+		}(i)
+	}
+	// Let all three publishes enqueue into the parked bucket, then close.
+	pending := func() int {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		total := 0
+		for _, bk := range b.buckets {
+			total += len(bk.items)
+		}
+		return total
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pending() != docs && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := pending(); got != docs {
+		t.Fatalf("pending items = %d before close, want %d", got, docs)
+	}
+	b.Close()
+	wg.Wait()
+
+	for i := 0; i < docs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("doc %d: %v", i, errs[i])
+		}
+		if counts[i] != filters {
+			t.Fatalf("doc %d: %d matches, want %d", i, counts[i], filters)
+		}
+	}
+	if reg.Counter("publish.batch.flush.close").Value() == 0 {
+		t.Fatal("publish.batch.flush.close = 0, want close-triggered flush")
+	}
+	if got := reg.Counter("publish.batch.flush.interval").Value(); got != 0 {
+		t.Fatalf("publish.batch.flush.interval = %d, want 0", got)
+	}
+
+	doc := model.Document{ID: 99, Terms: []string{"hot"}}
+	if _, _, err := b.Publish(context.Background(), &doc); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("publish after close = %v, want ErrBatcherClosed", err)
+	}
+}

@@ -1,0 +1,363 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/trace"
+)
+
+// ErrBatcherClosed reports a publish submitted after Close.
+var ErrBatcherClosed = errors.New("node: batcher closed")
+
+// BatcherConfig parameterizes a Batcher.
+type BatcherConfig struct {
+	// MaxBatch is the size cap: a bucket reaching it flushes immediately.
+	// Default 32.
+	MaxBatch int
+	// FlushInterval bounds how long a partially filled bucket may wait
+	// before it is flushed anyway. Default 2ms.
+	FlushInterval time.Duration
+	// Workers is the number of goroutines draining flushed batches.
+	// Default 4.
+	Workers int
+	// QueueDepth bounds the flush queue. A full queue is the backpressure
+	// signal: submitters block (and publish.batch.backpressure counts the
+	// event) until a worker frees a slot. Default 64.
+	QueueDepth int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// termResult carries one term's match response back to the publish that
+// enqueued it.
+type termResult struct {
+	resp MatchResp
+	err  error
+}
+
+// batchItem is one (document, term) pair waiting in a bucket, plus the
+// channel and span of the publish it belongs to.
+type batchItem struct {
+	req PublishReq
+	out chan<- termResult
+	sp  *trace.Span
+}
+
+// bucket accumulates items bound for one home node.
+type bucket struct {
+	home  ring.NodeID
+	items []batchItem
+	since time.Time
+}
+
+// Batcher is the coalescing publish pipeline of the entry node: documents
+// fanning out to the same home node are framed together (bounded batch
+// size + flush interval) and drained by a worker pool over a bounded
+// queue. Publish blocks until every term's batched RPC resolves, so the
+// caller sees exactly the semantics of PublishEntry — same merge, same
+// dedup, same delivery hook — at a fraction of the RPC count.
+type Batcher struct {
+	n   *Node
+	cfg BatcherConfig
+
+	mu      sync.Mutex
+	buckets map[ring.NodeID]*bucket
+	closed  bool
+
+	workCh chan *bucket
+	done   chan struct{}
+	workWg sync.WaitGroup
+	tickWg sync.WaitGroup
+
+	// Batch observability. The histograms record dimensionless values
+	// (batch size, queue depth) through the duration-valued Histogram API:
+	// one unit = one nanosecond, so quantiles read directly as counts.
+	sizeH  *metrics.Histogram
+	queueH *metrics.Histogram
+	// Flush-reason counters: which condition closed each batch.
+	flushFullC     *metrics.Counter
+	flushIntervalC *metrics.Counter
+	flushCloseC    *metrics.Counter
+	backpressureC  *metrics.Counter
+	docsC          *metrics.Counter
+}
+
+// NewBatcher builds a batcher on top of n's transport and metrics
+// registry and starts its workers and flush ticker.
+func NewBatcher(n *Node, cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		n:              n,
+		cfg:            cfg,
+		buckets:        make(map[ring.NodeID]*bucket),
+		workCh:         make(chan *bucket, cfg.QueueDepth),
+		done:           make(chan struct{}),
+		sizeH:          n.reg.Histogram("publish.batch.size"),
+		queueH:         n.reg.Histogram("publish.batch.queue"),
+		flushFullC:     n.reg.Counter("publish.batch.flush.full"),
+		flushIntervalC: n.reg.Counter("publish.batch.flush.interval"),
+		flushCloseC:    n.reg.Counter("publish.batch.flush.close"),
+		backpressureC:  n.reg.Counter("publish.batch.backpressure"),
+		docsC:          n.reg.Counter("publish.batch.docs"),
+	}
+	b.workWg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go b.worker()
+	}
+	b.tickWg.Add(1)
+	go b.tick()
+	return b
+}
+
+// Publish disseminates one document through the batch pipeline and blocks
+// until its matches are known. The per-term fan-out, Bloom gate, match
+// dedup, OnDeliver hook, and partial-failure aggregation mirror
+// PublishEntry; only the wire framing differs.
+func (b *Batcher) Publish(ctx context.Context, doc *model.Document) ([]Match, MatchResp, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, MatchResp{}, err
+	}
+	n := b.n
+	sp := trace.From(ctx)
+	if sp == nil {
+		sp = trace.New("publish.batch", doc.ID)
+	}
+	e2e := n.hE2E.Start()
+	defer func() {
+		sp.AddStage("publish.e2e", e2e.Stop())
+		sp.Finish()
+		n.traces.Add(sp.Summary())
+	}()
+
+	n.mu.RLock()
+	bf := n.bloomF
+	n.mu.RUnlock()
+	terms := make([]string, 0, len(doc.Terms))
+	for _, t := range doc.Terms {
+		if bf != nil && !bf.Contains(t) {
+			continue
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		return nil, MatchResp{}, nil
+	}
+
+	// out is buffered to the full fan-out width so workers never block
+	// delivering results, even if this caller has already given up.
+	out := make(chan termResult, len(terms))
+	enqueued := 0
+	var errs []error
+	for _, t := range terms {
+		home, err := n.cfg.Ring.HomeNode(t)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err))
+			continue
+		}
+		if n.cfg.OnTransfer != nil {
+			n.cfg.OnTransfer(n.cfg.ID, home)
+		}
+		item := batchItem{req: PublishReq{Doc: *doc, Term: t}, out: out, sp: sp}
+		if err := b.enqueue(home, item); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		enqueued++
+	}
+
+	var total MatchResp
+	seen := make(map[model.FilterID]struct{})
+	var matches []Match
+	for i := 0; i < enqueued; i++ {
+		res := <-out
+		if res.err != nil {
+			errs = append(errs, res.err)
+			continue
+		}
+		total.PostingsScanned += res.resp.PostingsScanned
+		total.PostingLists += res.resp.PostingLists
+		total.Degraded = total.Degraded || res.resp.Degraded
+		total.ColumnsLost += res.resp.ColumnsLost
+		total.Hops = append(total.Hops, res.resp.Hops...)
+		for _, m := range res.resp.Matches {
+			if _, dup := seen[m.Filter]; dup {
+				continue
+			}
+			seen[m.Filter] = struct{}{}
+			matches = append(matches, m)
+		}
+	}
+	if n.cfg.OnDeliver != nil && len(matches) > 0 {
+		n.cfg.OnDeliver(doc, matches)
+	}
+	return matches, total, errors.Join(errs...)
+}
+
+// enqueue adds one item to its home node's bucket, flushing the bucket
+// when it reaches the size cap.
+func (b *Batcher) enqueue(home ring.NodeID, it batchItem) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	bk := b.buckets[home]
+	if bk == nil {
+		bk = &bucket{home: home, since: time.Now()}
+		b.buckets[home] = bk
+	}
+	bk.items = append(bk.items, it)
+	var full *bucket
+	if len(bk.items) >= b.cfg.MaxBatch {
+		delete(b.buckets, home)
+		full = bk
+	}
+	b.mu.Unlock()
+	if full != nil {
+		b.flushFullC.Inc()
+		b.submit(full)
+	}
+	return nil
+}
+
+// submit hands a closed bucket to the worker pool. A full queue blocks
+// the submitter — that is the backpressure contract: entry publishes slow
+// to the drain rate instead of queueing unboundedly — except during
+// shutdown, when the bucket is flushed inline to avoid losing items.
+func (b *Batcher) submit(bk *bucket) {
+	b.queueH.Observe(time.Duration(len(b.workCh)))
+	select {
+	case b.workCh <- bk:
+		return
+	default:
+	}
+	b.backpressureC.Inc()
+	select {
+	case b.workCh <- bk:
+	case <-b.done:
+		b.flush(bk)
+	}
+}
+
+// worker drains flushed buckets until the queue closes.
+func (b *Batcher) worker() {
+	defer b.workWg.Done()
+	for bk := range b.workCh {
+		b.flush(bk)
+	}
+}
+
+// tick flushes buckets whose oldest item has waited a full interval.
+func (b *Batcher) tick() {
+	defer b.tickWg.Done()
+	tk := time.NewTicker(b.cfg.FlushInterval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case now := <-tk.C:
+			var stale []*bucket
+			b.mu.Lock()
+			for home, bk := range b.buckets {
+				if now.Sub(bk.since) >= b.cfg.FlushInterval {
+					delete(b.buckets, home)
+					stale = append(stale, bk)
+				}
+			}
+			b.mu.Unlock()
+			for _, bk := range stale {
+				b.flushIntervalC.Inc()
+				b.submit(bk)
+			}
+		}
+	}
+}
+
+// flush sends one coalesced frame to its home node and routes each item's
+// response (or the shared error) back to its publish. The RPC runs under
+// context.Background(): a batch belongs to many publishers, so no single
+// caller's deadline governs it — per-attempt deadlines come from the
+// transport's resilience policy.
+func (b *Batcher) flush(bk *bucket) {
+	reqs := make([]PublishReq, len(bk.items))
+	for i := range bk.items {
+		reqs[i] = bk.items[i].req
+	}
+	b.sizeH.Observe(time.Duration(len(reqs)))
+	b.docsC.Add(int64(len(reqs)))
+	payload := EncodePublishBatch(msgPublishBatch, reqs)
+	rpcStart := time.Now()
+	raw, err := b.n.send(context.Background(), bk.home, payload)
+	elapsed := time.Since(rpcStart)
+	b.n.hFanout.Observe(elapsed)
+	var resps []MatchResp
+	if err == nil {
+		resps, err = DecodeMatchRespBatch(raw)
+		if err == nil && len(resps) != len(reqs) {
+			err = fmt.Errorf("node %s: batch response count %d != request count %d", b.n.cfg.ID, len(resps), len(reqs))
+		}
+	}
+	for i := range bk.items {
+		it := bk.items[i]
+		hop := trace.Hop{
+			Stage: "home", From: string(b.n.cfg.ID), To: string(bk.home),
+			Term: it.req.Term, Batch: len(reqs), ElapsedNS: elapsed.Nanoseconds(),
+		}
+		if err != nil {
+			hop.Err = err.Error()
+			it.sp.AddHop(hop)
+			it.out <- termResult{err: err}
+			continue
+		}
+		it.sp.AddHop(hop)
+		it.sp.AddHops(resps[i].Hops)
+		it.out <- termResult{resp: resps[i]}
+	}
+}
+
+// Close flushes every pending bucket, drains the workers, and rejects
+// further publishes. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var rest []*bucket
+	for home, bk := range b.buckets {
+		delete(b.buckets, home)
+		rest = append(rest, bk)
+	}
+	b.mu.Unlock()
+	close(b.done)
+	b.tickWg.Wait()
+	for _, bk := range rest {
+		b.flushCloseC.Inc()
+		b.submit(bk)
+	}
+	close(b.workCh)
+	b.workWg.Wait()
+}

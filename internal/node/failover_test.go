@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -159,6 +160,118 @@ func TestReplicaRowFailoverFullMatchSet(t *testing.T) {
 	}
 	if reg.Counter("publish.degraded").Value() == 0 {
 		t.Fatal("publish.degraded counter not incremented")
+	}
+}
+
+// TestBatchPublishFailoverAcrossCircuitBrokenColumn is the batched
+// counterpart of TestReplicaRowFailoverFullMatchSet: coalesced frames are
+// fanned out across a grid where each row has one dead node (so whichever
+// row the batch picks, at least one column must fail over — eventually
+// through an open circuit breaker's fast-fail path), and the whole frame
+// must still produce the full match set for every document in it. When a
+// column loses both rows, every document in the batch degrades to exactly
+// the surviving columns' filters.
+func TestBatchPublishFailoverAcrossCircuitBrokenColumn(t *testing.T) {
+	h, reg := newResilientHarness(t, 6)
+	const filters = 24
+	homeNode, grid := installHotGrid(t, h, filters)
+	ctx := context.Background()
+
+	// One dead node per row, different columns: every column keeps a live
+	// replica in some row, so failover preserves the exact match set.
+	h.net.Fail(grid.Node(0, 0))
+	h.net.Fail(grid.Node(1, 1))
+
+	var entry *Node
+	for _, nd := range h.nodes {
+		if nd.ID() != homeNode.ID() {
+			entry = nd
+			break
+		}
+	}
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 8, FlushInterval: time.Millisecond})
+	defer b.Close()
+
+	publishWave := func(startDoc uint64, count int) []MatchResp {
+		t.Helper()
+		resps := make([]MatchResp, count)
+		errs := make([]error, count)
+		var wg sync.WaitGroup
+		for i := 0; i < count; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				doc := model.Document{ID: startDoc + uint64(i), Terms: []string{"hot"}}
+				matches, resp, err := b.Publish(ctx, &doc)
+				// The aggregate response carries stats and hops only; stash
+				// the deduplicated matches in it for the assertions below.
+				resp.Matches = matches
+				resps[i], errs[i] = resp, err
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("doc %d: %v", i, err)
+			}
+		}
+		return resps
+	}
+
+	// Several waves: the first RPCs to the dead nodes fail slowly and trip
+	// their breakers (threshold 3); later waves fail over through the
+	// breaker's fast-fail. Every document of every wave must see the full
+	// match set regardless.
+	before := reg.Counter("publish.failover").Value()
+	var sawBatchedFailover bool
+	for wave := 0; wave < 4; wave++ {
+		resps := publishWave(uint64(100+wave*10), 8)
+		for i, resp := range resps {
+			if len(resp.Matches) != filters {
+				t.Fatalf("wave %d doc %d: matches = %d under per-row failures, want %d", wave, i, len(resp.Matches), filters)
+			}
+			if resp.Degraded || resp.ColumnsLost != 0 {
+				t.Fatalf("wave %d doc %d: degraded=%v lost=%d, want failover coverage", wave, i, resp.Degraded, resp.ColumnsLost)
+			}
+			for _, hop := range resp.Hops {
+				if hop.Stage == "column" && hop.Failover && hop.Err == "" && hop.Batch > 1 {
+					sawBatchedFailover = true
+				}
+			}
+		}
+	}
+	if got := reg.Counter("publish.failover").Value(); got <= before {
+		t.Fatalf("publish.failover = %d (was %d), want increments from batched row failover", got, before)
+	}
+	if !sawBatchedFailover {
+		t.Fatal("no column hop with Failover and Batch > 1 — batched frames never failed over")
+	}
+	if reg.Counter("breaker.open").Value() == 0 {
+		t.Fatal("breaker.open = 0, dead replicas never tripped their breakers")
+	}
+
+	// Column 0 fully dead: every document in the batch degrades to the
+	// column-1 filters, with no hard error.
+	h.net.Fail(grid.Node(1, 0))
+	wantSurvivors := 0
+	for i := 1; i <= filters; i++ {
+		if grid.Column(model.FilterID(i)) != 0 {
+			wantSurvivors++
+		}
+	}
+	resps := publishWave(500, 8)
+	for i, resp := range resps {
+		if !resp.Degraded || resp.ColumnsLost != 1 {
+			t.Fatalf("doc %d: degraded=%v lost=%d, want degraded with 1 lost column", i, resp.Degraded, resp.ColumnsLost)
+		}
+		if len(resp.Matches) != wantSurvivors {
+			t.Fatalf("doc %d: degraded matches = %d, want %d survivors", i, len(resp.Matches), wantSurvivors)
+		}
+		for _, m := range resp.Matches {
+			if grid.Column(m.Filter) == 0 {
+				t.Fatalf("doc %d: match %v from the dead column", i, m.Filter)
+			}
+		}
 	}
 }
 

@@ -67,6 +67,7 @@ type Config struct {
 type Node struct {
 	cfg Config
 	ix  *index.Index
+	reg *metrics.Registry
 
 	tr   transport.Transport
 	trMu sync.RWMutex
@@ -146,6 +147,7 @@ func New(cfg Config) (*Node, error) {
 	return &Node{
 		cfg:        cfg,
 		ix:         ix,
+		reg:        reg,
 		termGrids:  make(map[string]*alloc.Grid),
 		mail:       newMailboxes(),
 		rng:        rand.New(rand.NewSource(seed)),
@@ -250,6 +252,30 @@ func (n *Node) Handle(ctx context.Context, from ring.NodeID, payload []byte) ([]
 			return nil, err
 		}
 		return EncodeMatchResp(resp), nil
+	case msgPublishBatch:
+		reqs, err := decodePublishBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-batch: %w", n.cfg.ID, err)
+		}
+		resps, err := n.handlePublishBatch(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchRespBatch(resps), nil
+	case msgPublishLocalBatch:
+		reqs, err := decodePublishBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-local-batch: %w", n.cfg.ID, err)
+		}
+		resps := make([]MatchResp, len(reqs))
+		for i := range reqs {
+			resp, err := n.matchLocal(&reqs[i].Doc, reqs[i].Term)
+			if err != nil {
+				return nil, err
+			}
+			resps[i] = resp
+		}
+		return EncodeMatchRespBatch(resps), nil
 	case msgPublishSIFT:
 		doc, err := model.DecodeDocument(r)
 		if err != nil {
@@ -576,6 +602,178 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 		n.degradedC.Inc()
 	}
 	return merged, nil
+}
+
+// handlePublishBatch serves a coalesced frame of term-routed documents on
+// their shared home node. Items are grouped by their effective allocation
+// grid (per-term grids take precedence, as in the single-document path):
+// grid-less items are matched locally, and each grid group is fanned out
+// as one frame per column via batchFanOutRow. Responses come back in
+// request order.
+func (n *Node) handlePublishBatch(ctx context.Context, reqs []PublishReq) ([]MatchResp, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	n.homePublishes.Add(int64(len(reqs)))
+	sp := trace.New("publish.home.batch", reqs[0].Doc.ID)
+	tm := n.hHome.Start()
+
+	n.mu.RLock()
+	var local []int
+	groups := make(map[*alloc.Grid][]int)
+	var order []*alloc.Grid
+	for i := range reqs {
+		g := n.termGrids[reqs[i].Term]
+		if g == nil {
+			g = n.grid
+		}
+		if g == nil {
+			local = append(local, i)
+			continue
+		}
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	n.mu.RUnlock()
+
+	resps := make([]MatchResp, len(reqs))
+	for _, i := range local {
+		resp, err := n.matchLocal(&reqs[i].Doc, reqs[i].Term)
+		if err != nil {
+			return nil, err
+		}
+		resp.Hops = append(resp.Hops, trace.Hop{
+			Stage: "local", To: string(n.cfg.ID), Term: reqs[i].Term, Batch: len(reqs),
+		})
+		resps[i] = resp
+	}
+	for _, g := range order {
+		idx := groups[g]
+		sub := make([]PublishReq, len(idx))
+		for j, i := range idx {
+			sub[j] = reqs[i]
+		}
+		out, err := n.batchFanOutRow(ctx, g, sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idx {
+			resps[i] = out[j]
+		}
+	}
+	sp.AddStage("publish.home", tm.Stop())
+	for i := range resps {
+		sp.AddHops(resps[i].Hops)
+	}
+	sp.Finish()
+	n.traces.Add(sp.Summary())
+	return resps, nil
+}
+
+// batchFanOutRow is the batched counterpart of fanOutRow: one partition
+// row is chosen for the whole batch, and every grid column receives the
+// entire frame in a single RPC (the framing win the batch pipeline
+// exists for). Failover is per column and moves the whole frame to the
+// same column of the next row; a column no row can serve degrades every
+// document in the batch. Per-batch column hops are attached to the first
+// item's response only, so the wire cost of the trace stays O(columns),
+// not O(columns × batch).
+func (n *Node) batchFanOutRow(ctx context.Context, grid *alloc.Grid, reqs []PublishReq) ([]MatchResp, error) {
+	n.mu.Lock()
+	first := grid.PickRow(reqs[0].Doc.ID, n.rng)
+	n.mu.Unlock()
+	rows, cols := grid.Rows(), grid.Cols()
+	payload := EncodePublishBatch(msgPublishLocalBatch, reqs)
+	type colResult struct {
+		resps []MatchResp
+		err   error // non-availability failure: fatal for the publish
+		lost  bool  // no row could serve this column
+		hops  []trace.Hop
+	}
+	results := make([]colResult, cols)
+	var wg sync.WaitGroup
+	for col := 0; col < cols; col++ {
+		wg.Add(1)
+		go func(col int) {
+			defer wg.Done()
+			var hops []trace.Hop
+			for attempt := 0; attempt < rows; attempt++ {
+				row := (first + attempt) % rows
+				target := grid.Node(row, col)
+				if n.cfg.OnTransfer != nil {
+					// One transfer per document: the cost model charges y_d
+					// per document shipped, batched or not.
+					for range reqs {
+						n.cfg.OnTransfer(n.cfg.ID, target)
+					}
+				}
+				rpcStart := time.Now()
+				raw, err := n.send(ctx, target, payload)
+				elapsed := time.Since(rpcStart)
+				n.hColumnRPC.Observe(elapsed)
+				hop := trace.Hop{
+					Stage: "column", From: string(n.cfg.ID), To: string(target),
+					Row: row, Col: col, Attempt: attempt, Batch: len(reqs),
+					Failover: attempt > 0, ElapsedNS: elapsed.Nanoseconds(),
+				}
+				if err == nil {
+					resps, derr := DecodeMatchRespBatch(raw)
+					if derr == nil && len(resps) != len(reqs) {
+						derr = fmt.Errorf("node %s: batch response count %d != request count %d", n.cfg.ID, len(resps), len(reqs))
+					}
+					if derr != nil {
+						results[col] = colResult{err: derr}
+						return
+					}
+					if attempt > 0 {
+						n.failoverC.Inc()
+					}
+					results[col] = colResult{resps: resps, hops: append(hops, hop)}
+					return
+				}
+				hop.Err = err.Error()
+				hops = append(hops, hop)
+				if !transport.IsAvailabilityError(err) {
+					results[col] = colResult{err: err}
+					return
+				}
+			}
+			hops = append(hops, trace.Hop{Stage: "column", From: string(n.cfg.ID), Col: col, Lost: true, Batch: len(reqs)})
+			results[col] = colResult{lost: true, hops: hops}
+		}(col)
+	}
+	wg.Wait()
+
+	out := make([]MatchResp, len(reqs))
+	degraded := false
+	for c := range results {
+		res := &results[c]
+		if res.err != nil {
+			return nil, res.err
+		}
+		out[0].Hops = append(out[0].Hops, res.hops...)
+		if res.lost {
+			degraded = true
+			for i := range out {
+				out[i].Degraded = true
+				out[i].ColumnsLost++
+			}
+			continue
+		}
+		for i := range out {
+			out[i].Matches = append(out[i].Matches, res.resps[i].Matches...)
+			out[i].PostingsScanned += res.resps[i].PostingsScanned
+			out[i].PostingLists += res.resps[i].PostingLists
+			out[i].Degraded = out[i].Degraded || res.resps[i].Degraded
+			out[i].ColumnsLost += res.resps[i].ColumnsLost
+		}
+	}
+	if degraded {
+		n.degradedC.Inc()
+	}
+	return out, nil
 }
 
 // matchLocal runs the single-posting-list matcher and accounts the work.

@@ -29,6 +29,11 @@ const (
 	msgUnregister   = 11 // remove a filter definition
 	msgAllocate     = 12 // run an allocation round: migrate filters, install grid
 	msgAllocateTerm = 13 // per-term allocation round (ablation of §V's per-node grids)
+	// Batched publish framing: many (document, term) pairs bound for the
+	// same home node (or the same grid column) in one frame, answered by a
+	// batch of MatchResps in the same order.
+	msgPublishBatch      = 14 // batched home-node publish (entry → home)
+	msgPublishLocalBatch = 15 // batched grid-column match (home → grid row)
 )
 
 // EncodeAllocateTerm serializes a per-term allocation command.
@@ -127,6 +132,116 @@ func EncodePublishHome(req PublishReq) []byte {
 	return EncodePublish(msgPublish, req)
 }
 
+// EncodePublishBatch frames a batch of publishes with the given message
+// type (msgPublishBatch or msgPublishLocalBatch). A coalesced frame
+// usually repeats a handful of documents — one item per term routed to
+// this destination — so the frame carries a unique-document table
+// (first-appearance order) and each (document, term) item references its
+// document by table index. Items sharing a Doc.ID must carry the same
+// document: IDs are publisher-assigned and unique per document.
+func EncodePublishBatch(typ uint8, reqs []PublishReq) []byte {
+	w := codec.NewWriter(16 + 48*len(reqs))
+	w.Uint8(typ)
+	table := make(map[uint64]uint64, len(reqs))
+	unique := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if _, ok := table[reqs[i].Doc.ID]; !ok {
+			table[reqs[i].Doc.ID] = uint64(len(unique))
+			unique = append(unique, i)
+		}
+	}
+	w.Uvarint(uint64(len(unique)))
+	for _, i := range unique {
+		reqs[i].Doc.EncodeTo(w)
+	}
+	w.Uvarint(uint64(len(reqs)))
+	for i := range reqs {
+		w.Uvarint(table[reqs[i].Doc.ID])
+		w.String(reqs[i].Term)
+	}
+	return w.Bytes()
+}
+
+func decodePublishBatch(r *codec.Reader) ([]PublishReq, error) {
+	nd, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nd > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: publish batch doc count %d overflows payload", nd)
+	}
+	docs := make([]model.Document, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		d, err := model.DecodeDocument(r)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: publish batch count %d overflows payload", n)
+	}
+	reqs := make([]PublishReq, 0, n)
+	for i := uint64(0); i < n; i++ {
+		di, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if di >= uint64(len(docs)) {
+			return nil, fmt.Errorf("node: publish batch doc index %d out of range (%d docs)", di, len(docs))
+		}
+		term, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		// Items of the same document share one decode — the Terms slice is
+		// aliased, never mutated downstream.
+		reqs = append(reqs, PublishReq{Doc: docs[di], Term: term})
+	}
+	return reqs, nil
+}
+
+// EncodeMatchRespBatch serializes one MatchResp per batched publish, in
+// request order. Each response is length-framed so the items stay
+// independently decodable.
+func EncodeMatchRespBatch(resps []MatchResp) []byte {
+	w := codec.NewWriter(16 + 64*len(resps))
+	w.Uvarint(uint64(len(resps)))
+	for i := range resps {
+		w.Bytes0(EncodeMatchResp(resps[i]))
+	}
+	return w.Bytes()
+}
+
+// DecodeMatchRespBatch parses a batch of MatchResps.
+func DecodeMatchRespBatch(data []byte) ([]MatchResp, error) {
+	r := codec.NewReader(data)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("node: match batch count: %w", err)
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: match batch count %d overflows payload", n)
+	}
+	resps := make([]MatchResp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		item, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := DecodeMatchResp(item)
+		if err != nil {
+			return nil, fmt.Errorf("node: match batch item %d: %w", i, err)
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil
+}
+
 // EncodeSIFT serializes a full-match request (RS baseline).
 func EncodeSIFT(doc *model.Document) []byte {
 	w := codec.NewWriter(32 + 12*len(doc.Terms))
@@ -183,6 +298,7 @@ func encodeHops(w *codec.Writer, hops []trace.Hop) {
 		w.Uvarint(uint64(h.Row))
 		w.Uvarint(uint64(h.Col))
 		w.Uvarint(uint64(h.Attempt))
+		w.Uvarint(uint64(h.Batch))
 		w.Bool(h.Failover)
 		w.Bool(h.Lost)
 		w.String(h.Err)
@@ -232,6 +348,11 @@ func decodeHops(r *codec.Reader) ([]trace.Hop, error) {
 			return nil, err
 		}
 		h.Row, h.Col, h.Attempt = int(row), int(col), int(attempt)
+		batch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		h.Batch = int(batch)
 		if h.Failover, err = r.Bool(); err != nil {
 			return nil, err
 		}
