@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke bench-publish ci
+.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc ci
 
 build:
 	$(GO) build ./...
@@ -32,4 +32,13 @@ fuzz-smoke:
 bench-publish:
 	$(GO) run ./cmd/movebench -fig bench -out BENCH_publish.json -baseline BENCH_publish.json
 
-ci: vet build race fuzz-smoke bench-publish
+# Regenerate the checked-in allocation baseline (BENCH_alloc.json):
+# allocs/op and B/op for the warm match hot path, single publish, and the
+# batched pipeline, with match results verified byte-identical against a
+# brute-force oracle. The fresh run is compared against the checked-in
+# baseline first — a >10% allocs/op or B/op regression fails the target
+# (and CI) before the file is overwritten.
+bench-alloc:
+	$(GO) run ./cmd/movebench -fig alloc -out BENCH_alloc.json -baseline BENCH_alloc.json
+
+ci: vet build race fuzz-smoke bench-publish bench-alloc

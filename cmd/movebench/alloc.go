@@ -1,0 +1,351 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"github.com/movesys/move/internal/cluster"
+	"github.com/movesys/move/internal/dataset"
+	"github.com/movesys/move/internal/index"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/node"
+	"github.com/movesys/move/internal/store"
+)
+
+// allocStat is one hot path's heap cost, averaged over the measured
+// iterations via runtime.ReadMemStats deltas (Mallocs / TotalAlloc).
+type allocStat struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// allocReport is the JSON document `movebench -fig alloc` writes: heap
+// allocation cost per operation on the match and publish hot paths.
+// Checked into the repo as BENCH_alloc.json so PRs carry an allocation
+// baseline the same way BENCH_publish.json carries a latency baseline.
+type allocReport struct {
+	GeneratedBy string `json:"generated_by"`
+	Nodes       int    `json:"nodes"`
+	Filters     int    `json:"filters"`
+	Docs        int    `json:"docs"`
+	Seed        int64  `json:"seed"`
+
+	// MatchTerm is the per-call cost of Index.MatchTerm on a warm index
+	// (hot posting list, repeated document — the home-node steady state).
+	// Includes the matched-results slice, so a fully matching posting
+	// list is never literally zero.
+	MatchTerm allocStat `json:"match_term"`
+	// Publish is the per-document cost of Cluster.Publish end to end
+	// (entry → home fan-out → column match RPCs → reply), zero RPC
+	// latency so heap cost is the signal.
+	Publish allocStat `json:"publish"`
+	// PublishBatch is the per-document cost through the coalescing batch
+	// pipeline (Cluster.PublishBatch over the same documents).
+	PublishBatch allocStat `json:"publish_batch"`
+
+	// OracleDocs is the number of measured documents whose match set was
+	// verified byte-identical against a brute-force oracle.
+	OracleDocs int `json:"oracle_docs"`
+}
+
+// allocTolerance is the regression budget enforced against -baseline: a
+// new allocs/op or B/op more than 10% above the checked-in baseline
+// fails the run (and CI), mirroring the bench-publish p95 guard.
+const allocTolerance = 0.10
+
+// allocSlack absorbs measurement noise on small absolute numbers: a
+// stat must exceed the baseline by both 10% and this many allocs (or
+// 64× this many bytes) to count as a regression.
+const allocSlack = 2.0
+
+// measureAllocs runs fn iters times and returns the mean heap cost per
+// iteration. A GC cycle before the first ReadMemStats keeps leftover
+// warmup garbage out of the window; allocations by goroutines spawned
+// from fn (fan-out RPCs, batch pumpers) are counted — they are part of
+// the path being priced.
+func measureAllocs(iters int, fn func(i int) error) (allocStat, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if err := fn(i); err != nil {
+			return allocStat{}, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return allocStat{
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}, nil
+}
+
+// measureMatchTermAllocs prices the innermost hot path directly: one
+// posting-list scan against a warm in-memory index, no RPC layer.
+func measureMatchTermAllocs(filters int, seed int64) (allocStat, error) {
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		return allocStat{}, err
+	}
+	ix, err := index.New(st)
+	if err != nil {
+		return allocStat{}, err
+	}
+	const hot = "hot"
+	for i := 0; i < filters; i++ {
+		f := model.Filter{
+			ID:         model.FilterID(i + 1),
+			Subscriber: fmt.Sprintf("alloc-sub-%d", i),
+			Terms:      model.SortTerms([]string{hot, fmt.Sprintf("term-%04d", i)}),
+			Mode:       model.MatchAny,
+		}
+		if err := ix.Register(f, []string{hot}); err != nil {
+			return allocStat{}, err
+		}
+	}
+	terms := []string{hot}
+	for i := 0; i < 23; i++ {
+		terms = append(terms, fmt.Sprintf("doc-term-%02d", i))
+	}
+	doc := model.Document{ID: 1, Terms: model.SortTerms(terms)}
+	ix.ObserveDocument(&doc)
+	// Warm: first call may fault in lazy state (document view, shard
+	// snapshots) that steady-state calls share.
+	if _, _, err := ix.MatchTerm(&doc, hot); err != nil {
+		return allocStat{}, err
+	}
+	return measureAllocs(2000, func(int) error {
+		_, _, err := ix.MatchTerm(&doc, hot)
+		return err
+	})
+}
+
+// oracleFilter is the brute-force oracle's record of one registered
+// filter: match-any semantics over its own copy of the term list.
+type oracleFilter struct {
+	id  model.FilterID
+	sub string
+	set map[string]struct{}
+}
+
+// oracleMatches computes the expected match set for a document by
+// scanning every registered filter — no index, no routing, no dedup
+// subtleties — and returns it in canonical encoded form.
+func oracleMatches(filters []oracleFilter, docTerms []string) string {
+	var exp []node.Match
+	for _, f := range filters {
+		for _, t := range docTerms {
+			if _, ok := f.set[t]; ok {
+				exp = append(exp, node.Match{Filter: f.id, Subscriber: f.sub})
+				break
+			}
+		}
+	}
+	return canonicalMatches(exp)
+}
+
+// canonicalMatches renders a match set as a canonical byte string so
+// cluster results and oracle results can be compared byte-identically
+// regardless of arrival order.
+func canonicalMatches(ms []node.Match) string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = fmt.Sprintf("%d:%s", m.Filter, m.Subscriber)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// checkAllocBaseline compares a fresh report against the checked-in
+// baseline, failing on a >allocTolerance regression in any tracked
+// stat. A missing baseline file is not an error — first runs have
+// nothing to compare.
+func checkAllocBaseline(path string, rep allocReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("alloc: baseline %s not found, skipping regression check\n", path)
+			return nil
+		}
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base allocReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	checks := []struct {
+		name      string
+		base, got allocStat
+	}{
+		{"match_term", base.MatchTerm, rep.MatchTerm},
+		{"publish", base.Publish, rep.Publish},
+		{"publish_batch", base.PublishBatch, rep.PublishBatch},
+	}
+	for _, c := range checks {
+		if c.base.AllocsPerOp <= 0 && c.base.BytesPerOp <= 0 {
+			continue
+		}
+		allocLimit := c.base.AllocsPerOp*(1+allocTolerance) + allocSlack
+		byteLimit := c.base.BytesPerOp*(1+allocTolerance) + 64*allocSlack
+		if c.got.AllocsPerOp > allocLimit {
+			return fmt.Errorf("%s allocs/op regression: %.1f vs baseline %.1f (budget +%d%%)",
+				c.name, c.got.AllocsPerOp, c.base.AllocsPerOp, int(allocTolerance*100))
+		}
+		if c.got.BytesPerOp > byteLimit {
+			return fmt.Errorf("%s B/op regression: %.0f vs baseline %.0f (budget +%d%%)",
+				c.name, c.got.BytesPerOp, c.base.BytesPerOp, int(allocTolerance*100))
+		}
+		fmt.Printf("alloc: %s %.1f allocs/op %.0f B/op within +%d%% of baseline (%.1f allocs/op %.0f B/op)\n",
+			c.name, c.got.AllocsPerOp, c.got.BytesPerOp, int(allocTolerance*100),
+			c.base.AllocsPerOp, c.base.BytesPerOp)
+	}
+	return nil
+}
+
+// runAllocFig measures heap allocation cost per operation on the match
+// and publish hot paths and writes the report to outPath. Every
+// measured document's match set is verified byte-identical against a
+// brute-force oracle, so an allocation "optimization" that corrupts
+// matching fails loudly here. RPC latency is zero: the in-memory
+// fabric prices heap work, not sleeps.
+func runAllocFig(outPath, baselinePath string, nodes, filters, docs int, seed int64) error {
+	mt, err := measureMatchTermAllocs(256, seed)
+	if err != nil {
+		return fmt.Errorf("match_term: %w", err)
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Scheme: cluster.SchemeMove,
+		Nodes:  nodes,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	fg, err := dataset.NewFilterGen(dataset.FilterConfig{DistinctTerms: 20_000, Seed: seed})
+	if err != nil {
+		return err
+	}
+	dg, err := dataset.NewDocGen(dataset.CorpusConfig{
+		Kind: dataset.CorpusWT, DistinctTerms: 20_000, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	oracle := make([]oracleFilter, 0, filters)
+	for i := 0; i < filters; i++ {
+		terms := fg.Next()
+		sub := fmt.Sprintf("alloc-sub-%d", i)
+		id, err := c.Register(ctx, sub, terms, model.MatchAny, 0)
+		if err != nil {
+			return fmt.Errorf("register filter %d: %w", i, err)
+		}
+		set := make(map[string]struct{}, len(terms))
+		for _, t := range terms {
+			set[t] = struct{}{}
+		}
+		oracle = append(oracle, oracleFilter{id: id, sub: sub, set: set})
+	}
+
+	docTerms := make([][]string, docs)
+	for i := range docTerms {
+		docTerms[i] = dg.Next()
+	}
+
+	// Warm the cluster (grid caches, histograms, shard maps, pools)
+	// outside the measurement window.
+	warm := docs/5 + 1
+	for i := 0; i < warm; i++ {
+		if _, err := c.Publish(ctx, dg.Next()); err != nil {
+			return fmt.Errorf("warmup publish %d: %w", i, err)
+		}
+	}
+
+	// Single-document phase. Results land in a preallocated slice so the
+	// oracle check stays outside the measured window.
+	results := make([]cluster.PublishResult, docs)
+	pub, err := measureAllocs(docs, func(i int) error {
+		res, err := c.Publish(ctx, docTerms[i])
+		if err != nil {
+			return fmt.Errorf("publish doc %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		if !res.Complete {
+			return fmt.Errorf("publish doc %d: incomplete result on healthy cluster", i)
+		}
+		got, want := canonicalMatches(res.Matches), oracleMatches(oracle, docTerms[i])
+		if got != want {
+			return fmt.Errorf("publish doc %d: matches diverge from brute-force oracle\n got: %q\nwant: %q", i, got, want)
+		}
+	}
+
+	// Batch phase: the same documents through the coalescing pipeline.
+	var batchResults []cluster.PublishResult
+	batch, err := measureAllocs(1, func(int) error {
+		var err error
+		batchResults, err = c.PublishBatch(ctx, docTerms)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("batch publish: %w", err)
+	}
+	batch.AllocsPerOp /= float64(docs)
+	batch.BytesPerOp /= float64(docs)
+	for i, res := range batchResults {
+		if !res.Complete {
+			return fmt.Errorf("batch doc %d: incomplete result on healthy cluster", i)
+		}
+		got, want := canonicalMatches(res.Matches), oracleMatches(oracle, docTerms[i])
+		if got != want {
+			return fmt.Errorf("batch doc %d: matches diverge from brute-force oracle\n got: %q\nwant: %q", i, got, want)
+		}
+	}
+
+	rep := allocReport{
+		GeneratedBy:  "movebench -fig alloc",
+		Nodes:        nodes,
+		Filters:      filters,
+		Docs:         docs,
+		Seed:         seed,
+		MatchTerm:    mt,
+		Publish:      pub,
+		PublishBatch: batch,
+		OracleDocs:   docs * 2,
+	}
+	if baselinePath != "" {
+		if err := checkAllocBaseline(baselinePath, rep); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("alloc: match_term %.1f allocs/op %.0f B/op; publish %.1f allocs/op %.0f B/op; batch %.1f allocs/op %.0f B/op (%d docs oracle-verified) -> %s\n",
+		rep.MatchTerm.AllocsPerOp, rep.MatchTerm.BytesPerOp,
+		rep.Publish.AllocsPerOp, rep.Publish.BytesPerOp,
+		rep.PublishBatch.AllocsPerOp, rep.PublishBatch.BytesPerOp,
+		rep.OracleDocs, outPath)
+	return nil
+}

@@ -22,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"github.com/movesys/move/internal/cluster"
@@ -30,36 +33,87 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, all")
+	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, all")
 	scale := flag.Float64("scale", float64(experiments.DefaultScale), "workload scale relative to the paper (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")
 	filtersTrace := flag.String("filters-trace", "", "trace file of preprocessed filters (one per line) for -fig trace")
 	docsTrace := flag.String("docs-trace", "", "trace file of preprocessed documents for -fig trace")
-	nodes := flag.Int("nodes", 20, "cluster size for -fig trace and -fig bench")
-	out := flag.String("out", "BENCH_publish.json", "output path for -fig bench ('-' = stdout)")
-	baseline := flag.String("baseline", "", "prior -fig bench report to guard against (>20% publish p95 regression fails)")
-	benchFilters := flag.Int("bench-filters", 2000, "registered filters for -fig bench")
-	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench")
+	nodes := flag.Int("nodes", 20, "cluster size for -fig trace, -fig bench, and -fig alloc")
+	out := flag.String("out", "", "output path for -fig bench / -fig alloc ('-' = stdout; default BENCH_publish.json / BENCH_alloc.json)")
+	baseline := flag.String("baseline", "", "prior report of the same figure to guard against (bench: >20% publish p95 regression fails; alloc: >10% allocs/op or B/op regression fails)")
+	benchFilters := flag.Int("bench-filters", 2000, "registered filters for -fig bench and -fig alloc")
+	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench and -fig alloc")
+	pprofDir := flag.String("pprof", "", "directory to write cpu.pprof and heap.pprof profiles of the run")
 	flag.Parse()
 
-	if *fig == "bench" {
-		if err := runBench(*out, *baseline, *nodes, *benchFilters, *benchDocs, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *fig == "trace" {
-		if err := runTrace(*filtersTrace, *docsTrace, *nodes, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*fig, experiments.Scale(*scale), *seed); err != nil {
+	stopProfiles, err := startProfiles(*pprofDir)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
 		os.Exit(1)
 	}
+	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs int) error {
+	switch fig {
+	case "bench":
+		if out == "" {
+			out = "BENCH_publish.json"
+		}
+		return runBench(out, baseline, nodes, benchFilters, benchDocs, seed)
+	case "alloc":
+		if out == "" {
+			out = "BENCH_alloc.json"
+		}
+		return runAllocFig(out, baseline, nodes, benchFilters, benchDocs, seed)
+	case "trace":
+		return runTrace(filtersTrace, docsTrace, nodes, seed)
+	}
+	return run(fig, experiments.Scale(scale), seed)
+}
+
+// startProfiles begins CPU profiling into dir/cpu.pprof and returns a
+// stop function that finalizes it and snapshots dir/heap.pprof. With an
+// empty dir both are no-ops.
+func startProfiles(dir string) (func() error, error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpuF.Close(); err != nil {
+			return err
+		}
+		heapF, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		defer heapF.Close()
+		runtime.GC() // flatten transient garbage so the heap profile shows retained state
+		if err := pprof.WriteHeapProfile(heapF); err != nil {
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		fmt.Printf("pprof: wrote %s and %s\n", filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "heap.pprof"))
+		return nil
+	}, nil
 }
 
 // runTrace measures the three schemes on user-supplied traces — the path

@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"testing"
+
+	"github.com/movesys/move/internal/testutil"
+)
+
+// TestPooledWriterZeroAllocs guards the pooled encode path: once the pool
+// is warm, building a frame in a recycled writer allocates nothing.
+func TestPooledWriterZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	payload := make([]byte, 512)
+	allocs := testing.AllocsPerRun(500, func() {
+		w := GetWriter()
+		w.Uvarint(42)
+		w.String("publish")
+		w.Bytes0(payload)
+		if w.Len() == 0 {
+			t.Fatal("empty frame")
+		}
+		PutWriter(w)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled encode: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPooledWriterRoundTripAllocs encodes into a pooled writer and decodes
+// the frame back out with the alias-only reader primitives. The reader is
+// stack-allocated and Bytes0 aliases, so the round trip is allocation-free.
+func TestPooledWriterRoundTripAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		w := GetWriter()
+		w.Uvarint(7)
+		w.Bytes0(payload)
+		r := NewReader(w.Bytes())
+		id, err := r.Uvarint()
+		if err != nil || id != 7 {
+			t.Fatalf("id=%d err=%v", id, err)
+		}
+		body, err := r.Bytes0()
+		if err != nil || len(body) != len(payload) {
+			t.Fatalf("body=%d err=%v", len(body), err)
+		}
+		PutWriter(w)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled round trip: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPutWriterDropsOversized checks the pool never retains giant frames.
+func TestPutWriterDropsOversized(t *testing.T) {
+	w := GetWriter()
+	w.Bytes0(make([]byte, maxPooledWriterCap+1))
+	PutWriter(w) // must not panic, must not pool
+	PutWriter(nil)
+	got := GetWriter()
+	if cap(got.buf) > maxPooledWriterCap {
+		t.Fatalf("pool retained oversized writer: cap=%d", cap(got.buf))
+	}
+	PutWriter(got)
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Writer appends primitives to a byte buffer.
@@ -22,8 +23,43 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
+// Reset truncates the writer to zero length, keeping the backing array for
+// reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// maxPooledWriterCap bounds the backing arrays the writer pool retains. A
+// rare giant frame (a huge batch, a full Bloom exchange) should not pin
+// megabytes inside the pool forever; oversized writers are dropped on Put
+// and rebuilt on demand.
+const maxPooledWriterCap = 1 << 20
+
+// writerPool recycles Writers across RPC encodes. Steady-state frames are
+// built in a warm backing array instead of a fresh allocation per message.
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter(256) },
+}
+
+// GetWriter returns an empty pooled writer. Callers must not retain the
+// writer — or any slice obtained from Bytes — after PutWriter: the buffer
+// is recycled for the next frame. Copy (or send) the bytes first.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles a writer obtained from GetWriter. Safe to call with
+// nil; writers that grew beyond maxPooledWriterCap are dropped.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledWriterCap {
+		return
+	}
+	writerPool.Put(w)
+}
+
 // Bytes returns the encoded buffer. The returned slice aliases the writer's
-// internal buffer; callers must not retain it across further writes.
+// internal buffer; callers must not retain it across further writes (or,
+// for pooled writers, past PutWriter).
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of encoded bytes.

@@ -1,0 +1,158 @@
+package index
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/testutil"
+)
+
+// allocSinkFilters keeps match results visibly alive so the compiler cannot
+// elide the calls under test.
+var allocSinkFilters []model.Filter
+
+// allocDoc builds a document with nTerms terms including "hot", with its
+// term view primed (a warm publish path primes the view at decode time, so
+// steady-state matching never pays the view build).
+func allocDoc(nTerms int) *model.Document {
+	terms := make([]string, 0, nTerms)
+	terms = append(terms, "hot")
+	for i := 1; i < nTerms; i++ {
+		terms = append(terms, "term-"+strconv.Itoa(i))
+	}
+	d := &model.Document{ID: 1, Terms: terms}
+	d.View()
+	return d
+}
+
+// TestMatchTermZeroAllocs is the ISSUE acceptance guard: on a warm index,
+// MatchTerm performs zero heap allocations per call, excluding the
+// matched-results slice. Filters here are MatchAll with one absent term, so
+// every posting entry is scanned and evaluated but nothing matches — the
+// results slice is never allocated and the whole call must be free.
+func TestMatchTermZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	ix := newIndex(t)
+	for i := 0; i < 128; i++ {
+		f := model.Filter{
+			ID:    model.FilterID(i + 1),
+			Terms: []string{"hot", "absent-" + strconv.Itoa(i)},
+			Mode:  model.MatchAll,
+		}
+		if err := ix.Register(f, []string{"hot"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := allocDoc(24)
+
+	// Warm call: verifies the setup actually scans the posting list.
+	if _, st, err := ix.MatchTerm(doc, "hot"); err != nil || st.Postings != 128 {
+		t.Fatalf("warm call: scanned=%d err=%v", st.Postings, err)
+	}
+
+	allocs := testing.AllocsPerRun(500, func() {
+		fs, _, err := ix.MatchTerm(doc, "hot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocSinkFilters = fs
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchTerm on warm index: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMatchTermMatchedPathAllocs pins down the one allowed allocation: with
+// a single matching filter, the only heap traffic is the results slice.
+func TestMatchTermMatchedPathAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	ix := newIndex(t)
+	registerAny(t, ix, 1, "hot")
+	doc := allocDoc(24)
+
+	allocs := testing.AllocsPerRun(500, func() {
+		fs, _, err := ix.MatchTerm(doc, "hot")
+		if err != nil || len(fs) != 1 {
+			t.Fatalf("matched %d filters, err=%v", len(fs), err)
+		}
+		allocSinkFilters = fs
+	})
+	if allocs > 1 {
+		t.Fatalf("MatchTerm matched path: %.1f allocs/op, want <= 1 (results slice only)", allocs)
+	}
+}
+
+// TestMatchSIFTSteadyStateAllocs guards the pooled seen-map: with no
+// matching filters, a warm MatchSIFT call allocates nothing.
+func TestMatchSIFTSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	ix := newIndex(t)
+	for i := 0; i < 64; i++ {
+		f := model.Filter{
+			ID:    model.FilterID(i + 1),
+			Terms: []string{"hot", "absent-" + strconv.Itoa(i)},
+			Mode:  model.MatchAll,
+		}
+		if err := ix.Register(f, []string{"hot"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := allocDoc(24)
+
+	allocs := testing.AllocsPerRun(500, func() {
+		fs, _, err := ix.MatchSIFT(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocSinkFilters = fs
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchSIFT on warm index: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkMatchTermWarm measures the home-node posting-list scan (§IV's
+// y_p term) on a warm index with a primed document view. Run with
+// -benchmem: the steady-state figure of merit is 0 B/op on the unmatched
+// path.
+func BenchmarkMatchTermWarm(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		matching bool
+	}{
+		{"unmatched", false},
+		{"matched", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ix := newIndex(b)
+			for i := 0; i < 256; i++ {
+				terms := []string{"hot", "absent-" + strconv.Itoa(i)}
+				mode := model.MatchAll
+				if tc.matching {
+					mode = model.MatchAny
+				}
+				f := model.Filter{ID: model.FilterID(i + 1), Terms: terms, Mode: mode}
+				if err := ix.Register(f, []string{"hot"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			doc := allocDoc(24)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs, _, err := ix.MatchTerm(doc, "hot")
+				if err != nil {
+					b.Fatal(err)
+				}
+				allocSinkFilters = fs
+			}
+		})
+	}
+}

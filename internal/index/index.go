@@ -23,8 +23,8 @@ package index
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
@@ -130,6 +130,10 @@ func (ix *Index) loadFromStore() error {
 // (or the node's responsible subset of f's terms); the RS baseline passes
 // all of f's terms. The store write happens first, so the in-memory shards
 // never serve a filter the durability layer doesn't have.
+//
+// The Clone below is the system's single copy point for filter terms: the
+// shard's copy is immutable from here on, which is what lets the match
+// path return filters without cloning them back out (DESIGN.md §11).
 func (ix *Index) Register(f model.Filter, postingTerms []string) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -209,6 +213,11 @@ func (s *MatchStats) Add(other MatchStats) {
 // engine only routes documents to home nodes of their own terms). The
 // posting list is read as a lock-free snapshot, so matches on different
 // terms — and matches racing registers of other filters — never contend.
+//
+// Returned filters are immutable shard snapshots: callers may keep them
+// but must not mutate Terms (see DESIGN.md §11). Excluding the matched-
+// results slice, a call on a warm index performs zero heap allocations —
+// the document view is memoized and filters are returned without cloning.
 func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, MatchStats, error) {
 	var st MatchStats
 	readTm := ix.postingReadH.Start()
@@ -220,33 +229,54 @@ func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, Matc
 		st.PostingLists = 1
 	}
 	st.Postings = len(ids)
-	docSet := d.TermSet()
+	view := d.View()
 	evalTm := ix.evalH.Start()
 	defer evalTm.Stop()
-	matched := make([]model.Filter, 0, len(ids))
+	// Lazily allocated: the no-match case — most posting scans, once the
+	// Bloom gate has done its job — returns nil without touching the heap.
+	// When something does match, size for the whole list at once: posting
+	// entries are filters registered under this term, so on a routed
+	// document most of them match and append-doubling would pay ~2x the
+	// bytes for the same result.
+	var matched []model.Filter
 	for _, id := range ids {
 		f, ok := ix.state.filterShard(id).get(id)
 		if !ok {
 			continue // unregistered; lazy posting cleanup
 		}
 		st.Evaluated++
-		if ix.evaluate(&f, docSet) {
-			matched = append(matched, f.Clone())
+		if ix.evaluate(&f, view) {
+			if matched == nil {
+				matched = make([]model.Filter, 0, len(ids))
+			}
+			matched = append(matched, f)
 		}
 	}
 	return matched, st, nil
 }
 
+// seenPool recycles MatchSIFT's per-call dedup map. Maps are returned
+// cleared; Go retains their bucket storage, so steady-state SIFT matching
+// stops paying a map grow per document.
+var seenPool = sync.Pool{
+	New: func() any { return make(map[model.FilterID]struct{}, 64) },
+}
+
 // MatchSIFT finds the filters matching d by retrieving the posting lists of
 // every document term — the centralized SIFT algorithm the RS baseline
-// runs on each flooded node.
+// runs on each flooded node. Returned filters are immutable shard
+// snapshots; callers must not mutate Terms (DESIGN.md §11).
 func (ix *Index) MatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error) {
 	var st MatchStats
-	docSet := d.TermSet()
-	seen := make(map[model.FilterID]struct{})
+	view := d.View()
+	seen := seenPool.Get().(map[model.FilterID]struct{})
+	defer func() {
+		clear(seen)
+		seenPool.Put(seen)
+	}()
 	var matched []model.Filter
-	evalStart := time.Now()
-	defer func() { ix.evalH.Observe(time.Since(evalStart)) }()
+	evalTm := ix.evalH.Start()
+	defer evalTm.Stop()
 	for _, term := range d.Terms {
 		readTm := ix.postingReadH.Start()
 		ids := ix.state.termShard(term).snapshot(term)
@@ -269,34 +299,36 @@ func (ix *Index) MatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error
 				continue
 			}
 			st.Evaluated++
-			if ix.evaluate(&f, docSet) {
-				matched = append(matched, f.Clone())
+			if ix.evaluate(&f, view) {
+				matched = append(matched, f)
 			}
 		}
 	}
 	return matched, st, nil
 }
 
-// evaluate applies the filter's matching semantics against the document
-// term set.
-func (ix *Index) evaluate(f *model.Filter, docSet map[string]struct{}) bool {
+// evaluate applies the filter's matching semantics against the memoized
+// document view. Filters are short (2–3 terms, §VI.A), so membership
+// probes dominate: the view answers them map-free for short documents and
+// from its prebuilt set for wide ones, never allocating either way.
+func (ix *Index) evaluate(f *model.Filter, view *model.DocView) bool {
 	switch f.Mode {
 	case model.MatchAny:
 		for _, t := range f.Terms {
-			if _, ok := docSet[t]; ok {
+			if view.Contains(t) {
 				return true
 			}
 		}
 		return false
 	case model.MatchAll:
 		for _, t := range f.Terms {
-			if _, ok := docSet[t]; !ok {
+			if !view.Contains(t) {
 				return false
 			}
 		}
 		return true
 	case model.MatchThreshold:
-		return ix.corpus.ContainmentScore(docSet, f.Terms) >= f.Threshold
+		return ix.corpus.ContainmentScoreSorted(view.Sorted(), f.Terms) >= f.Threshold
 	default:
 		return false
 	}
@@ -350,11 +382,12 @@ func (ix *Index) DropTerm(term string) error {
 	return nil
 }
 
-// GetFilter loads one filter definition.
+// GetFilter loads one filter definition. The result is an immutable shard
+// snapshot — callers may keep it but must not mutate Terms.
 func (ix *Index) GetFilter(id model.FilterID) (model.Filter, bool, error) {
 	f, ok := ix.state.filterShard(id).get(id)
 	if !ok {
 		return model.Filter{}, false, nil
 	}
-	return f.Clone(), true, nil
+	return f, true, nil
 }

@@ -327,6 +327,7 @@ func BenchmarkMatchTerm(b *testing.B) {
 		}
 	}
 	doc := &model.Document{ID: 1, Terms: []string{"hot", "cold"}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ix.MatchTerm(doc, "hot"); err != nil {
@@ -348,6 +349,7 @@ func BenchmarkMatchSIFTWideDoc(b *testing.B) {
 		terms[i] = "t" + strconv.Itoa(i*7)
 	}
 	doc := &model.Document{ID: 1, Terms: terms}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ix.MatchSIFT(doc); err != nil {

@@ -100,8 +100,10 @@ type filterShard struct {
 }
 
 // get returns the filter definition for id, if registered. The returned
-// filter shares its Terms slice with the shard; callers must treat it as
-// read-only (Clone before handing it out of the package).
+// filter is an immutable snapshot sharing its Terms slice with the shard:
+// put stores a private clone and nothing mutates Terms afterwards, so the
+// match path hands it out of the package without cloning. Everyone —
+// shard, matcher, caller — must treat Terms as read-only (DESIGN.md §11).
 func (s *filterShard) get(id model.FilterID) (model.Filter, bool) {
 	s.mu.RLock()
 	f, ok := s.filters[id]

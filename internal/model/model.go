@@ -139,9 +139,20 @@ func DecodeFilter(r *codec.Reader) (Filter, error) {
 
 // Document is a published content item represented by its deduplicated term
 // set (§III.A).
+//
+// The struct is copied by value throughout the system; copies share the
+// memoized term-set view (see View), so priming it once — as the decode
+// paths do — serves every downstream match against the same document.
 type Document struct {
 	ID    uint64
 	Terms []string
+
+	// view memoizes the term-set view. A plain pointer rather than a
+	// sync.Once/atomic: Document is copied by value everywhere, and any
+	// synchronization primitive would trip `go vet`'s copylocks (and cost
+	// an allocation per document). The rule instead is prime-before-share:
+	// call View once while the document is still owned by one goroutine.
+	view *DocView
 }
 
 // Validate checks structural invariants.
@@ -152,13 +163,100 @@ func (d *Document) Validate() error {
 	return nil
 }
 
-// TermSet returns the terms as a membership set.
+// TermSet returns the terms as a freshly built membership set the caller
+// may keep and mutate. Hot paths should use View instead, which memoizes.
 func (d *Document) TermSet() map[string]struct{} {
 	set := make(map[string]struct{}, len(d.Terms))
 	for _, t := range d.Terms {
 		set[t] = struct{}{}
 	}
 	return set
+}
+
+// docViewMapThreshold is the term count above which DocView backs Contains
+// with a hash map instead of binary search. Binary search needs no build
+// cost and ≤10 string compares even on the paper's widest WT/AP documents,
+// so the map only pays for itself when one view serves very many membership
+// probes — the RS baseline's SIFT scan over thousands of candidate filters.
+// On the MOVE path a home node evaluates only one term's posting list per
+// decoded document copy, so building a map per wire hop was the single
+// largest allocation source on the publish path; the threshold is set high
+// enough that routed documents stay map-free.
+const docViewMapThreshold = 512
+
+// DocView is an immutable memoized view of a document's term set: the
+// canonical sorted term list plus, for wide documents, a membership map.
+// Views are built once (see Document.View) and then shared read-only across
+// every match evaluation of the document, so they must never be mutated.
+type DocView struct {
+	sorted []string
+	set    map[string]struct{} // nil below docViewMapThreshold
+}
+
+// NewDocView builds a view over a term list. The slice is aliased when it
+// is already in canonical (sorted, deduplicated) form and copied otherwise,
+// so callers keep ownership of non-canonical input.
+func NewDocView(terms []string) *DocView {
+	if !termsCanonical(terms) {
+		terms = SortTerms(append([]string(nil), terms...))
+	}
+	v := &DocView{sorted: terms}
+	if len(terms) >= docViewMapThreshold {
+		v.set = make(map[string]struct{}, len(terms))
+		for _, t := range terms {
+			v.set[t] = struct{}{}
+		}
+	}
+	return v
+}
+
+// termsCanonical reports whether terms are strictly ascending — the
+// canonical form SortTerms produces.
+func termsCanonical(terms []string) bool {
+	for i := 1; i < len(terms); i++ {
+		if terms[i] <= terms[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports term membership without allocating.
+func (v *DocView) Contains(t string) bool {
+	if v.set != nil {
+		_, ok := v.set[t]
+		return ok
+	}
+	// Open-coded binary search: sort.SearchStrings would work, but writing
+	// it out guarantees no closure reaches the heap on any toolchain.
+	lo, hi := 0, len(v.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.sorted[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(v.sorted) && v.sorted[lo] == t
+}
+
+// Sorted returns the canonical sorted term list. Read-only: the slice is
+// shared with every holder of the view (and possibly the document itself).
+func (v *DocView) Sorted() []string { return v.sorted }
+
+// Len returns the number of distinct terms.
+func (v *DocView) Len() int { return len(v.sorted) }
+
+// View returns the document's memoized term-set view, building it on first
+// use. The first call is not synchronized — prime the view while the
+// document is still owned by a single goroutine (the RPC decode paths do
+// this), after which copies of the Document share it freely.
+func (d *Document) View() *DocView {
+	if d.view == nil {
+		d.view = NewDocView(d.Terms)
+	}
+	return d.view
 }
 
 // Encode serializes the document.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/movesys/move/internal/codec"
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
 	"github.com/movesys/move/internal/ring"
@@ -70,6 +71,20 @@ type bucket struct {
 	items []batchItem
 	since time.Time
 }
+
+// bucketPool recycles buckets (and their item arrays) across flush cycles:
+// the steady state allocates no bucket per frame. flush is every bucket's
+// terminal consumer, so it is the single Put site; items are cleared there
+// so pooled buckets do not pin documents or result channels.
+var bucketPool = sync.Pool{New: func() any { return new(bucket) }}
+
+// flushScratch is the per-frame request slice flush stages before
+// encoding, recycled the same way.
+type flushScratch struct {
+	reqs []PublishReq
+}
+
+var flushScratchPool = sync.Pool{New: func() any { return new(flushScratch) }}
 
 // Batcher is the coalescing publish pipeline of the entry node: documents
 // fanning out to the same home node are framed together (bounded batch
@@ -224,7 +239,8 @@ func (b *Batcher) enqueue(home ring.NodeID, it batchItem) error {
 	}
 	bk := b.buckets[home]
 	if bk == nil {
-		bk = &bucket{home: home, since: time.Now()}
+		bk = bucketPool.Get().(*bucket)
+		bk.home, bk.since = home, time.Now()
 		b.buckets[home] = bk
 	}
 	bk.items = append(bk.items, it)
@@ -301,15 +317,20 @@ func (b *Batcher) tick() {
 // caller's deadline governs it — per-attempt deadlines come from the
 // transport's resilience policy.
 func (b *Batcher) flush(bk *bucket) {
-	reqs := make([]PublishReq, len(bk.items))
+	sc := flushScratchPool.Get().(*flushScratch)
+	reqs := sc.reqs[:0]
 	for i := range bk.items {
-		reqs[i] = bk.items[i].req
+		reqs = append(reqs, bk.items[i].req)
 	}
 	b.sizeH.Observe(time.Duration(len(reqs)))
 	b.docsC.Add(int64(len(reqs)))
-	payload := EncodePublishBatch(msgPublishBatch, reqs)
+	// Pooled frame buffer: send does not retain the payload, so the writer
+	// is recycled as soon as the RPC returns (DESIGN.md §11).
+	pw := codec.GetWriter()
+	AppendPublishBatch(pw, msgPublishBatch, reqs)
 	rpcStart := time.Now()
-	raw, err := b.n.send(context.Background(), bk.home, payload)
+	raw, err := b.n.send(context.Background(), bk.home, pw.Bytes())
+	codec.PutWriter(pw)
 	elapsed := time.Since(rpcStart)
 	b.n.hFanout.Observe(elapsed)
 	var resps []MatchResp
@@ -335,6 +356,14 @@ func (b *Batcher) flush(bk *bucket) {
 		it.sp.AddHops(resps[i].Hops)
 		it.out <- termResult{resp: resps[i]}
 	}
+	// Recycle the frame scratch and the bucket itself. Clearing drops the
+	// document/channel references so the pools hold capacity, not data.
+	clear(reqs)
+	sc.reqs = reqs[:0]
+	flushScratchPool.Put(sc)
+	clear(bk.items)
+	bk.items = bk.items[:0]
+	bucketPool.Put(bk)
 }
 
 // Close flushes every pending bucket, drains the workers, and rejects

@@ -415,7 +415,9 @@ type termGridRef struct {
 // the per-row errors are aggregated.
 func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, req RegisterReq) error {
 	col := g.Column(req.Filter.ID)
-	payload := EncodeMigrate(MigrateReq{Entries: []RegisterReq{req}})
+	pw := codec.GetWriter()
+	AppendMigrate(pw, MigrateReq{Entries: []RegisterReq{req}})
+	payload := pw.Bytes()
 	var errs []error
 	for row := 0; row < g.Rows(); row++ {
 		target := g.Node(row, col)
@@ -426,6 +428,7 @@ func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, req Regis
 			errs = append(errs, fmt.Errorf("node %s: forward registration to grid node %s: %w", n.cfg.ID, target, err))
 		}
 	}
+	codec.PutWriter(pw)
 	return errors.Join(errs...)
 }
 
@@ -478,19 +481,20 @@ func (n *Node) InstallBloom(bf *bloom.Filter) {
 // node-wide grid.
 func (n *Node) handlePublish(ctx context.Context, req PublishReq) (MatchResp, error) {
 	n.homePublishes.Inc()
-	// The home-side handling gets its own span and histogram: in a TCP
+	// The home-side handling gets its own trace and histogram: in a TCP
 	// deployment the entry is an external client, so this is where the
 	// server-side publish path starts and the only place its traces can be
-	// recorded.
-	sp := trace.New("publish.home", req.Doc.ID)
+	// recorded. The summary is built directly, aliasing resp.Hops — the
+	// response is immutable once handed back for encoding — instead of
+	// paying a span allocation and a hop copy per routed term.
 	tm := n.hHome.Start()
 	resp, err := n.homePublish(ctx, req)
-	sp.AddStage("publish.home", tm.Stop())
+	elapsed := tm.Stop()
+	var hops []trace.Hop
 	if err == nil {
-		sp.AddHops(resp.Hops)
+		hops = resp.Hops
 	}
-	sp.Finish()
-	n.traces.Add(sp.Summary())
+	n.traces.Add(trace.Summarize("publish.home", req.Doc.ID, elapsed, hops))
 	return resp, err
 }
 
@@ -516,8 +520,14 @@ func (n *Node) homePublish(ctx context.Context, req PublishReq) (MatchResp, erro
 	n.mu.Lock()
 	first := grid.PickRow(req.Doc.ID, n.rng)
 	n.mu.Unlock()
-	payload := EncodePublish(msgPublishLocal, req)
-	return n.fanOutRow(ctx, grid, first, payload)
+	// The frame is built in a pooled writer: fanOutRow's column RPCs all
+	// finish before it returns, after which the buffer is dead and can be
+	// recycled (transports do not retain payloads past Send — DESIGN.md §11).
+	w := codec.GetWriter()
+	AppendPublish(w, msgPublishLocal, req)
+	resp, err := n.fanOutRow(ctx, grid, first, w.Bytes())
+	codec.PutWriter(w)
+	return resp, err
 }
 
 // fanOutRow dispatches the document to the chosen partition row, one RPC
@@ -685,7 +695,11 @@ func (n *Node) batchFanOutRow(ctx context.Context, grid *alloc.Grid, reqs []Publ
 	first := grid.PickRow(reqs[0].Doc.ID, n.rng)
 	n.mu.Unlock()
 	rows, cols := grid.Rows(), grid.Cols()
-	payload := EncodePublishBatch(msgPublishLocalBatch, reqs)
+	// Pooled frame buffer, recycled after every column goroutine has
+	// finished sending it (the wg.Wait below).
+	pw := codec.GetWriter()
+	AppendPublishBatch(pw, msgPublishLocalBatch, reqs)
+	payload := pw.Bytes()
 	type colResult struct {
 		resps []MatchResp
 		err   error // non-availability failure: fatal for the publish
@@ -745,6 +759,7 @@ func (n *Node) batchFanOutRow(ctx context.Context, grid *alloc.Grid, reqs []Publ
 		}(col)
 	}
 	wg.Wait()
+	codec.PutWriter(pw)
 
 	out := make([]MatchResp, len(reqs))
 	degraded := false
@@ -818,6 +833,12 @@ func toResp(matched []model.Filter, st index.MatchStats) MatchResp {
 	return resp
 }
 
+// matchSeenPool recycles the per-publish match dedup map. Maps are
+// returned cleared so the pool retains bucket storage, not data.
+var matchSeenPool = sync.Pool{
+	New: func() any { return make(map[model.FilterID]struct{}, 64) },
+}
+
 // PublishEntry is the client-facing dissemination entry point (§V
 // "Document Dissemination"): forward the document, in parallel, to the home
 // nodes of every document term that passes the Bloom membership check, and
@@ -859,8 +880,9 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 	}
 
 	type result struct {
-		resp MatchResp
-		err  error
+		resp    MatchResp
+		homeHop trace.Hop
+		err     error
 	}
 	results := make([]result, len(terms))
 	var wg sync.WaitGroup
@@ -869,7 +891,12 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 		if err != nil {
 			return nil, MatchResp{}, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err)
 		}
-		payload := EncodePublish(msgPublish, PublishReq{Doc: *doc, Term: t})
+		// Per-term frame in a pooled writer; the goroutine recycles it as
+		// soon as the send returns (the transport neither retains the
+		// payload nor aliases its response to it — DESIGN.md §11).
+		pw := codec.GetWriter()
+		AppendPublish(pw, msgPublish, PublishReq{Doc: *doc, Term: t})
+		payload := pw.Bytes()
 		if n.cfg.OnTransfer != nil {
 			n.cfg.OnTransfer(n.cfg.ID, home)
 		}
@@ -878,34 +905,47 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 			defer wg.Done()
 			rpcStart := time.Now()
 			raw, err := n.send(ctx, home, payload)
+			codec.PutWriter(pw)
 			if err != nil {
 				elapsed := time.Since(rpcStart)
 				n.hFanout.Observe(elapsed)
-				sp.AddHop(trace.Hop{
+				results[i] = result{err: err, homeHop: trace.Hop{
 					Stage: "home", From: string(n.cfg.ID), To: string(home),
 					Term: t, Err: err.Error(), ElapsedNS: elapsed.Nanoseconds(),
-				})
-				results[i] = result{err: err}
+				}}
 				return
 			}
 			resp, err := DecodeMatchResp(raw)
 			elapsed := time.Since(rpcStart)
 			n.hFanout.Observe(elapsed)
-			sp.AddHop(trace.Hop{
+			results[i] = result{resp: resp, err: err, homeHop: trace.Hop{
 				Stage: "home", From: string(n.cfg.ID), To: string(home),
 				Term: t, ElapsedNS: elapsed.Nanoseconds(),
-			})
-			sp.AddHops(resp.Hops)
-			results[i] = result{resp: resp, err: err}
+			}}
 		}(i, t, home)
 	}
 	wg.Wait()
 
+	// Merge in term order with exactly-sized hop buffers: one "home" hop
+	// per fanned-out term plus the grid hops each home node reported back.
+	// The span receives the whole merged path in a single AddHops instead
+	// of per-goroutine appends — one copy, no append-doubling.
+	nHops, nMatches := 0, 0
+	for i := range results {
+		if results[i].err == nil {
+			nHops += len(results[i].resp.Hops)
+			nMatches += len(results[i].resp.Matches)
+		}
+	}
 	var total MatchResp
 	var errs []error
-	seen := make(map[model.FilterID]struct{})
-	var matches []Match
-	for _, res := range results {
+	total.Hops = make([]trace.Hop, 0, nHops)
+	spanHops := make([]trace.Hop, 0, nHops+len(results))
+	seen := matchSeenPool.Get().(map[model.FilterID]struct{})
+	matches := make([]Match, 0, nMatches)
+	for i := range results {
+		res := &results[i]
+		spanHops = append(spanHops, res.homeHop)
 		if res.err != nil {
 			errs = append(errs, res.err)
 			continue
@@ -915,6 +955,7 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 		total.Degraded = total.Degraded || res.resp.Degraded
 		total.ColumnsLost += res.resp.ColumnsLost
 		total.Hops = append(total.Hops, res.resp.Hops...)
+		spanHops = append(spanHops, res.resp.Hops...)
 		for _, m := range res.resp.Matches {
 			if _, dup := seen[m.Filter]; dup {
 				continue
@@ -922,6 +963,12 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 			seen[m.Filter] = struct{}{}
 			matches = append(matches, m)
 		}
+	}
+	clear(seen)
+	matchSeenPool.Put(seen)
+	sp.AddHops(spanHops)
+	if len(matches) == 0 {
+		matches = nil
 	}
 	if n.cfg.OnDeliver != nil && len(matches) > 0 {
 		n.cfg.OnDeliver(doc, matches)
@@ -996,17 +1043,20 @@ func (n *Node) sendMigrations(ctx context.Context, epoch uint64, batches map[rin
 				n.cfg.OnTransfer(n.cfg.ID, target)
 			}
 		}
+		pw := codec.GetWriter()
 		for start := 0; start < len(entries); start += migrateBatch {
 			end := start + migrateBatch
 			if end > len(entries) {
 				end = len(entries)
 			}
-			payload := EncodeMigrate(MigrateReq{Epoch: epoch, Entries: entries[start:end]})
-			if _, err := n.send(ctx, target, payload); err != nil {
+			pw.Reset()
+			AppendMigrate(pw, MigrateReq{Epoch: epoch, Entries: entries[start:end]})
+			if _, err := n.send(ctx, target, pw.Bytes()); err != nil {
 				errs = append(errs, fmt.Errorf("node %s: migrate to %s: %w", n.cfg.ID, target, err))
 				break // the target is unreachable; skip its remaining batches
 			}
 		}
+		codec.PutWriter(pw)
 	}
 	return errors.Join(errs...)
 }

@@ -103,13 +103,20 @@ type PublishReq struct {
 	Term string
 }
 
-// EncodePublish serializes a PublishReq with the given message type
-// (msgPublish or msgPublishLocal).
-func EncodePublish(typ uint8, req PublishReq) []byte {
-	w := codec.NewWriter(32 + 12*len(req.Doc.Terms))
+// AppendPublish encodes a PublishReq into w with the given message type
+// (msgPublish or msgPublishLocal) — the variant the RPC send paths use
+// with pooled writers.
+func AppendPublish(w *codec.Writer, typ uint8, req PublishReq) {
 	w.Uint8(typ)
 	req.Doc.EncodeTo(w)
 	w.String(req.Term)
+}
+
+// EncodePublish serializes a PublishReq with the given message type
+// (msgPublish or msgPublishLocal) into a fresh buffer.
+func EncodePublish(typ uint8, req PublishReq) []byte {
+	w := codec.NewWriter(32 + 12*len(req.Doc.Terms))
+	AppendPublish(w, typ, req)
 	return w.Bytes()
 }
 
@@ -120,6 +127,10 @@ func decodePublish(r *codec.Reader) (PublishReq, error) {
 		return req, err
 	}
 	req.Doc = d
+	// Prime the memoized term-set view while the document is still owned
+	// by this goroutine: every downstream match against copies of the
+	// struct shares it (prime-before-share, model.Document.View).
+	req.Doc.View()
 	if req.Term, err = r.String(); err != nil {
 		return req, err
 	}
@@ -141,6 +152,13 @@ func EncodePublishHome(req PublishReq) []byte {
 // document: IDs are publisher-assigned and unique per document.
 func EncodePublishBatch(typ uint8, reqs []PublishReq) []byte {
 	w := codec.NewWriter(16 + 48*len(reqs))
+	AppendPublishBatch(w, typ, reqs)
+	return w.Bytes()
+}
+
+// AppendPublishBatch is EncodePublishBatch writing into a caller-supplied
+// (typically pooled) writer.
+func AppendPublishBatch(w *codec.Writer, typ uint8, reqs []PublishReq) {
 	w.Uint8(typ)
 	table := make(map[uint64]uint64, len(reqs))
 	unique := make([]int, 0, len(reqs))
@@ -159,7 +177,6 @@ func EncodePublishBatch(typ uint8, reqs []PublishReq) []byte {
 		w.Uvarint(table[reqs[i].Doc.ID])
 		w.String(reqs[i].Term)
 	}
-	return w.Bytes()
 }
 
 func decodePublishBatch(r *codec.Reader) ([]PublishReq, error) {
@@ -185,6 +202,13 @@ func decodePublishBatch(r *codec.Reader) ([]PublishReq, error) {
 	if n > uint64(r.Remaining()) {
 		return nil, fmt.Errorf("node: publish batch count %d overflows payload", n)
 	}
+	// Prime each unique document's memoized term-set view once, while this
+	// goroutine still exclusively owns the decode: every batch item that
+	// references the document shares the view through the struct copy, so a
+	// frame fanning 30 terms over one document builds its term set once.
+	for i := range docs {
+		docs[i].View()
+	}
 	reqs := make([]PublishReq, 0, n)
 	for i := uint64(0); i < n; i++ {
 		di, err := r.Uvarint()
@@ -198,8 +222,8 @@ func decodePublishBatch(r *codec.Reader) ([]PublishReq, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Items of the same document share one decode — the Terms slice is
-		// aliased, never mutated downstream.
+		// Items of the same document share one decode — the Terms slice and
+		// memoized view are aliased, never mutated downstream.
 		reqs = append(reqs, PublishReq{Doc: docs[di], Term: term})
 	}
 	return reqs, nil
@@ -207,13 +231,19 @@ func decodePublishBatch(r *codec.Reader) ([]PublishReq, error) {
 
 // EncodeMatchRespBatch serializes one MatchResp per batched publish, in
 // request order. Each response is length-framed so the items stay
-// independently decodable.
+// independently decodable. Items are staged through one pooled scratch
+// writer instead of a fresh buffer per response; the outer buffer is not
+// pooled because it crosses the Handler ownership boundary (DESIGN.md §11).
 func EncodeMatchRespBatch(resps []MatchResp) []byte {
 	w := codec.NewWriter(16 + 64*len(resps))
 	w.Uvarint(uint64(len(resps)))
+	scratch := codec.GetWriter()
 	for i := range resps {
-		w.Bytes0(EncodeMatchResp(resps[i]))
+		scratch.Reset()
+		appendMatchResp(scratch, resps[i])
+		w.Bytes0(scratch.Bytes())
 	}
+	codec.PutWriter(scratch)
 	return w.Bytes()
 }
 
@@ -274,6 +304,12 @@ type MatchResp struct {
 // EncodeMatchResp serializes a MatchResp.
 func EncodeMatchResp(resp MatchResp) []byte {
 	w := codec.NewWriter(16 + 24*len(resp.Matches))
+	appendMatchResp(w, resp)
+	return w.Bytes()
+}
+
+// appendMatchResp encodes a MatchResp into w.
+func appendMatchResp(w *codec.Writer, resp MatchResp) {
 	w.Uvarint(uint64(len(resp.Matches)))
 	for _, m := range resp.Matches {
 		w.Uvarint(uint64(m.Filter))
@@ -284,7 +320,6 @@ func EncodeMatchResp(resp MatchResp) []byte {
 	w.Bool(resp.Degraded)
 	w.Uvarint(uint64(resp.ColumnsLost))
 	encodeHops(w, resp.Hops)
-	return w.Bytes()
 }
 
 // encodeHops appends the hop list to the wire frame.
@@ -431,6 +466,13 @@ type MigrateReq struct {
 // EncodeMigrate serializes a MigrateReq.
 func EncodeMigrate(req MigrateReq) []byte {
 	w := codec.NewWriter(64 * (1 + len(req.Entries)))
+	AppendMigrate(w, req)
+	return w.Bytes()
+}
+
+// AppendMigrate is EncodeMigrate writing into a caller-supplied (typically
+// pooled) writer.
+func AppendMigrate(w *codec.Writer, req MigrateReq) {
 	w.Uint8(msgMigrate)
 	w.Uvarint(req.Epoch)
 	w.Uvarint(uint64(len(req.Entries)))
@@ -438,7 +480,6 @@ func EncodeMigrate(req MigrateReq) []byte {
 		e.Filter.EncodeTo(w)
 		w.StringSlice(e.PostingTerms)
 	}
-	return w.Bytes()
 }
 
 func decodeMigrate(r *codec.Reader) (MigrateReq, error) {

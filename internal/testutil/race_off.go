@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by tests across packages.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count guards skip under race: instrumentation allocates, and
+// sync.Pool deliberately drops items to widen interleavings.
+const RaceEnabled = false

@@ -78,12 +78,18 @@ func (s *Span) AddHop(h Hop) {
 }
 
 // AddHops appends a batch of hops (e.g. the grid hops a home node reported
-// back in its MatchResp). Nil-safe.
+// back in its MatchResp). The slice is copied; the caller keeps ownership.
+// Nil-safe.
 func (s *Span) AddHops(hs []Hop) {
 	if s == nil || len(hs) == 0 {
 		return
 	}
 	s.mu.Lock()
+	if s.hops == nil {
+		// Exact-size the common single-batch case (the entry node adds the
+		// whole merged hop list at once) instead of append-doubling.
+		s.hops = make([]Hop, 0, len(hs))
+	}
 	s.hops = append(s.hops, hs...)
 	s.mu.Unlock()
 }
@@ -130,6 +136,11 @@ type Summary struct {
 
 // Summary snapshots the span. Safe on a nil or unfinished span (an
 // unfinished span reports its duration so far).
+//
+// A finished span's hop list is frozen (no method appends after Finish by
+// contract), so summaries of a finished span share it without copying —
+// the common pattern `sp.Finish(); ... sp.Summary()` costs no hop copy.
+// Summaries of a still-running span get a defensive copy.
 func (s *Span) Summary() Summary {
 	if s == nil {
 		return Summary{}
@@ -137,14 +148,16 @@ func (s *Span) Summary() Summary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	end := s.end
+	hops := s.hops
 	if end.IsZero() {
 		end = time.Now()
+		hops = append([]Hop(nil), s.hops...)
 	}
 	sm := Summary{
 		Op:         s.op,
 		DocID:      s.docID,
 		DurationNS: end.Sub(s.start).Nanoseconds(),
-		Hops:       append([]Hop(nil), s.hops...),
+		Hops:       hops,
 	}
 	if len(s.stages) > 0 {
 		sm.StageNS = make(map[string]int64, len(s.stages))
@@ -152,6 +165,12 @@ func (s *Span) Summary() Summary {
 			sm.StageNS[name] = d.Nanoseconds()
 		}
 	}
+	sm.tally()
+	return sm
+}
+
+// tally derives the failover and lost-column counts from the hop list.
+func (sm *Summary) tally() {
 	for _, h := range sm.Hops {
 		if h.Lost {
 			sm.ColumnsLost++
@@ -161,6 +180,21 @@ func (s *Span) Summary() Summary {
 			sm.Failovers++
 		}
 	}
+}
+
+// Summarize builds a single-stage Summary directly, without a Span. It is
+// the cheap path for handlers whose whole trace is one stage plus a hop
+// list they already hold: the hops slice is aliased, not copied, so the
+// caller must not mutate it afterwards (hand it off, e.g. into a Ring).
+func Summarize(op string, docID uint64, d time.Duration, hops []Hop) Summary {
+	sm := Summary{
+		Op:         op,
+		DocID:      docID,
+		DurationNS: d.Nanoseconds(),
+		StageNS:    map[string]int64{op: d.Nanoseconds()},
+		Hops:       hops,
+	}
+	sm.tally()
 	return sm
 }
 

@@ -130,6 +130,11 @@ func (e *memEndpoint) Close() error {
 	return nil
 }
 
+// Send delivers payload to the peer's handler without copying it. The
+// in-memory network is zero-copy: it honors the Transport contract because
+// delivery is synchronous — the handler runs to completion (and by its own
+// contract does not retain payload) before Send returns, so the caller may
+// recycle pooled request buffers as soon as Send comes back.
 func (e *memEndpoint) Send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error) {
 	e.mu.Lock()
 	closed := e.closed

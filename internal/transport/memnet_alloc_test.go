@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/testutil"
+)
+
+// TestMemnetSendZeroAllocs pins the zero-copy contract of the in-memory
+// fabric: with no injected latency, a Send is a synchronous handler call
+// with no per-message heap traffic beyond what the handler itself does.
+func TestMemnetSendZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	net := NewNetwork(NetworkConfig{})
+	resp := []byte("pong")
+	net.Join("b", func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
+		return resp, nil
+	})
+	a := net.Join("a", nil)
+
+	ctx := context.Background()
+	payload := []byte("ping")
+	allocs := testing.AllocsPerRun(500, func() {
+		got, err := a.Send(ctx, "b", payload)
+		if err != nil || len(got) != len(resp) {
+			t.Fatalf("got=%q err=%v", got, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memnet Send: %.1f allocs/op, want 0", allocs)
+	}
+}

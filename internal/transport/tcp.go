@@ -201,7 +201,10 @@ func (n *TCPNode) handleFrame(conn net.Conn, writeMu *sync.Mutex, frame []byte) 
 	}
 	resp, herr := n.handler(context.Background(), ring.NodeID(from), body)
 
-	w := codec.NewWriter(16 + len(resp))
+	// The response framing buffer is pooled: its bytes are fully flushed to
+	// the socket under writeMu before the writer is recycled. (resp itself
+	// is handler-owned and merely copied through.)
+	w := codec.GetWriter()
 	w.Uvarint(reqID)
 	if herr != nil {
 		w.Uint8(1)
@@ -211,8 +214,9 @@ func (n *TCPNode) handleFrame(conn net.Conn, writeMu *sync.Mutex, frame []byte) 
 		w.Bytes0(resp)
 	}
 	writeMu.Lock()
-	defer writeMu.Unlock()
 	_ = writeFrame(conn, w.Bytes())
+	writeMu.Unlock()
+	codec.PutWriter(w)
 }
 
 // Send implements Transport.
@@ -317,7 +321,10 @@ func (c *tcpConn) roundTrip(ctx context.Context, from ring.NodeID, payload []byt
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	w := codec.NewWriter(24 + len(payload))
+	// Pooled request framing buffer, recycled once the frame has been
+	// written to the socket; the caller's payload is copied into it, so the
+	// caller may recycle payload as soon as Send returns.
+	w := codec.GetWriter()
 	w.Uvarint(id)
 	w.String(string(from))
 	w.Bytes0(payload)
@@ -325,6 +332,7 @@ func (c *tcpConn) roundTrip(ctx context.Context, from ring.NodeID, payload []byt
 	c.writeMu.Lock()
 	err := writeFrame(c.raw, w.Bytes())
 	c.writeMu.Unlock()
+	codec.PutWriter(w)
 	if err != nil {
 		c.abandon(id)
 		return nil, fmt.Errorf("write to peer: %w", ErrNodeDown)
@@ -369,8 +377,10 @@ func (c *tcpConn) readLoop() {
 			if err != nil {
 				continue
 			}
-			// Copy: frame buffer is reused by the bufio reader path.
-			res.body = append([]byte(nil), body...)
+			// readFrame allocates a fresh buffer per frame, so the body
+			// may alias it without a defensive copy; ownership passes to
+			// the waiting caller.
+			res.body = body
 		} else {
 			msg, err := r.String()
 			if err != nil {

@@ -23,11 +23,23 @@ func IsAvailabilityError(err error) bool {
 
 // Handler processes one inbound request and returns the response payload.
 // Handlers must be safe for concurrent use.
+//
+// Buffer ownership (see DESIGN.md §11): the payload belongs to the
+// transport and may be recycled after the handler returns — handlers must
+// not retain it (decode in place; copy anything long-lived). The returned
+// response buffer transfers to the transport, which only reads it; it must
+// not alias the request payload, and it must not come from a pool the
+// handler later recycles.
 type Handler func(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error)
 
 // Transport is one node's endpoint in the cluster.
 type Transport interface {
 	// Send delivers payload to the node `to` and waits for its response.
+	//
+	// Buffer ownership (see DESIGN.md §11): the transport does not retain
+	// payload past the point Send returns, so callers may recycle pooled
+	// request buffers immediately afterwards. The returned response slice
+	// is owned by the caller and never aliases payload.
 	Send(ctx context.Context, to ring.NodeID, payload []byte) ([]byte, error)
 	// Self returns the local node's ID.
 	Self() ring.NodeID

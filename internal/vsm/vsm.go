@@ -112,3 +112,36 @@ func (c *Corpus) ContainmentScore(docSet map[string]struct{}, filterTerms []stri
 	}
 	return dot / norm
 }
+
+// ContainmentScoreSorted is ContainmentScore with the document given as a
+// sorted term list instead of a membership map, probing by binary search.
+// It lets allocation-free match paths score short documents that never
+// built a map; the two forms return identical values for the same term set.
+func (c *Corpus) ContainmentScoreSorted(sortedDocTerms []string, filterTerms []string) float64 {
+	if len(sortedDocTerms) == 0 || len(filterTerms) == 0 {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var dot, norm float64
+	for _, t := range filterTerms {
+		w := math.Log(1 + float64(c.docs)/(1+float64(c.df[t])))
+		norm += w * w
+		lo, hi := 0, len(sortedDocTerms)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if sortedDocTerms[mid] < t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(sortedDocTerms) && sortedDocTerms[lo] == t {
+			dot += w * w
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	return dot / norm
+}
