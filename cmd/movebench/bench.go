@@ -41,6 +41,20 @@ type benchReport struct {
 	MatchesPerSec  float64 `json:"matches_per_sec"`
 	FiltersMatched int64   `json:"filters_matched"`
 
+	// Entry→home wire accounting for the single-publish phase: RPC frames
+	// sent and their payload bytes (publish.home.rpcs / publish.home.bytes),
+	// absolute and per document. The per-doc figures are regression-guarded
+	// (benchWireTolerance): the multi-term coalescing win this baseline
+	// records must not silently erode back toward one-RPC-per-term.
+	HomeRPCs            int64   `json:"home_rpcs"`
+	HomeRPCsPerDoc      float64 `json:"home_rpcs_per_doc"`
+	HomeWireBytes       int64   `json:"home_wire_bytes"`
+	HomeWireBytesPerDoc float64 `json:"home_wire_bytes_per_doc"`
+	// Batch-phase counterparts (frames are shared by many documents, so
+	// per-doc figures drop well below the single-phase ones).
+	BatchHomeRPCsPerDoc      float64 `json:"batch_home_rpcs_per_doc"`
+	BatchHomeWireBytesPerDoc float64 `json:"batch_home_wire_bytes_per_doc"`
+
 	// Batch figure: the same pregenerated documents re-published through
 	// Cluster.PublishBatch (coalesced frames, worker-pool drain).
 	BatchElapsedMS    float64 `json:"batch_elapsed_ms"`
@@ -65,6 +79,11 @@ const benchRPCLatency = 2 * time.Millisecond
 // a new publish.e2e p95 more than 20% above the checked-in baseline
 // fails the run (and CI).
 const benchP95Tolerance = 0.20
+
+// benchWireTolerance is the regression budget for the wire-efficiency
+// figures: home RPCs per document and home wire bytes per document more
+// than 10% above the checked-in baseline fail the run (and CI).
+const benchWireTolerance = 0.10
 
 // checkBaseline compares a fresh report against the checked-in baseline,
 // failing on a >benchP95Tolerance publish.e2e p95 regression. A missing
@@ -93,6 +112,29 @@ func checkBaseline(path string, rep benchReport) error {
 	}
 	fmt.Printf("bench: publish.e2e p95 %.2fms within +%d%% of baseline %.2fms\n",
 		float64(rep.PublishE2E.P95NS)/1e6, int(benchP95Tolerance*100), float64(base.PublishE2E.P95NS)/1e6)
+	if err := checkWireFigure("home_rpcs_per_doc", rep.HomeRPCsPerDoc, base.HomeRPCsPerDoc); err != nil {
+		return err
+	}
+	if err := checkWireFigure("home_wire_bytes_per_doc", rep.HomeWireBytesPerDoc, base.HomeWireBytesPerDoc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkWireFigure enforces benchWireTolerance on one wire-efficiency
+// figure. A zero baseline value means the checked-in report predates the
+// figure; skip rather than fail, the next committed report fills it in.
+func checkWireFigure(name string, got, base float64) error {
+	if base <= 0 {
+		fmt.Printf("bench: baseline has no %s, skipping regression check\n", name)
+		return nil
+	}
+	if got > base*(1+benchWireTolerance) {
+		return fmt.Errorf("%s regression: %.2f vs baseline %.2f (budget +%d%%)",
+			name, got, base, int(benchWireTolerance*100))
+	}
+	fmt.Printf("bench: %s %.2f within +%d%% of baseline %.2f\n",
+		name, got, int(benchWireTolerance*100), base)
 	return nil
 }
 
@@ -166,6 +208,10 @@ func runBench(outPath, baselinePath string, nodes, filters, docs int, seed int64
 	}
 
 	dump := c.Metrics().Dump()
+	homeRPCs := singleDump.Counters["publish.home.rpcs"]
+	homeBytes := singleDump.Counters["publish.home.bytes"]
+	batchHomeRPCs := dump.Counters["publish.home.rpcs"] - homeRPCs
+	batchHomeBytes := dump.Counters["publish.home.bytes"] - homeBytes
 	rep := benchReport{
 		GeneratedBy:    "movebench -fig bench",
 		Scheme:         c.Scheme().String(),
@@ -181,6 +227,13 @@ func runBench(outPath, baselinePath string, nodes, filters, docs int, seed int64
 		MatchesTotal:   matches,
 		MatchesPerSec:  float64(matches) / elapsed.Seconds(),
 		FiltersMatched: int64(len(matchedFilters)),
+
+		HomeRPCs:                 homeRPCs,
+		HomeRPCsPerDoc:           float64(homeRPCs) / float64(docs),
+		HomeWireBytes:            homeBytes,
+		HomeWireBytesPerDoc:      float64(homeBytes) / float64(docs),
+		BatchHomeRPCsPerDoc:      float64(batchHomeRPCs) / float64(docs),
+		BatchHomeWireBytesPerDoc: float64(batchHomeBytes) / float64(docs),
 
 		BatchElapsedMS:    float64(batchElapsed.Nanoseconds()) / 1e6,
 		BatchDocsPerSec:   float64(docs) / batchElapsed.Seconds(),
@@ -214,5 +267,7 @@ func runBench(outPath, baselinePath string, nodes, filters, docs int, seed int64
 		outPath)
 	fmt.Printf("bench: batch publish %d docs in %.1fms (%.1f docs/s, %.2fx vs single, mean frame %.1f docs)\n",
 		docs, rep.BatchElapsedMS, rep.BatchDocsPerSec, rep.BatchSpeedup, float64(rep.PublishBatchSize.MeanNS))
+	fmt.Printf("bench: %.1f home RPCs/doc (%.0f B/doc on the wire), batch %.1f RPCs/doc (%.0f B/doc)\n",
+		rep.HomeRPCsPerDoc, rep.HomeWireBytesPerDoc, rep.BatchHomeRPCsPerDoc, rep.BatchHomeWireBytesPerDoc)
 	return nil
 }

@@ -269,35 +269,46 @@ func (c *client) register(ctx context.Context, id model.FilterID, sub, query str
 	return nil
 }
 
-// publish routes the document to the home node of each term and merges the
-// matches. With showTrace, the hop path each home node reports (grid
-// columns visited, failover substitutions) is printed after the matches.
+// publish groups the document's terms by home node, sends each home ONE
+// multi-term frame (the document encoded once plus that node's term list),
+// and merges the matches. With showTrace, the hop path each home node
+// reports (grid columns visited, failover substitutions) is printed after
+// the matches.
 func (c *client) publish(ctx context.Context, content string, showTrace bool) error {
 	terms := text.Terms(content, text.Options{})
 	if len(terms) == 0 {
 		return fmt.Errorf("document has no indexable terms")
 	}
 	doc := model.Document{ID: uint64(time.Now().UnixNano()), Terms: terms}
-	seen := make(map[model.FilterID]string)
-	var hops []trace.Hop
+	byHome := make(map[ring.NodeID][]string)
+	var homes []ring.NodeID
 	for _, t := range terms {
 		home, err := c.ring.HomeNode(t)
 		if err != nil {
 			return err
 		}
+		if _, ok := byHome[home]; !ok {
+			homes = append(homes, home)
+		}
+		byHome[home] = append(byHome[home], t)
+	}
+	seen := make(map[model.FilterID]string)
+	var hops []trace.Hop
+	for _, home := range homes {
+		homeTerms := byHome[home]
 		start := time.Now()
-		raw, err := c.tn.Send(ctx, home, node.EncodePublishHome(node.PublishReq{Doc: doc, Term: t}))
+		raw, err := c.tn.Send(ctx, home, node.EncodePublishMultiHome(node.PublishMultiReq{Doc: doc, Terms: homeTerms}))
 		if err != nil {
-			return fmt.Errorf("publish term %q to %s: %w", t, home, err)
+			return fmt.Errorf("publish terms %v to %s: %w", homeTerms, home, err)
 		}
 		resp, err := node.DecodeMatchResp(raw)
 		if err != nil {
 			return err
 		}
-		hops = append(hops, trace.Hop{
-			Stage: "home", To: string(home), Term: t,
-			ElapsedNS: time.Since(start).Nanoseconds(),
-		})
+		elapsed := time.Since(start).Nanoseconds()
+		for _, t := range homeTerms {
+			hops = append(hops, trace.Hop{Stage: "home", To: string(home), Term: t, ElapsedNS: elapsed})
+		}
 		hops = append(hops, resp.Hops...)
 		for _, m := range resp.Matches {
 			seen[m.Filter] = m.Subscriber
@@ -306,7 +317,7 @@ func (c *client) publish(ctx context.Context, content string, showTrace bool) er
 	if showTrace {
 		printHops(hops)
 	}
-	fmt.Printf("published doc with %d terms; %d matching filter(s)\n", len(terms), len(seen))
+	fmt.Printf("published doc with %d terms to %d home node(s); %d matching filter(s)\n", len(terms), len(homes), len(seen))
 	for id, sub := range seen {
 		fmt.Printf("  -> %s (%s)\n", sub, id)
 		// Queue the delivery in the subscriber's mailbox so `movectl

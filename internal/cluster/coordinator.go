@@ -17,9 +17,12 @@ type NodeLoad struct {
 	// StorageFilters is the number of filter definitions stored (incl.
 	// replicas) — the storage cost of Figure 9(a).
 	StorageFilters int64
-	// DocsProcessed is the number of match requests served — the matching
-	// cost of Figure 9(b).
+	// DocsProcessed is the number of match frames served (one per document
+	// arrival, however many terms the frame carries).
 	DocsProcessed int64
+	// TermsMatched is the number of term match evaluations served — the
+	// matching cost of Figure 9(b), invariant to RPC framing.
+	TermsMatched int64
 	// PostingsScanned is the cumulative posting entries read while
 	// matching, the y_p work unit.
 	PostingsScanned int64
@@ -51,6 +54,7 @@ func (c *Cluster) PullLoads(ctx context.Context) ([]NodeLoad, error) {
 			ID:              id,
 			StorageFilters:  s.Filters,
 			DocsProcessed:   s.DocsProcessed,
+			TermsMatched:    s.TermsMatched,
 			PostingsScanned: s.PostingsScanned,
 			PostingLists:    s.PostingLists,
 			HomePublishes:   s.HomePublishes,

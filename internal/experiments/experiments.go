@@ -461,8 +461,8 @@ type ClusterOutcome struct {
 	Docs, Complete int
 	// StoragePerNode is each node's stored filter definitions (Fig 9a).
 	StoragePerNode []float64
-	// MatchPerNode is each node's documents processed in the measured
-	// window (Fig 9b).
+	// MatchPerNode is each node's term match evaluations in the measured
+	// window (Fig 9b) — framing-invariant, unlike raw frame counts.
 	MatchPerNode []float64
 	// Availability is the live-filter fraction (Fig 9d).
 	Availability float64
@@ -660,7 +660,7 @@ func runCluster(p ClusterParams, nextFilter, nextDoc func() []string) (ClusterOu
 		w.DocsReceivedInter = transfers.PerNodeReceived[l.ID] - intra
 		works = append(works, w)
 		out.StoragePerNode = append(out.StoragePerNode, float64(l.StorageFilters))
-		out.MatchPerNode = append(out.MatchPerNode, float64(l.DocsProcessed-prev[l.ID].DocsProcessed))
+		out.MatchPerNode = append(out.MatchPerNode, float64(l.TermsMatched-prev[l.ID].TermsMatched))
 	}
 	costModel := sim.DefaultCostModel()
 	if p.CostScale > 1 {

@@ -255,6 +255,60 @@ func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, Matc
 	return matched, st, nil
 }
 
+// MatchTerms finds the filters matching d among those on the posting lists
+// of terms — the multi-term counterpart of MatchTerm that serves one
+// coalesced msgPublishMulti frame (every term of the document this node is
+// responsible for) in a single pass over the sharded index. Each term's
+// posting list is read once, in term order, and a filter referenced by
+// several of the lists is evaluated once, so the result is the per-term
+// union with duplicates removed while the PostingLists and Postings
+// accounting stays exactly the sum of the equivalent per-term MatchTerm
+// calls (the §IV cost model charges list retrievals and entry scans, which
+// coalescing does not change — only the RPCs around them).
+//
+// Returned filters are immutable shard snapshots; callers must not mutate
+// Terms (DESIGN.md §11).
+func (ix *Index) MatchTerms(d *model.Document, terms []string) ([]model.Filter, MatchStats, error) {
+	if len(terms) == 1 {
+		// Single-term frames keep MatchTerm's lazy exact-size allocation.
+		return ix.MatchTerm(d, terms[0])
+	}
+	var st MatchStats
+	view := d.View()
+	seen := seenPool.Get().(map[model.FilterID]struct{})
+	defer func() {
+		clear(seen)
+		seenPool.Put(seen)
+	}()
+	var matched []model.Filter
+	evalTm := ix.evalH.Start()
+	defer evalTm.Stop()
+	for _, term := range terms {
+		readTm := ix.postingReadH.Start()
+		ids := ix.state.termShard(term).snapshot(term)
+		readTm.Stop()
+		if len(ids) > 0 {
+			st.PostingLists++
+		}
+		st.Postings += len(ids)
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			f, ok := ix.state.filterShard(id).get(id)
+			if !ok {
+				continue // unregistered; lazy posting cleanup
+			}
+			st.Evaluated++
+			if ix.evaluate(&f, view) {
+				matched = append(matched, f)
+			}
+		}
+	}
+	return matched, st, nil
+}
+
 // seenPool recycles MatchSIFT's per-call dedup map. Maps are returned
 // cleared; Go retains their bucket storage, so steady-state SIFT matching
 // stops paying a map grow per document.

@@ -106,3 +106,81 @@ func TestMatchTermSubsetOfSIFT(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMatchTermsEquivalentToPerTermUnion is the coalescing correctness
+// property: for any filter set, document, and term list, one MatchTerms
+// pass must return exactly the deduplicated concatenation of per-term
+// MatchTerm results (first-appearance order), and its wire-visible stats
+// (Postings, PostingLists) must equal the per-term sums — candidate dedup
+// may only reduce Evaluated, never the accounted posting work.
+func TestMatchTermsEquivalentToPerTermUnion(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := newIndex(t)
+		numFilters := 1 + rng.Intn(30)
+		for i := 1; i <= numFilters; i++ {
+			mode, thr := randMode(rng)
+			f := model.Filter{
+				ID: model.FilterID(i), Subscriber: "s",
+				Terms: randTerms(rng, 4), Mode: mode, Threshold: thr,
+			}
+			if err := ix.Register(f, f.Terms); err != nil {
+				t.Fatal(err)
+			}
+		}
+		doc := &model.Document{ID: uint64(seed)&0xffff + 1, Terms: randTerms(rng, 6)}
+		// Observe once, before both paths: matching itself never mutates the
+		// corpus, so threshold filters see identical idf state.
+		ix.ObserveDocument(doc)
+		// Query a random multiset of terms — duplicates included, because the
+		// coalesced path must dedup candidates across repeated terms too.
+		queried := make([]string, 0, 6)
+		for _, term := range randTerms(rng, 4) {
+			queried = append(queried, term)
+			if rng.Intn(3) == 0 {
+				queried = append(queried, term)
+			}
+		}
+
+		var wantIDs []model.FilterID
+		seen := make(map[model.FilterID]struct{})
+		var wantPostings, wantLists int
+		for _, term := range queried {
+			fs, st, err := ix.MatchTerm(doc, term)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPostings += st.Postings
+			wantLists += st.PostingLists
+			for _, f := range fs {
+				if _, ok := seen[f.ID]; ok {
+					continue
+				}
+				seen[f.ID] = struct{}{}
+				wantIDs = append(wantIDs, f.ID)
+			}
+		}
+
+		fs, st, err := ix.MatchTerms(doc, queried)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIDs := make([]model.FilterID, 0, len(fs))
+		for _, f := range fs {
+			gotIDs = append(gotIDs, f.ID)
+		}
+		if !reflect.DeepEqual(gotIDs, wantIDs) && !(len(gotIDs) == 0 && len(wantIDs) == 0) {
+			t.Logf("seed %d: MatchTerms %v != deduplicated per-term union %v", seed, gotIDs, wantIDs)
+			return false
+		}
+		if st.Postings != wantPostings || st.PostingLists != wantLists {
+			t.Logf("seed %d: stats (%d postings, %d lists) != per-term sums (%d, %d)",
+				seed, st.Postings, st.PostingLists, wantPostings, wantLists)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -50,17 +50,20 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	return c
 }
 
-// termResult carries one term's match response back to the publish that
-// enqueued it.
+// termResult carries one home group's match response back to the publish
+// that enqueued it.
 type termResult struct {
 	resp MatchResp
 	err  error
 }
 
-// batchItem is one (document, term) pair waiting in a bucket, plus the
-// channel and span of the publish it belongs to.
+// batchItem is one (document, home-node term list) pair waiting in a
+// bucket, plus the channel and span of the publish it belongs to. One item
+// covers every term of its document that the bucket's home node owns, so
+// the batch pipeline coalesces along both axes: documents per frame and
+// terms per document.
 type batchItem struct {
-	req PublishReq
+	req PublishMultiReq
 	out chan<- termResult
 	sp  *trace.Span
 }
@@ -81,7 +84,7 @@ var bucketPool = sync.Pool{New: func() any { return new(bucket) }}
 // flushScratch is the per-frame request slice flush stages before
 // encoding, recycled the same way.
 type flushScratch struct {
-	reqs []PublishReq
+	reqs []PublishMultiReq
 }
 
 var flushScratchPool = sync.Pool{New: func() any { return new(flushScratch) }}
@@ -146,9 +149,9 @@ func NewBatcher(n *Node, cfg BatcherConfig) *Batcher {
 }
 
 // Publish disseminates one document through the batch pipeline and blocks
-// until its matches are known. The per-term fan-out, Bloom gate, match
-// dedup, OnDeliver hook, and partial-failure aggregation mirror
-// PublishEntry; only the wire framing differs.
+// until its matches are known. The home grouping, Bloom gate, match dedup,
+// OnDeliver hook, and partial-failure aggregation mirror PublishEntry;
+// only the wire framing differs.
 func (b *Batcher) Publish(ctx context.Context, doc *model.Document) ([]Match, MatchResp, error) {
 	if err := doc.Validate(); err != nil {
 		return nil, MatchResp{}, err
@@ -168,33 +171,31 @@ func (b *Batcher) Publish(ctx context.Context, doc *model.Document) ([]Match, Ma
 	n.mu.RLock()
 	bf := n.bloomF
 	n.mu.RUnlock()
-	terms := make([]string, 0, len(doc.Terms))
-	for _, t := range doc.Terms {
-		if bf != nil && !bf.Contains(t) {
-			continue
-		}
-		terms = append(terms, t)
-	}
+	terms := bloomPassTerms(bf, doc.Terms)
 	if len(terms) == 0 {
 		return nil, MatchResp{}, nil
+	}
+	// Same home grouping as PublishEntry: one item per distinct home node
+	// carrying that node's whole term list, all homes resolved before
+	// anything is enqueued.
+	groups, err := n.groupTermsByHome(terms)
+	if err != nil {
+		return nil, MatchResp{}, err
 	}
 
 	// out is buffered to the full fan-out width so workers never block
 	// delivering results, even if this caller has already given up.
-	out := make(chan termResult, len(terms))
+	out := make(chan termResult, len(groups))
 	enqueued := 0
 	var errs []error
-	for _, t := range terms {
-		home, err := n.cfg.Ring.HomeNode(t)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err))
-			continue
-		}
+	for i := range groups {
+		g := &groups[i]
 		if n.cfg.OnTransfer != nil {
-			n.cfg.OnTransfer(n.cfg.ID, home)
+			// One transfer per home node: the document ships once per frame.
+			n.cfg.OnTransfer(n.cfg.ID, g.home)
 		}
-		item := batchItem{req: PublishReq{Doc: *doc, Term: t}, out: out, sp: sp}
-		if err := b.enqueue(home, item); err != nil {
+		item := batchItem{req: PublishMultiReq{Doc: *doc, Terms: g.terms}, out: out, sp: sp}
+		if err := b.enqueue(g.home, item); err != nil {
 			errs = append(errs, err)
 			continue
 		}
@@ -327,7 +328,9 @@ func (b *Batcher) flush(bk *bucket) {
 	// Pooled frame buffer: send does not retain the payload, so the writer
 	// is recycled as soon as the RPC returns (DESIGN.md §11).
 	pw := codec.GetWriter()
-	AppendPublishBatch(pw, msgPublishBatch, reqs)
+	AppendPublishMultiBatch(pw, msgPublishMultiBatch, reqs)
+	b.n.homeRPCs.Inc()
+	b.n.homeBytes.Add(int64(len(pw.Bytes())))
 	rpcStart := time.Now()
 	raw, err := b.n.send(context.Background(), bk.home, pw.Bytes())
 	codec.PutWriter(pw)
@@ -342,17 +345,22 @@ func (b *Batcher) flush(bk *bucket) {
 	}
 	for i := range bk.items {
 		it := bk.items[i]
-		hop := trace.Hop{
-			Stage: "home", From: string(b.n.cfg.ID), To: string(bk.home),
-			Term: it.req.Term, Batch: len(reqs), ElapsedNS: elapsed.Nanoseconds(),
+		// One "home" hop per term the item carried, sharing the frame's RPC
+		// elapsed time — the same per-term trace the unbatched path records.
+		for _, t := range it.req.Terms {
+			hop := trace.Hop{
+				Stage: "home", From: string(b.n.cfg.ID), To: string(bk.home),
+				Term: t, Batch: len(reqs), ElapsedNS: elapsed.Nanoseconds(),
+			}
+			if err != nil {
+				hop.Err = err.Error()
+			}
+			it.sp.AddHop(hop)
 		}
 		if err != nil {
-			hop.Err = err.Error()
-			it.sp.AddHop(hop)
 			it.out <- termResult{err: err}
 			continue
 		}
-		it.sp.AddHop(hop)
 		it.sp.AddHops(resps[i].Hops)
 		it.out <- termResult{resp: resps[i]}
 	}

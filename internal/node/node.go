@@ -90,6 +90,7 @@ type Node struct {
 
 	// Counters for §V statistics and Figure 9 load accounting.
 	docsProcessed   metrics.Counter
+	termsMatched    metrics.Counter
 	postingsScanned metrics.Counter
 	postingLists    metrics.Counter
 	homePublishes   metrics.Counter
@@ -98,6 +99,12 @@ type Node struct {
 	// degraded (partial-coverage) publishes.
 	failoverC *metrics.Counter
 	degradedC *metrics.Counter
+
+	// Entry-side publish wire accounting: home-bound RPC frames sent and
+	// their payload bytes — the numerators of movebench's home_rpcs_per_doc
+	// and home_wire_bytes_per_doc regression figures.
+	homeRPCs  *metrics.Counter
+	homeBytes *metrics.Counter
 
 	// Per-stage latency histograms (§IV latency model, one per pipeline
 	// stage) and the ring of recent publish traces.
@@ -154,6 +161,8 @@ func New(cfg Config) (*Node, error) {
 		res:        cfg.Resilience,
 		failoverC:  reg.Counter("publish.failover"),
 		degradedC:  reg.Counter("publish.degraded"),
+		homeRPCs:   reg.Counter("publish.home.rpcs"),
+		homeBytes:  reg.Counter("publish.home.bytes"),
 		hE2E:       reg.Histogram("publish.e2e"),
 		hHome:      reg.Histogram("publish.home"),
 		hFanout:    reg.Histogram("publish.fanout"),
@@ -270,6 +279,50 @@ func (n *Node) Handle(ctx context.Context, from ring.NodeID, payload []byte) ([]
 		resps := make([]MatchResp, len(reqs))
 		for i := range reqs {
 			resp, err := n.matchLocal(&reqs[i].Doc, reqs[i].Term)
+			if err != nil {
+				return nil, err
+			}
+			resps[i] = resp
+		}
+		return EncodeMatchRespBatch(resps), nil
+	case msgPublishMulti:
+		req, err := decodePublishMulti(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-multi: %w", n.cfg.ID, err)
+		}
+		resp, err := n.handlePublishMulti(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchResp(resp), nil
+	case msgPublishLocalMulti:
+		req, err := decodePublishMulti(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-local-multi: %w", n.cfg.ID, err)
+		}
+		resp, err := n.matchLocalTerms(&req.Doc, req.Terms)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchResp(resp), nil
+	case msgPublishMultiBatch:
+		reqs, err := decodePublishMultiBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-multi-batch: %w", n.cfg.ID, err)
+		}
+		resps, err := n.handlePublishMultiBatch(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeMatchRespBatch(resps), nil
+	case msgPublishLocalMultiBatch:
+		reqs, err := decodePublishMultiBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode publish-local-multi-batch: %w", n.cfg.ID, err)
+		}
+		resps := make([]MatchResp, len(reqs))
+		for i := range reqs {
+			resp, err := n.matchLocalTerms(&reqs[i].Doc, reqs[i].Terms)
 			if err != nil {
 				return nil, err
 			}
@@ -614,6 +667,279 @@ func (n *Node) fanOutRow(ctx context.Context, grid *alloc.Grid, first int, paylo
 	return merged, nil
 }
 
+// handlePublishMulti serves one coalesced multi-term publish on the shared
+// home node of its terms: every term is matched (locally or through its
+// grid) off a single document decode, and the column RPCs behind the grids
+// are deduplicated across terms. The trace/histogram treatment mirrors
+// handlePublish.
+func (n *Node) handlePublishMulti(ctx context.Context, req PublishMultiReq) (MatchResp, error) {
+	// One frame is one document arrival: homePublishes is the numerator of
+	// the §V node frequency q'_i, which counts documents the node receives,
+	// not the terms they were routed under.
+	n.homePublishes.Inc()
+	tm := n.hHome.Start()
+	resp, err := n.homePublishMulti(ctx, req)
+	elapsed := tm.Stop()
+	var hops []trace.Hop
+	if err == nil {
+		hops = resp.Hops
+	}
+	n.traces.Add(trace.Summarize("publish.home", req.Doc.ID, elapsed, hops))
+	return resp, err
+}
+
+// gridGroup is the slice of one multi-term publish bound for a single
+// allocation grid: the terms (in document order) whose effective grid it is.
+type gridGroup struct {
+	grid  *alloc.Grid
+	terms []string
+}
+
+// splitByGrid partitions a multi-term publish's terms by their effective
+// allocation grid — per-term grids take precedence over the node-wide grid,
+// exactly as in the single-term path. Terms with no grid match locally.
+func (n *Node) splitByGrid(terms []string) (local []string, groups []gridGroup) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var idx map[*alloc.Grid]int
+	for _, t := range terms {
+		g := n.termGrids[t]
+		if g == nil {
+			g = n.grid
+		}
+		if g == nil {
+			local = append(local, t)
+			continue
+		}
+		if idx == nil {
+			idx = make(map[*alloc.Grid]int, 2)
+		}
+		i, ok := idx[g]
+		if !ok {
+			i = len(groups)
+			idx[g] = i
+			groups = append(groups, gridGroup{grid: g})
+		}
+		groups[i].terms = append(groups[i].terms, t)
+	}
+	return local, groups
+}
+
+// homePublishMulti matches a multi-term-routed document: grid-less terms in
+// one local MatchTerms pass, grid-routed terms through the deduplicated
+// grid fan-out.
+func (n *Node) homePublishMulti(ctx context.Context, req PublishMultiReq) (MatchResp, error) {
+	local, groups := n.splitByGrid(req.Terms)
+	var merged MatchResp
+	if len(local) > 0 {
+		resp, err := n.matchLocalTerms(&req.Doc, local)
+		if err != nil {
+			return MatchResp{}, err
+		}
+		for _, t := range local {
+			resp.Hops = append(resp.Hops, trace.Hop{
+				Stage: "local", To: string(n.cfg.ID), Term: t,
+			})
+		}
+		merged = resp
+	}
+	if len(groups) > 0 {
+		resp, err := n.multiFanOut(ctx, &req.Doc, groups)
+		if err != nil {
+			return MatchResp{}, err
+		}
+		mergeResp(&merged, resp)
+	}
+	return merged, nil
+}
+
+// mergeResp folds src into dst: matches concatenated (the entry node
+// dedups), cost counters summed, degradation flags accumulated.
+func mergeResp(dst *MatchResp, src MatchResp) {
+	dst.Matches = append(dst.Matches, src.Matches...)
+	dst.PostingsScanned += src.PostingsScanned
+	dst.PostingLists += src.PostingLists
+	dst.Degraded = dst.Degraded || src.Degraded
+	dst.ColumnsLost += src.ColumnsLost
+	dst.Hops = append(dst.Hops, src.Hops...)
+}
+
+// multiFanOut disseminates one document through the union of grid-row
+// destinations across all of its terms' grids: each round, the still-open
+// (grid, column) slots are grouped by the node currently serving them and
+// every distinct node receives ONE msgPublishLocalMulti carrying all the
+// terms routed through it — so k terms sharing the node-wide grid cost one
+// RPC per column, not k. Failover stays per column (the whole slot moves to
+// the same column of the next row, §VI.D) and regrouping each round keeps
+// the dedup exact as slots drift across rows. A column no row can serve
+// degrades once per term routed through it, matching what the per-term
+// fan-out reports.
+func (n *Node) multiFanOut(ctx context.Context, doc *model.Document, groups []gridGroup) (MatchResp, error) {
+	// One partition row per grid, chosen once for all of the grid's terms
+	// (the per-term path draws a row per term; any row serves the exact
+	// match set, so one draw per grid is both cheaper and equivalent).
+	firsts := make([]int, len(groups))
+	n.mu.Lock()
+	for i := range groups {
+		firsts[i] = groups[i].grid.PickRow(doc.ID, n.rng)
+	}
+	n.mu.Unlock()
+
+	// One slot per (grid, column); a slot is done when some row's node
+	// served it or every row was exhausted (lost).
+	type colSlot struct {
+		group   int // index into groups
+		col     int
+		attempt int
+		done    bool
+		lost    bool
+		hops    []trace.Hop
+	}
+	nCols := 0
+	for i := range groups {
+		nCols += groups[i].grid.Cols()
+	}
+	slots := make([]*colSlot, 0, nCols)
+	for gi := range groups {
+		for col := 0; col < groups[gi].grid.Cols(); col++ {
+			slots = append(slots, &colSlot{group: gi, col: col})
+		}
+	}
+
+	var merged MatchResp
+	for {
+		// Group the open slots by the node their current row assigns them —
+		// the union of grid-row destinations across terms.
+		targets := make(map[ring.NodeID][]*colSlot)
+		var order []ring.NodeID
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			g := &groups[s.group]
+			rows := g.grid.Rows()
+			if s.attempt >= rows {
+				// No live replica in any row: the column's filter slice is
+				// unreachable for every term routed through it. Charge one
+				// lost hop (and one ColumnsLost, below) per term — the same
+				// accounting the per-term fan-out produces.
+				s.done, s.lost = true, true
+				for _, t := range g.terms {
+					s.hops = append(s.hops, trace.Hop{
+						Stage: "column", From: string(n.cfg.ID), Col: s.col, Term: t, Lost: true,
+					})
+				}
+				continue
+			}
+			target := g.grid.Node((firsts[s.group]+s.attempt)%rows, s.col)
+			if _, ok := targets[target]; !ok {
+				order = append(order, target)
+			}
+			targets[target] = append(targets[target], s)
+		}
+		if len(order) == 0 {
+			break
+		}
+		type rpcResult struct {
+			resp MatchResp
+			ok   bool
+			err  error // non-availability failure: fatal for the publish
+		}
+		results := make([]rpcResult, len(order))
+		var wg sync.WaitGroup
+		for ti := range order {
+			wg.Add(1)
+			go func(ti int, target ring.NodeID, ss []*colSlot) {
+				defer wg.Done()
+				// Union of the terms riding this RPC. Different groups hold
+				// disjoint term sets, and a group contributes its terms once
+				// even when several of its columns land on the same node.
+				var terms []string
+				seenGroup := make(map[int]struct{}, len(ss))
+				for _, s := range ss {
+					if _, dup := seenGroup[s.group]; dup {
+						continue
+					}
+					seenGroup[s.group] = struct{}{}
+					terms = append(terms, groups[s.group].terms...)
+				}
+				if n.cfg.OnTransfer != nil {
+					// One transfer per node: the document ships once however
+					// many terms ride the frame.
+					n.cfg.OnTransfer(n.cfg.ID, target)
+				}
+				pw := codec.GetWriter()
+				AppendPublishMulti(pw, msgPublishLocalMulti, PublishMultiReq{Doc: *doc, Terms: terms})
+				rpcStart := time.Now()
+				raw, err := n.send(ctx, target, pw.Bytes())
+				codec.PutWriter(pw)
+				elapsed := time.Since(rpcStart)
+				n.hColumnRPC.Observe(elapsed)
+				if err == nil {
+					resp, derr := DecodeMatchResp(raw)
+					if derr != nil {
+						results[ti] = rpcResult{err: derr}
+						return
+					}
+					for _, s := range ss {
+						rows := groups[s.group].grid.Rows()
+						s.hops = append(s.hops, trace.Hop{
+							Stage: "column", From: string(n.cfg.ID), To: string(target),
+							Row: (firsts[s.group] + s.attempt) % rows, Col: s.col,
+							Attempt: s.attempt, Failover: s.attempt > 0,
+							ElapsedNS: elapsed.Nanoseconds(),
+						})
+						if s.attempt > 0 {
+							n.failoverC.Inc()
+						}
+						s.done = true
+					}
+					results[ti] = rpcResult{resp: resp, ok: true}
+					return
+				}
+				for _, s := range ss {
+					rows := groups[s.group].grid.Rows()
+					s.hops = append(s.hops, trace.Hop{
+						Stage: "column", From: string(n.cfg.ID), To: string(target),
+						Row: (firsts[s.group] + s.attempt) % rows, Col: s.col,
+						Attempt: s.attempt, Failover: s.attempt > 0,
+						Err: err.Error(), ElapsedNS: elapsed.Nanoseconds(),
+					})
+					s.attempt++
+				}
+				if !transport.IsAvailabilityError(err) {
+					results[ti] = rpcResult{err: err}
+				}
+			}(ti, order[ti], targets[order[ti]])
+		}
+		wg.Wait()
+		for ti := range results {
+			if results[ti].err != nil {
+				return MatchResp{}, results[ti].err
+			}
+			if results[ti].ok {
+				// Each served node's response is folded in once; duplicate
+				// matches across nodes are deduplicated at the entry.
+				merged.Matches = append(merged.Matches, results[ti].resp.Matches...)
+				merged.PostingsScanned += results[ti].resp.PostingsScanned
+				merged.PostingLists += results[ti].resp.PostingLists
+			}
+		}
+	}
+
+	for _, s := range slots {
+		merged.Hops = append(merged.Hops, s.hops...)
+		if s.lost {
+			merged.Degraded = true
+			merged.ColumnsLost += len(groups[s.group].terms)
+		}
+	}
+	if merged.Degraded {
+		n.degradedC.Inc()
+	}
+	return merged, nil
+}
+
 // handlePublishBatch serves a coalesced frame of term-routed documents on
 // their shared home node. Items are grouped by their effective allocation
 // grid (per-term grids take precedence, as in the single-document path):
@@ -791,9 +1117,210 @@ func (n *Node) batchFanOutRow(ctx context.Context, grid *alloc.Grid, reqs []Publ
 	return out, nil
 }
 
+// handlePublishMultiBatch serves a coalesced frame of multi-term publishes
+// — the Batcher's wire format, coalescing along both axes (documents ×
+// destinations). Each item's terms are partitioned by effective grid as in
+// the single-document multi path; grid-less slices match locally and every
+// grid's slice fans out as one batch frame per column. Responses come back
+// in item order, with an item's response merged across its grids.
+func (n *Node) handlePublishMultiBatch(ctx context.Context, reqs []PublishMultiReq) ([]MatchResp, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	n.homePublishes.Add(int64(len(reqs)))
+	sp := trace.New("publish.home.batch", reqs[0].Doc.ID)
+	tm := n.hHome.Start()
+
+	// subItem is one item's term slice bound for one destination class
+	// (local or a specific grid).
+	type subItem struct {
+		item  int
+		terms []string
+	}
+	var local []subItem
+	groups := make(map[*alloc.Grid][]subItem)
+	var order []*alloc.Grid
+	n.mu.RLock()
+	for i := range reqs {
+		var localTerms []string
+		var itemGrids []*alloc.Grid
+		var gridTerms map[*alloc.Grid][]string
+		for _, t := range reqs[i].Terms {
+			g := n.termGrids[t]
+			if g == nil {
+				g = n.grid
+			}
+			if g == nil {
+				localTerms = append(localTerms, t)
+				continue
+			}
+			if gridTerms == nil {
+				gridTerms = make(map[*alloc.Grid][]string, 1)
+			}
+			if _, ok := gridTerms[g]; !ok {
+				itemGrids = append(itemGrids, g)
+			}
+			gridTerms[g] = append(gridTerms[g], t)
+		}
+		if len(localTerms) > 0 {
+			local = append(local, subItem{item: i, terms: localTerms})
+		}
+		for _, g := range itemGrids {
+			if _, ok := groups[g]; !ok {
+				order = append(order, g)
+			}
+			groups[g] = append(groups[g], subItem{item: i, terms: gridTerms[g]})
+		}
+	}
+	n.mu.RUnlock()
+
+	resps := make([]MatchResp, len(reqs))
+	for _, s := range local {
+		resp, err := n.matchLocalTerms(&reqs[s.item].Doc, s.terms)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range s.terms {
+			resp.Hops = append(resp.Hops, trace.Hop{
+				Stage: "local", To: string(n.cfg.ID), Term: t, Batch: len(reqs),
+			})
+		}
+		mergeResp(&resps[s.item], resp)
+	}
+	for _, g := range order {
+		subs := groups[g]
+		sub := make([]PublishMultiReq, len(subs))
+		for j, s := range subs {
+			sub[j] = PublishMultiReq{Doc: reqs[s.item].Doc, Terms: s.terms}
+		}
+		out, err := n.batchMultiFanOutRow(ctx, g, sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, s := range subs {
+			mergeResp(&resps[s.item], out[j])
+		}
+	}
+	sp.AddStage("publish.home", tm.Stop())
+	for i := range resps {
+		sp.AddHops(resps[i].Hops)
+	}
+	sp.Finish()
+	n.traces.Add(sp.Summary())
+	return resps, nil
+}
+
+// batchMultiFanOutRow is batchFanOutRow for multi-term items: one partition
+// row for the whole batch, one msgPublishLocalMultiBatch frame per grid
+// column, per-column whole-frame failover to the next row. A lost column
+// degrades each item once per term it carried. Per-batch column hops are
+// attached to the first item's response only, keeping the trace's wire cost
+// O(columns).
+func (n *Node) batchMultiFanOutRow(ctx context.Context, grid *alloc.Grid, reqs []PublishMultiReq) ([]MatchResp, error) {
+	n.mu.Lock()
+	first := grid.PickRow(reqs[0].Doc.ID, n.rng)
+	n.mu.Unlock()
+	rows, cols := grid.Rows(), grid.Cols()
+	// Pooled frame buffer, recycled after every column goroutine has
+	// finished sending it (the wg.Wait below).
+	pw := codec.GetWriter()
+	AppendPublishMultiBatch(pw, msgPublishLocalMultiBatch, reqs)
+	payload := pw.Bytes()
+	type colResult struct {
+		resps []MatchResp
+		err   error // non-availability failure: fatal for the publish
+		lost  bool  // no row could serve this column
+		hops  []trace.Hop
+	}
+	results := make([]colResult, cols)
+	var wg sync.WaitGroup
+	for col := 0; col < cols; col++ {
+		wg.Add(1)
+		go func(col int) {
+			defer wg.Done()
+			var hops []trace.Hop
+			for attempt := 0; attempt < rows; attempt++ {
+				row := (first + attempt) % rows
+				target := grid.Node(row, col)
+				if n.cfg.OnTransfer != nil {
+					// One transfer per document: the cost model charges y_d
+					// per document shipped, batched or not.
+					for range reqs {
+						n.cfg.OnTransfer(n.cfg.ID, target)
+					}
+				}
+				rpcStart := time.Now()
+				raw, err := n.send(ctx, target, payload)
+				elapsed := time.Since(rpcStart)
+				n.hColumnRPC.Observe(elapsed)
+				hop := trace.Hop{
+					Stage: "column", From: string(n.cfg.ID), To: string(target),
+					Row: row, Col: col, Attempt: attempt, Batch: len(reqs),
+					Failover: attempt > 0, ElapsedNS: elapsed.Nanoseconds(),
+				}
+				if err == nil {
+					resps, derr := DecodeMatchRespBatch(raw)
+					if derr == nil && len(resps) != len(reqs) {
+						derr = fmt.Errorf("node %s: multi-batch response count %d != request count %d", n.cfg.ID, len(resps), len(reqs))
+					}
+					if derr != nil {
+						results[col] = colResult{err: derr}
+						return
+					}
+					if attempt > 0 {
+						n.failoverC.Inc()
+					}
+					results[col] = colResult{resps: resps, hops: append(hops, hop)}
+					return
+				}
+				hop.Err = err.Error()
+				hops = append(hops, hop)
+				if !transport.IsAvailabilityError(err) {
+					results[col] = colResult{err: err}
+					return
+				}
+			}
+			hops = append(hops, trace.Hop{Stage: "column", From: string(n.cfg.ID), Col: col, Lost: true, Batch: len(reqs)})
+			results[col] = colResult{lost: true, hops: hops}
+		}(col)
+	}
+	wg.Wait()
+	codec.PutWriter(pw)
+
+	out := make([]MatchResp, len(reqs))
+	degraded := false
+	for c := range results {
+		res := &results[c]
+		if res.err != nil {
+			return nil, res.err
+		}
+		out[0].Hops = append(out[0].Hops, res.hops...)
+		if res.lost {
+			degraded = true
+			for i := range out {
+				out[i].Degraded = true
+				out[i].ColumnsLost += len(reqs[i].Terms)
+			}
+			continue
+		}
+		for i := range out {
+			out[i].Matches = append(out[i].Matches, res.resps[i].Matches...)
+			out[i].PostingsScanned += res.resps[i].PostingsScanned
+			out[i].PostingLists += res.resps[i].PostingLists
+			out[i].Degraded = out[i].Degraded || res.resps[i].Degraded
+			out[i].ColumnsLost += res.resps[i].ColumnsLost
+		}
+	}
+	if degraded {
+		n.degradedC.Inc()
+	}
+	return out, nil
+}
+
 // matchLocal runs the single-posting-list matcher and accounts the work.
 func (n *Node) matchLocal(doc *model.Document, term string) (MatchResp, error) {
 	n.docsProcessed.Inc()
+	n.termsMatched.Inc()
 	n.ix.ObserveDocument(doc)
 	tm := n.hMatchTerm.Start()
 	matched, st, err := n.ix.MatchTerm(doc, term)
@@ -806,9 +1333,31 @@ func (n *Node) matchLocal(doc *model.Document, term string) (MatchResp, error) {
 	return toResp(matched, st), nil
 }
 
+// matchLocalTerms runs the multi-term matcher over one decoded document and
+// accounts the work. One frame is one document arrival, so DocsProcessed
+// and the corpus observation are charged once however many terms it
+// carries (the per-term path charged one per routed term — an artifact of
+// its framing, not of the workload). TermsMatched charges one per term so
+// the matching-cost figure stays comparable across framings.
+func (n *Node) matchLocalTerms(doc *model.Document, terms []string) (MatchResp, error) {
+	n.docsProcessed.Inc()
+	n.termsMatched.Add(int64(len(terms)))
+	n.ix.ObserveDocument(doc)
+	tm := n.hMatchTerm.Start()
+	matched, st, err := n.ix.MatchTerms(doc, terms)
+	tm.Stop()
+	if err != nil {
+		return MatchResp{}, err
+	}
+	n.postingsScanned.Add(int64(st.Postings))
+	n.postingLists.Add(int64(st.PostingLists))
+	return toResp(matched, st), nil
+}
+
 // matchSIFT runs the full SIFT matcher (RS baseline path).
 func (n *Node) matchSIFT(doc *model.Document) (MatchResp, error) {
 	n.docsProcessed.Inc()
+	n.termsMatched.Add(int64(len(doc.Terms)))
 	n.ix.ObserveDocument(doc)
 	tm := n.hMatchSIFT.Start()
 	matched, st, err := n.ix.MatchSIFT(doc)
@@ -839,17 +1388,101 @@ var matchSeenPool = sync.Pool{
 	New: func() any { return make(map[model.FilterID]struct{}, 64) },
 }
 
+// bloomPassTerms returns the subset of terms passing the Bloom gate. When
+// the filter is nil — or every term passes, the common case once filters
+// cover the corpus — the input slice is aliased instead of copied, so the
+// all-pass publish path allocates nothing here; callers must treat the
+// result as read-only. On the first miss the passing prefix is copied and
+// the remainder filtered.
+func bloomPassTerms(bf *bloom.Filter, terms []string) []string {
+	if bf == nil {
+		return terms
+	}
+	for i, t := range terms {
+		if bf.Contains(t) {
+			continue
+		}
+		out := make([]string, i, len(terms)-1)
+		copy(out, terms[:i])
+		for _, u := range terms[i+1:] {
+			if bf.Contains(u) {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	return terms
+}
+
+// homeGroup is one distinct home node's slice of a document's fan-out: the
+// terms that hash to it, in document order.
+type homeGroup struct {
+	home  ring.NodeID
+	terms []string
+}
+
+// groupTermsByHome resolves the home node of every term and groups the
+// terms by home in first-appearance order. Every ring lookup happens before
+// any frame is built or goroutine spawned, so a lookup failure aborts the
+// publish cleanly — no goroutine can outlive the caller and no pooled
+// buffer leaks (the bug the old mid-loop return had).
+func (n *Node) groupTermsByHome(terms []string) ([]homeGroup, error) {
+	groups := make([]homeGroup, 0, 8)
+	idx := make(map[ring.NodeID]int, 8)
+	for _, t := range terms {
+		home, err := n.cfg.Ring.HomeNode(t)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err)
+		}
+		i, ok := idx[home]
+		if !ok {
+			i = len(groups)
+			idx[home] = i
+			groups = append(groups, homeGroup{home: home})
+		}
+		groups[i].terms = append(groups[i].terms, t)
+	}
+	return groups, nil
+}
+
+// perTermGroups is the uncoalesced grouping: one single-term group per
+// term, with homes still resolved upfront (same leak-free ordering).
+func (n *Node) perTermGroups(terms []string) ([]homeGroup, error) {
+	groups := make([]homeGroup, 0, len(terms))
+	for i, t := range terms {
+		home, err := n.cfg.Ring.HomeNode(t)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err)
+		}
+		groups = append(groups, homeGroup{home: home, terms: terms[i : i+1 : i+1]})
+	}
+	return groups, nil
+}
+
 // PublishEntry is the client-facing dissemination entry point (§V
-// "Document Dissemination"): forward the document, in parallel, to the home
-// nodes of every document term that passes the Bloom membership check, and
-// merge the matches. Returns the deduplicated matches and the total
-// matching cost.
+// "Document Dissemination"): group the document's Bloom-passing terms by
+// home node, forward the document — in parallel, ONE RPC per distinct home
+// node carrying that node's whole term list — and merge the matches.
+// Returns the deduplicated matches and the total matching cost.
 //
 // The publish is traced: a trace.Span on the context (or a private one when
-// the caller attached none) records one "home" hop per fanned-out term plus
-// the grid hops each home node reports back, and the finished span lands in
-// the node's trace ring for the debug server.
+// the caller attached none) records one "home" hop per fanned-out term
+// (terms coalesced into one frame share the RPC's elapsed time) plus the
+// grid hops each home node reports back, and the finished span lands in the
+// node's trace ring for the debug server.
 func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, MatchResp, error) {
+	return n.publishEntry(ctx, doc, true)
+}
+
+// PublishEntryPerTerm is the uncoalesced §V fan-out: one msgPublish RPC per
+// Bloom-passing term, each re-shipping the document. Kept as the reference
+// oracle for the coalesced path (equivalence tests, RPC-count ablations);
+// production callers use PublishEntry.
+func (n *Node) PublishEntryPerTerm(ctx context.Context, doc *model.Document) ([]Match, MatchResp, error) {
+	return n.publishEntry(ctx, doc, false)
+}
+
+func (n *Node) publishEntry(ctx context.Context, doc *model.Document, coalesce bool) ([]Match, MatchResp, error) {
 	if err := doc.Validate(); err != nil {
 		return nil, MatchResp{}, err
 	}
@@ -867,71 +1500,30 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 	n.mu.RLock()
 	bf := n.bloomF
 	n.mu.RUnlock()
-
-	terms := make([]string, 0, len(doc.Terms))
-	for _, t := range doc.Terms {
-		if bf != nil && !bf.Contains(t) {
-			continue
-		}
-		terms = append(terms, t)
-	}
+	terms := bloomPassTerms(bf, doc.Terms)
 	if len(terms) == 0 {
 		return nil, MatchResp{}, nil
 	}
 
-	type result struct {
-		resp    MatchResp
-		homeHop trace.Hop
-		err     error
+	var groups []homeGroup
+	var err error
+	if coalesce {
+		groups, err = n.groupTermsByHome(terms)
+	} else {
+		groups, err = n.perTermGroups(terms)
 	}
-	results := make([]result, len(terms))
-	var wg sync.WaitGroup
-	for i, t := range terms {
-		home, err := n.cfg.Ring.HomeNode(t)
-		if err != nil {
-			return nil, MatchResp{}, fmt.Errorf("node %s: home of %q: %w", n.cfg.ID, t, err)
-		}
-		// Per-term frame in a pooled writer; the goroutine recycles it as
-		// soon as the send returns (the transport neither retains the
-		// payload nor aliases its response to it — DESIGN.md §11).
-		pw := codec.GetWriter()
-		AppendPublish(pw, msgPublish, PublishReq{Doc: *doc, Term: t})
-		payload := pw.Bytes()
-		if n.cfg.OnTransfer != nil {
-			n.cfg.OnTransfer(n.cfg.ID, home)
-		}
-		wg.Add(1)
-		go func(i int, t string, home ring.NodeID) {
-			defer wg.Done()
-			rpcStart := time.Now()
-			raw, err := n.send(ctx, home, payload)
-			codec.PutWriter(pw)
-			if err != nil {
-				elapsed := time.Since(rpcStart)
-				n.hFanout.Observe(elapsed)
-				results[i] = result{err: err, homeHop: trace.Hop{
-					Stage: "home", From: string(n.cfg.ID), To: string(home),
-					Term: t, Err: err.Error(), ElapsedNS: elapsed.Nanoseconds(),
-				}}
-				return
-			}
-			resp, err := DecodeMatchResp(raw)
-			elapsed := time.Since(rpcStart)
-			n.hFanout.Observe(elapsed)
-			results[i] = result{resp: resp, err: err, homeHop: trace.Hop{
-				Stage: "home", From: string(n.cfg.ID), To: string(home),
-				Term: t, ElapsedNS: elapsed.Nanoseconds(),
-			}}
-		}(i, t, home)
+	if err != nil {
+		return nil, MatchResp{}, err
 	}
-	wg.Wait()
+	results := n.fanOutHomes(ctx, doc, groups, coalesce)
 
-	// Merge in term order with exactly-sized hop buffers: one "home" hop
+	// Merge in group order with exactly-sized hop buffers: one "home" hop
 	// per fanned-out term plus the grid hops each home node reported back.
 	// The span receives the whole merged path in a single AddHops instead
 	// of per-goroutine appends — one copy, no append-doubling.
-	nHops, nMatches := 0, 0
+	nHops, nMatches, nHome := 0, 0, 0
 	for i := range results {
+		nHome += len(results[i].homeHops)
 		if results[i].err == nil {
 			nHops += len(results[i].resp.Hops)
 			nMatches += len(results[i].resp.Matches)
@@ -940,12 +1532,12 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 	var total MatchResp
 	var errs []error
 	total.Hops = make([]trace.Hop, 0, nHops)
-	spanHops := make([]trace.Hop, 0, nHops+len(results))
+	spanHops := make([]trace.Hop, 0, nHops+nHome)
 	seen := matchSeenPool.Get().(map[model.FilterID]struct{})
 	matches := make([]Match, 0, nMatches)
 	for i := range results {
 		res := &results[i]
-		spanHops = append(spanHops, res.homeHop)
+		spanHops = append(spanHops, res.homeHops...)
 		if res.err != nil {
 			errs = append(errs, res.err)
 			continue
@@ -974,8 +1566,75 @@ func (n *Node) PublishEntry(ctx context.Context, doc *model.Document) ([]Match, 
 		n.cfg.OnDeliver(doc, matches)
 	}
 	// Partial failure: report what matched alongside the aggregated
-	// per-term errors so the caller can account availability (Fig. 9 c–d).
+	// per-home errors so the caller can account availability (Fig. 9 c–d).
 	return matches, total, errors.Join(errs...)
+}
+
+// entryResult is one home-node RPC's outcome: its response, one "home"
+// trace hop per term the frame carried, and the RPC error if any.
+type entryResult struct {
+	resp     MatchResp
+	homeHops []trace.Hop
+	err      error
+}
+
+// fanOutHomes sends one frame per home group in parallel — a multi-term
+// msgPublishMulti when coalescing, the legacy per-term msgPublish otherwise
+// — and collects the per-group results. ALL frames are built (in pooled
+// writers) before the first goroutine spawns; each goroutine recycles its
+// frame as soon as the send returns (the transport neither retains the
+// payload nor aliases its response to it — DESIGN.md §11).
+func (n *Node) fanOutHomes(ctx context.Context, doc *model.Document, groups []homeGroup, coalesce bool) []entryResult {
+	results := make([]entryResult, len(groups))
+	frames := make([]*codec.Writer, len(groups))
+	for i := range groups {
+		pw := codec.GetWriter()
+		if coalesce {
+			AppendPublishMulti(pw, msgPublishMulti, PublishMultiReq{Doc: *doc, Terms: groups[i].terms})
+		} else {
+			AppendPublish(pw, msgPublish, PublishReq{Doc: *doc, Term: groups[i].terms[0]})
+		}
+		frames[i] = pw
+		n.homeRPCs.Inc()
+		n.homeBytes.Add(int64(len(pw.Bytes())))
+		if n.cfg.OnTransfer != nil {
+			// One transfer per home RPC: the document ships once per frame.
+			n.cfg.OnTransfer(n.cfg.ID, groups[i].home)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := &groups[i]
+			pw := frames[i]
+			rpcStart := time.Now()
+			raw, err := n.send(ctx, g.home, pw.Bytes())
+			codec.PutWriter(pw)
+			var resp MatchResp
+			if err == nil {
+				resp, err = DecodeMatchResp(raw)
+			}
+			elapsed := time.Since(rpcStart)
+			n.hFanout.Observe(elapsed)
+			res := entryResult{resp: resp, err: err}
+			res.homeHops = make([]trace.Hop, len(g.terms))
+			for j, t := range g.terms {
+				h := trace.Hop{
+					Stage: "home", From: string(n.cfg.ID), To: string(g.home),
+					Term: t, ElapsedNS: elapsed.Nanoseconds(),
+				}
+				if err != nil {
+					h.Err = err.Error()
+				}
+				res.homeHops[j] = h
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	return results
 }
 
 // migrateBatch caps the number of filters per msgMigrate frame.
@@ -1120,6 +1779,7 @@ func (n *Node) Stats() StatsResp {
 		Filters:         int64(n.ix.NumFilters()),
 		Postings:        int64(n.ix.NumPostings()),
 		DocsProcessed:   n.docsProcessed.Value(),
+		TermsMatched:    n.termsMatched.Value(),
 		PostingsScanned: n.postingsScanned.Value(),
 		PostingLists:    n.postingLists.Value(),
 		HomePublishes:   n.homePublishes.Value(),

@@ -34,6 +34,13 @@ const (
 	// batch of MatchResps in the same order.
 	msgPublishBatch      = 14 // batched home-node publish (entry → home)
 	msgPublishLocalBatch = 15 // batched grid-column match (home → grid row)
+	// Multi-term publish framing: the document encoded once plus the full
+	// term list bound for one destination, replacing N per-term frames that
+	// each re-shipped the document (§V works per home node, not per term).
+	msgPublishMulti           = 16 // multi-term home publish (entry → home)
+	msgPublishLocalMulti      = 17 // multi-term grid-node match (home → grid row)
+	msgPublishMultiBatch      = 18 // batch of multi-term home publishes
+	msgPublishLocalMultiBatch = 19 // batch of multi-term grid-node matches
 )
 
 // EncodeAllocateTerm serializes a per-term allocation command.
@@ -141,6 +148,137 @@ func decodePublish(r *codec.Reader) (PublishReq, error) {
 // path used by movectl).
 func EncodePublishHome(req PublishReq) []byte {
 	return EncodePublish(msgPublish, req)
+}
+
+// PublishMultiReq routes a document plus every term the destination is
+// responsible for, in one frame — the coalesced counterpart of PublishReq.
+// The destination is a home node (msgPublishMulti: Terms are the document
+// terms whose home it is) or a grid node (msgPublishLocalMulti: Terms are
+// the terms whose grids route this document through it).
+type PublishMultiReq struct {
+	Doc   model.Document
+	Terms []string
+}
+
+// AppendPublishMulti encodes a PublishMultiReq into w with the given
+// message type (msgPublishMulti or msgPublishLocalMulti) — the variant the
+// RPC send paths use with pooled writers.
+func AppendPublishMulti(w *codec.Writer, typ uint8, req PublishMultiReq) {
+	w.Uint8(typ)
+	req.Doc.EncodeTo(w)
+	w.StringSlice(req.Terms)
+}
+
+// EncodePublishMulti serializes a PublishMultiReq with the given message
+// type into a fresh buffer.
+func EncodePublishMulti(typ uint8, req PublishMultiReq) []byte {
+	w := codec.NewWriter(32 + 12*(len(req.Doc.Terms)+len(req.Terms)))
+	AppendPublishMulti(w, typ, req)
+	return w.Bytes()
+}
+
+// EncodePublishMultiHome serializes a home-routed multi-term publish (the
+// client entry path used by movectl: one frame per distinct home node).
+func EncodePublishMultiHome(req PublishMultiReq) []byte {
+	return EncodePublishMulti(msgPublishMulti, req)
+}
+
+func decodePublishMulti(r *codec.Reader) (PublishMultiReq, error) {
+	var req PublishMultiReq
+	d, err := model.DecodeDocument(r)
+	if err != nil {
+		return req, err
+	}
+	req.Doc = d
+	// Prime the memoized term-set view while the document is still owned by
+	// this goroutine (prime-before-share, model.Document.View): the one view
+	// serves every term's match evaluation of this frame.
+	req.Doc.View()
+	if req.Terms, err = r.StringSlice(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// AppendPublishMultiBatch frames a batch of multi-term publishes with the
+// given message type (msgPublishMultiBatch or msgPublishLocalMultiBatch).
+// The framing reuses AppendPublishBatch's unique-document table: each
+// document is encoded once in first-appearance order and every item
+// references its document by table index, carrying only its term list.
+// Items sharing a Doc.ID must carry the same document.
+func AppendPublishMultiBatch(w *codec.Writer, typ uint8, reqs []PublishMultiReq) {
+	w.Uint8(typ)
+	table := make(map[uint64]uint64, len(reqs))
+	unique := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if _, ok := table[reqs[i].Doc.ID]; !ok {
+			table[reqs[i].Doc.ID] = uint64(len(unique))
+			unique = append(unique, i)
+		}
+	}
+	w.Uvarint(uint64(len(unique)))
+	for _, i := range unique {
+		reqs[i].Doc.EncodeTo(w)
+	}
+	w.Uvarint(uint64(len(reqs)))
+	for i := range reqs {
+		w.Uvarint(table[reqs[i].Doc.ID])
+		w.StringSlice(reqs[i].Terms)
+	}
+}
+
+// EncodePublishMultiBatch is AppendPublishMultiBatch into a fresh buffer.
+func EncodePublishMultiBatch(typ uint8, reqs []PublishMultiReq) []byte {
+	w := codec.NewWriter(16 + 48*len(reqs))
+	AppendPublishMultiBatch(w, typ, reqs)
+	return w.Bytes()
+}
+
+func decodePublishMultiBatch(r *codec.Reader) ([]PublishMultiReq, error) {
+	nd, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nd > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: publish multi-batch doc count %d overflows payload", nd)
+	}
+	docs := make([]model.Document, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		d, err := model.DecodeDocument(r)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: publish multi-batch count %d overflows payload", n)
+	}
+	// Prime each unique document's memoized view once (prime-before-share).
+	for i := range docs {
+		docs[i].View()
+	}
+	reqs := make([]PublishMultiReq, 0, n)
+	for i := uint64(0); i < n; i++ {
+		di, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if di >= uint64(len(docs)) {
+			return nil, fmt.Errorf("node: publish multi-batch doc index %d out of range (%d docs)", di, len(docs))
+		}
+		terms, err := r.StringSlice()
+		if err != nil {
+			return nil, err
+		}
+		// Items of the same document share one decode — the Terms slice and
+		// memoized view are aliased, never mutated downstream.
+		reqs = append(reqs, PublishMultiReq{Doc: docs[di], Terms: terms})
+	}
+	return reqs, nil
 }
 
 // EncodePublishBatch frames a batch of publishes with the given message
@@ -521,9 +659,15 @@ type StatsResp struct {
 	Filters int64
 	// Postings is the number of posting entries stored.
 	Postings int64
-	// DocsProcessed is the number of match requests served — the matching
-	// cost basis of Figure 9(b).
+	// DocsProcessed is the number of match frames served. Coalesced publish
+	// frames carry many terms in one frame, so this counts document
+	// arrivals, not routed terms.
 	DocsProcessed int64
+	// TermsMatched is the number of term match evaluations served — the
+	// matching cost basis of Figure 9(b). Unlike DocsProcessed it is
+	// invariant to how terms are framed into RPCs: a k-term arrival charges
+	// k whether it came as one coalesced frame or k per-term frames.
+	TermsMatched int64
 	// PostingsScanned is the cumulative matching work in posting entries.
 	PostingsScanned int64
 	// PostingLists is the cumulative number of posting-list retrievals
@@ -540,6 +684,7 @@ func EncodeStatsResp(s StatsResp) []byte {
 	w.Uvarint(uint64(s.Filters))
 	w.Uvarint(uint64(s.Postings))
 	w.Uvarint(uint64(s.DocsProcessed))
+	w.Uvarint(uint64(s.TermsMatched))
 	w.Uvarint(uint64(s.PostingsScanned))
 	w.Uvarint(uint64(s.PostingLists))
 	w.Uvarint(uint64(s.HomePublishes))
@@ -550,7 +695,7 @@ func EncodeStatsResp(s StatsResp) []byte {
 func DecodeStatsResp(data []byte) (StatsResp, error) {
 	r := codec.NewReader(data)
 	var s StatsResp
-	vals := make([]int64, 6)
+	vals := make([]int64, 7)
 	for i := range vals {
 		v, err := r.Uvarint()
 		if err != nil {
@@ -558,8 +703,8 @@ func DecodeStatsResp(data []byte) (StatsResp, error) {
 		}
 		vals[i] = int64(v)
 	}
-	s.Filters, s.Postings, s.DocsProcessed, s.PostingsScanned, s.PostingLists, s.HomePublishes =
-		vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+	s.Filters, s.Postings, s.DocsProcessed, s.TermsMatched, s.PostingsScanned, s.PostingLists, s.HomePublishes =
+		vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6]
 	return s, nil
 }
 
