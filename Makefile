@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc ci
+.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn ci
 
 build:
 	$(GO) build ./...
@@ -41,4 +41,22 @@ bench-publish:
 bench-alloc:
 	$(GO) run ./cmd/movebench -fig alloc -out BENCH_alloc.json -baseline BENCH_alloc.json
 
-ci: vet build race fuzz-smoke bench-publish bench-alloc
+# Full chaos soak of the two-phase reallocation protocol under the race
+# detector: 100 consecutive realloc rounds with Zipf-drift, flash crowds,
+# seeded fault injection, crash/recover churn, and forced mid-prepare
+# aborts; every publish is asserted byte-identical to a brute-force
+# oracle, and every aborted round must leave the cluster on the old epoch
+# with no partial state.
+soak-churn:
+	CHURN_ROUNDS=100 $(GO) test -race -run TestChurnSoak -timeout 900s -v ./internal/cluster
+
+# Regenerate the checked-in churn baseline (BENCH_churn.json): realloc
+# round p50/p95 latency, dual-read window p95, migrated/GC'd filter
+# counts from a fault-injected soak with live publishes racing every
+# cutover. dropped_matches must be 0 or the run fails outright; a >10%
+# (+25ms slack) regression on either p95 against the checked-in baseline
+# fails the target (and CI) before the file is overwritten.
+bench-churn:
+	$(GO) run ./cmd/movebench -fig churn -out BENCH_churn.json -baseline BENCH_churn.json
+
+ci: vet build race fuzz-smoke soak-churn bench-publish bench-alloc bench-churn

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, all")
+	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, all")
 	scale := flag.Float64("scale", float64(experiments.DefaultScale), "workload scale relative to the paper (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")
 	filtersTrace := flag.String("filters-trace", "", "trace file of preprocessed filters (one per line) for -fig trace")
@@ -73,6 +73,11 @@ func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace str
 			out = "BENCH_alloc.json"
 		}
 		return runAllocFig(out, baseline, nodes, benchFilters, benchDocs, seed)
+	case "churn":
+		if out == "" {
+			out = "BENCH_churn.json"
+		}
+		return runChurnFig(out, baseline, nodes, 15, seed)
 	case "trace":
 		return runTrace(filtersTrace, docsTrace, nodes, seed)
 	}

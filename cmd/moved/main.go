@@ -147,6 +147,21 @@ func run() error {
 			Registry: reg,
 			Traces:   nd.Traces(),
 			Info:     map[string]string{"id": *id, "rack": *rack, "listen": tn.Addr()},
+			Health: func() map[string]any {
+				committed, pending, dual := nd.EpochInfo()
+				h := map[string]any{
+					"epoch":     committed,
+					"dual_read": dual,
+					"filters":   nd.Stats().Filters,
+				}
+				if pending != 0 {
+					h["pending_epoch"] = pending
+				}
+				if g != nil {
+					h["members_alive"] = len(g.Members())
+				}
+				return h
+			},
 		})
 		if err != nil {
 			return err
@@ -161,8 +176,17 @@ func run() error {
 		Send: func(ctx context.Context, to ring.NodeID, digest []byte) ([]byte, error) {
 			return tn.Send(ctx, to, node.EncodeGossip(digest))
 		},
+		OnJoin: func(m gossip.Member) {
+			fmt.Printf("moved: peer %s joined (%s)\n", m.ID, m.Addr)
+		},
 		OnLeave: func(dead ring.NodeID) {
 			fmt.Printf("moved: peer %s declared dead\n", dead)
+		},
+		// Membership changes should trigger a reallocation round; moved has
+		// no embedded coordinator, so log the signal an operator's
+		// coordinator would consume.
+		OnChange: func() {
+			fmt.Printf("moved: membership changed; reallocation advised\n")
 		},
 	})
 	if err != nil {

@@ -111,6 +111,24 @@ func (g *Grid) PickRow(docID uint64, rng *rand.Rand) int {
 	return int(ring.HashKey(fmt.Sprintf("doc-row-%d", docID)) % uint64(g.rows))
 }
 
+// Equal reports whether two grids have identical shape and placement.
+// Either receiver may be nil; two nils are equal. The coordinator uses it
+// to skip re-preparing a unit whose computed grid did not change.
+func (g *Grid) Equal(o *Grid) bool {
+	if g == nil || o == nil {
+		return g == o
+	}
+	if g.rows != o.rows || g.cols != o.cols {
+		return false
+	}
+	for i, id := range g.nodes {
+		if o.nodes[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
 // AllNodes returns the grid's nodes row-major (copy).
 func (g *Grid) AllNodes() []ring.NodeID {
 	return append([]ring.NodeID(nil), g.nodes...)

@@ -140,19 +140,46 @@ type Cluster struct {
 	coordExec *resilience.Executor
 
 	// Coordinator state (the paper's dedicated master node).
-	filterSeq   atomic.Uint64
-	docSeq      atomic.Uint64
-	pCounter    *stats.TermCounter // term popularity over registered filters
-	qCounter    *stats.TermCounter // term frequency over published documents
-	qSketch     *stats.SpaceSaving // bounded-memory hot-term detection
-	bloomMu     sync.Mutex
-	bloomTerms  map[string]struct{}
-	allocEpoch  atomic.Uint64
-	placementMu sync.RWMutex
+	filterSeq  atomic.Uint64
+	docSeq     atomic.Uint64
+	pCounter   *stats.TermCounter // term popularity over registered filters
+	qCounter   *stats.TermCounter // term frequency over published documents
+	qSketch    *stats.SpaceSaving // bounded-memory hot-term detection
+	bloomMu    sync.Mutex
+	bloomTerms map[string]struct{}
+	allocEpoch atomic.Uint64
+	// committedEpoch is the newest epoch whose two-phase round reached
+	// commit; an aborted round never advances it.
+	committedEpoch atomic.Uint64
+	placementMu    sync.RWMutex
 	// filterHolders maps each filter to the nodes storing its definition —
-	// maintained for availability measurement (Figure 9 d).
+	// maintained for availability measurement (Figure 9 d) and pruned by
+	// the reallocation GC.
 	filterHolders map[model.FilterID][]ring.NodeID
 	filterTerms   map[model.FilterID][]string
+	// homeHolders maps each filter to its original registration homes.
+	// Home copies are never garbage-collected: a term re-homed by churn
+	// and homed back later must still find its filters (§13 GC rules).
+	homeHolders map[model.FilterID][]ring.NodeID
+
+	// Committed-grid bookkeeping for the two-phase reallocation GC (§13):
+	// the grid each home node (and each hot term) currently serves, plus
+	// the grids retired by the most recent committed round — kept one extra
+	// round so publishes in flight across a cutover still find every copy.
+	gridsMu            sync.Mutex
+	committedGrids     map[ring.NodeID]*alloc.Grid
+	committedTermGrids map[string]*alloc.Grid
+	prevGrids          []*alloc.Grid
+
+	// allocKick nudges the auto-allocate loop (gossip join/leave, fail or
+	// recover events) to run a round ahead of its ticker.
+	allocKick chan struct{}
+
+	// Test hooks (nil in production): injected failures for abort-path and
+	// degraded-pull coverage, and a probe called at the top of each round.
+	prepareHook    func(home ring.NodeID) error
+	pullHook       func(id ring.NodeID) error
+	allocRoundHook func()
 
 	// Transfer accounting for the virtual-time cost model.
 	transferMu       sync.Mutex
@@ -231,22 +258,26 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:              cfg,
-		net:              transport.NewNetwork(transport.NetworkConfig{Latency: cfg.RPCLatency}),
-		ring:             ring.New(ring.Config{}),
-		rng:              rand.New(rand.NewSource(seed)),
-		nodes:            make(map[ring.NodeID]*node.Node, cfg.Nodes),
-		rackOf:           make(map[ring.NodeID]string, cfg.Nodes),
-		alive:            make(map[ring.NodeID]bool, cfg.Nodes),
-		pCounter:         stats.NewTermCounter(),
-		qCounter:         stats.NewTermCounter(),
-		qSketch:          mustSketch(),
-		bloomTerms:       make(map[string]struct{}),
-		filterHolders:    make(map[model.FilterID][]ring.NodeID),
-		filterTerms:      make(map[model.FilterID][]string),
-		perNodeRecv:      make(map[ring.NodeID]int64),
-		perNodeRecvLocal: make(map[ring.NodeID]int64),
-		metrics:          reg,
+		cfg:                cfg,
+		net:                transport.NewNetwork(transport.NetworkConfig{Latency: cfg.RPCLatency}),
+		ring:               ring.New(ring.Config{}),
+		rng:                rand.New(rand.NewSource(seed)),
+		nodes:              make(map[ring.NodeID]*node.Node, cfg.Nodes),
+		rackOf:             make(map[ring.NodeID]string, cfg.Nodes),
+		alive:              make(map[ring.NodeID]bool, cfg.Nodes),
+		pCounter:           stats.NewTermCounter(),
+		qCounter:           stats.NewTermCounter(),
+		qSketch:            mustSketch(),
+		bloomTerms:         make(map[string]struct{}),
+		filterHolders:      make(map[model.FilterID][]ring.NodeID),
+		filterTerms:        make(map[model.FilterID][]string),
+		homeHolders:        make(map[model.FilterID][]ring.NodeID),
+		committedGrids:     make(map[ring.NodeID]*alloc.Grid),
+		committedTermGrids: make(map[string]*alloc.Grid),
+		allocKick:          make(chan struct{}, 1),
+		perNodeRecv:        make(map[ring.NodeID]int64),
+		perNodeRecvLocal:   make(map[ring.NodeID]int64),
+		metrics:            reg,
 	}
 
 	basePolicy := clusterPolicy()
@@ -374,6 +405,8 @@ func (c *Cluster) Register(ctx context.Context, subscriber string, terms []strin
 	c.placementMu.Lock()
 	c.filterHolders[id] = holders
 	c.filterTerms[id] = f.Terms
+	// The original homes, immutable: the GC's floor for this filter.
+	c.homeHolders[id] = append([]ring.NodeID(nil), holders...)
 	c.placementMu.Unlock()
 	return id, nil
 }
@@ -466,6 +499,7 @@ func (c *Cluster) Unregister(ctx context.Context, id model.FilterID) error {
 	_, known := c.filterHolders[id]
 	delete(c.filterHolders, id)
 	delete(c.filterTerms, id)
+	delete(c.homeHolders, id)
 	c.placementMu.Unlock()
 	if !known {
 		return fmt.Errorf("cluster: unregister %s: unknown filter", id)
@@ -724,7 +758,6 @@ func (c *Cluster) RefreshBloom(ctx context.Context) error {
 // keeps completing.
 func (c *Cluster) FailNodes(ids ...ring.NodeID) {
 	c.aliveMu.Lock()
-	defer c.aliveMu.Unlock()
 	for _, id := range ids {
 		c.net.Fail(id)
 		c.alive[id] = false
@@ -732,6 +765,9 @@ func (c *Cluster) FailNodes(ids ...ring.NodeID) {
 		// the node was already evicted.
 		_ = c.ring.Remove(id)
 	}
+	c.aliveMu.Unlock()
+	// Membership changed: the auto-allocate loop should rebalance soon.
+	c.KickAllocate()
 }
 
 // RecoverNodes restores crashed nodes and rejoins them to the ring (their
@@ -739,7 +775,6 @@ func (c *Cluster) FailNodes(ids ...ring.NodeID) {
 // positions).
 func (c *Cluster) RecoverNodes(ids ...ring.NodeID) {
 	c.aliveMu.Lock()
-	defer c.aliveMu.Unlock()
 	for _, id := range ids {
 		c.net.Recover(id)
 		c.alive[id] = true
@@ -753,7 +788,42 @@ func (c *Cluster) RecoverNodes(ids ...ring.NodeID) {
 			ex.Reset(string(id))
 		}
 	}
+	c.aliveMu.Unlock()
+
+	// A node that slept through commits and GC holds a grid whose
+	// placements may since have been collected. Drop it (pending included):
+	// the node matches from its complete local store — homes keep full
+	// copies, migrations only ever add — until the next round re-prepares
+	// it. Its retired grid gets the standard one-round GC grace.
+	c.gridsMu.Lock()
+	for _, id := range ids {
+		if g, ok := c.committedGrids[id]; ok {
+			c.prevGrids = append(c.prevGrids, g)
+			delete(c.committedGrids, id)
+		}
+	}
+	c.gridsMu.Unlock()
+	drop := node.EncodeDropGrid()
+	for _, id := range ids {
+		_, _ = c.sendTo(context.Background(), id, drop)
+	}
+	c.KickAllocate()
 }
+
+// KickAllocate nudges the auto-allocate loop to run a reallocation round
+// now instead of waiting for its ticker — wired to membership changes
+// (gossip join/leave, FailNodes/RecoverNodes). Non-blocking: a kick while
+// one is already pending coalesces.
+func (c *Cluster) KickAllocate() {
+	select {
+	case c.allocKick <- struct{}{}:
+	default:
+	}
+}
+
+// CommittedEpoch returns the newest reallocation epoch that reached
+// commit; aborted rounds never advance it.
+func (c *Cluster) CommittedEpoch() uint64 { return c.committedEpoch.Load() }
 
 // FailFraction crashes frac of the cluster. With byRack the failure is
 // rack-correlated (whole racks at a time) — the failure mode that penalizes

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/model"
 	"github.com/movesys/move/internal/node"
 	"github.com/movesys/move/internal/ring"
 )
@@ -33,22 +35,34 @@ type NodeLoad struct {
 	HomePublishes int64
 }
 
-// PullLoads fetches the per-node statistics (live nodes only).
+// PullLoads fetches the per-node statistics. Degrades gracefully: a node
+// that dies or errors mid-pull is skipped (counted on realloc.stats.skipped)
+// and the round proceeds on the survivors' samples — only a round where no
+// node at all responds fails.
 func (c *Cluster) PullLoads(ctx context.Context) ([]NodeLoad, error) {
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
+	skipped := c.metrics.Counter("realloc.stats.skipped")
 	out := make([]NodeLoad, 0, len(c.nodeIDs))
 	for _, id := range c.nodeIDs {
 		if c.net.Failed(id) {
 			continue
 		}
+		if c.pullHook != nil {
+			if err := c.pullHook(id); err != nil {
+				skipped.Inc()
+				continue
+			}
+		}
 		raw, err := c.sendTo(ctx, id, node.EncodeStatsPull())
 		if err != nil {
-			return nil, fmt.Errorf("cluster: stats pull from %s: %w", id, err)
+			skipped.Inc()
+			continue
 		}
 		s, err := node.DecodeStatsResp(raw)
 		if err != nil {
-			return nil, err
+			skipped.Inc()
+			continue
 		}
 		out = append(out, NodeLoad{
 			ID:              id,
@@ -59,6 +73,9 @@ func (c *Cluster) PullLoads(ctx context.Context) ([]NodeLoad, error) {
 			PostingLists:    s.PostingLists,
 			HomePublishes:   s.HomePublishes,
 		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: stats pull: no node responded")
 	}
 	return out, nil
 }
@@ -82,13 +99,23 @@ type AllocationReport struct {
 //     p'_i and node frequency q'_i (§V: all terms of a node share one
 //     allocation unit, keeping the forwarding table O(1) per node).
 //  2. Solve the MOVE optimization problem for n_i and r_i.
-//  3. For every home node with n_i > 1, choose allocation nodes by the
-//     configured placement, build the (1/r)×(r·n) grid, and command the
-//     home node to migrate its filters and install the grid.
+//  3. Two-phase cutover (§13). Prepare: every home with a changed
+//     non-trivial grid installs it as pending (opening its dual-read
+//     window) and migrates its filters to the new placements. Any prepare
+//     failure aborts the whole round — an epoch-wide abort broadcast
+//     unwinds journaled migrations and the cluster stays on the old epoch
+//     with no partial state. Commit: once all prepares acked, a commit
+//     broadcast promotes the pending grids atomically and the retired
+//     placements are garbage-collected (with a one-round grace so
+//     publishes in flight across the cutover still find every copy).
 func (c *Cluster) Allocate(ctx context.Context) (AllocationReport, error) {
 	if c.cfg.Scheme != SchemeMove {
 		return AllocationReport{}, fmt.Errorf("%w: allocation requires SchemeMove, have %v", ErrBadConfig, c.cfg.Scheme)
 	}
+	if c.allocRoundHook != nil {
+		c.allocRoundHook()
+	}
+	roundStart := time.Now()
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 
@@ -141,27 +168,177 @@ func (c *Cluster) Allocate(ctx context.Context) (AllocationReport, error) {
 
 	epoch := c.allocEpoch.Add(1)
 	report := AllocationReport{Epoch: epoch, Factors: factors}
+
+	// Plan the prepare set: every home whose new grid is non-trivial and
+	// actually differs from the one it already serves. A home that died
+	// since the stats pull is skipped — churn mid-round must not wedge the
+	// coordinator.
+	type prep struct {
+		home ring.NodeID
+		grid *alloc.Grid
+	}
+	var preps []prep
 	for _, f := range factors {
 		if f.Rows*f.Cols <= 1 {
 			continue // nothing to allocate for this node
 		}
 		home := ring.NodeID(f.Key)
+		if c.net.Failed(home) {
+			continue // died between stats pull and planning
+		}
 		peers, err := c.ring.AllocationNodesOf(home, f.Rows*f.Cols, c.cfg.Placement)
 		if err != nil {
-			return report, fmt.Errorf("cluster: allocation nodes for %s: %w", home, err)
+			continue // home left the ring mid-round
 		}
 		grid, err := alloc.FitGrid(f.Rows, f.Cols, peers)
 		if err != nil || grid.Size() <= 1 {
 			continue // cluster too small to allocate this unit
 		}
-		if _, err := c.sendTo(ctx, home, node.EncodeAllocate(epoch, grid)); err != nil {
-			return report, fmt.Errorf("cluster: allocate on %s: %w", home, err)
+		c.gridsMu.Lock()
+		unchanged := grid.Equal(c.committedGrids[home])
+		c.gridsMu.Unlock()
+		if unchanged {
+			report.GridsInstalled++ // placement already live; nothing to move
+			continue
 		}
-		report.GridsInstalled++
-		c.recordGridPlacement(home, grid)
+		preps = append(preps, prep{home: home, grid: grid})
 	}
+
+	// Prepare phase. The first failure aborts the round: every node gets an
+	// epoch-wide abort (unwinding journaled migrations and pending grids)
+	// and the committed epoch is untouched.
+	for _, p := range preps {
+		err := error(nil)
+		if c.prepareHook != nil {
+			err = c.prepareHook(p.home)
+		}
+		if err == nil {
+			_, err = c.sendTo(ctx, p.home, node.EncodePrepareAlloc(epoch, p.grid))
+		}
+		if err != nil {
+			actx, acancel := c.withTimeout(context.Background())
+			aerr := c.broadcastEpochCtl(actx, node.EncodeAbortGrid(epoch))
+			acancel()
+			c.metrics.Counter("realloc.rounds.aborted").Inc()
+			c.metrics.Histogram("realloc.round.latency").Observe(time.Since(roundStart))
+			return report, errors.Join(
+				fmt.Errorf("cluster: realloc epoch %d aborted: prepare on %s: %w", epoch, p.home, err),
+				aerr)
+		}
+	}
+
+	// Commit phase: the cutover barrier. Every live node promotes its
+	// pending grid (a no-op for non-participants). A node that misses the
+	// commit just keeps dual-reading until a later round re-prepares it —
+	// extra fan-out, never lost matches — so commit errors degrade the GC
+	// (below) instead of failing the round.
+	commitErr := c.broadcastEpochCtl(ctx, node.EncodeCommitGrid(epoch))
+	c.committedEpoch.Store(epoch)
+	c.metrics.Counter("realloc.rounds.committed").Inc()
+	c.metrics.Counter("realloc.epoch").Set(int64(epoch))
+	c.metrics.Histogram("realloc.round.latency").Observe(time.Since(roundStart))
+
+	c.gridsMu.Lock()
+	for _, p := range preps {
+		if old, ok := c.committedGrids[p.home]; ok {
+			c.prevGrids = append(c.prevGrids, old)
+		}
+		c.committedGrids[p.home] = p.grid
+	}
+	c.gridsMu.Unlock()
+	for _, p := range preps {
+		report.GridsInstalled++
+		c.recordGridPlacement(p.home, p.grid)
+	}
+
+	c.runGridGC(ctx, commitErr != nil)
 	report.FiltersReplicated = c.countReplicas()
 	return report, nil
+}
+
+// broadcastEpochCtl sends an epoch control frame (commit or abort) to every
+// live node, aggregating per-node errors.
+func (c *Cluster) broadcastEpochCtl(ctx context.Context, payload []byte) error {
+	var errs []error
+	for _, id := range c.nodeIDs {
+		if c.net.Failed(id) {
+			continue
+		}
+		if _, err := c.sendTo(ctx, id, payload); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: epoch control on %s: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runGridGC drops the filter copies stranded on retired placements after a
+// committed cutover. The keep set for a filter is its original homes (never
+// collected — §13) plus its placements under every live grid: the committed
+// node and term grids, and the grids retired by the most recent round, which
+// get one extra round of grace for publishes in flight across the cutover.
+// When the commit broadcast had errors the GC only accumulates grace —
+// nothing is dropped, because an uncommitted node may still be serving an
+// old grid.
+func (c *Cluster) runGridGC(ctx context.Context, conservative bool) {
+	c.gridsMu.Lock()
+	keepGrids := make([]*alloc.Grid, 0, len(c.committedGrids)+len(c.committedTermGrids)+len(c.prevGrids))
+	for _, g := range c.committedGrids {
+		keepGrids = append(keepGrids, g)
+	}
+	for _, g := range c.committedTermGrids {
+		keepGrids = append(keepGrids, g)
+	}
+	keepGrids = append(keepGrids, c.prevGrids...)
+	if !conservative {
+		// The grace window ends here for grids retired before this round;
+		// grids retired by this round were appended above and survive until
+		// the next successful GC.
+		c.prevGrids = nil
+	}
+	c.gridsMu.Unlock()
+	if conservative {
+		return
+	}
+
+	// Diff the holder bookkeeping against the keep set and batch the drops
+	// per node.
+	drops := make(map[ring.NodeID][]model.FilterID)
+	c.placementMu.Lock()
+	for id, holders := range c.filterHolders {
+		needed := make(map[ring.NodeID]struct{}, len(holders))
+		for _, h := range c.homeHolders[id] {
+			needed[h] = struct{}{}
+		}
+		for _, g := range keepGrids {
+			for _, nd := range g.FilterNodes(id) {
+				needed[nd] = struct{}{}
+			}
+		}
+		kept := make([]ring.NodeID, 0, len(holders))
+		for _, h := range holders {
+			if _, ok := needed[h]; ok {
+				kept = append(kept, h)
+			} else {
+				drops[h] = append(drops[h], id)
+			}
+		}
+		c.filterHolders[id] = kept
+	}
+	c.placementMu.Unlock()
+
+	dropped := 0
+	for nd, ids := range drops {
+		if c.net.Failed(nd) {
+			continue // unreachable; stale copies only ever add true matches
+		}
+		if _, err := c.sendTo(ctx, nd, node.EncodeUnregisterBatch(ids)); err != nil {
+			continue // ditto: lingering copies are benign
+		}
+		dropped += len(ids)
+	}
+	if dropped > 0 {
+		c.metrics.Counter("realloc.gc.filters").Add(int64(dropped))
+	}
 }
 
 // AllocateByTerm runs a per-term allocation round for the hottest topK
@@ -246,6 +423,15 @@ func (c *Cluster) AllocateByTerm(ctx context.Context, topK int) (AllocationRepor
 		if _, err := c.sendTo(ctx, home, node.EncodeAllocateTerm(epoch, term, grid)); err != nil {
 			return report, fmt.Errorf("cluster: term-allocate %q on %s: %w", term, home, err)
 		}
+		// Per-term grids cut over with the legacy hard flip, but their
+		// placements join the GC keep set (retired ones with grace) so a
+		// later two-phase round cannot collect them.
+		c.gridsMu.Lock()
+		if old, ok := c.committedTermGrids[term]; ok {
+			c.prevGrids = append(c.prevGrids, old)
+		}
+		c.committedTermGrids[term] = grid
+		c.gridsMu.Unlock()
 		report.GridsInstalled++
 		c.recordGridPlacement(home, grid)
 	}
@@ -309,10 +495,15 @@ func (c *Cluster) RenewWindow() {
 }
 
 // StartAutoAllocate launches the periodic allocation loop: every interval
-// it runs one Allocate round and renews the statistics window. The
-// returned stop function halts the loop and waits for it to exit. Errors
-// from individual rounds (e.g. no filters yet) are delivered to onErr if
-// non-nil and otherwise dropped — the loop keeps going.
+// (or sooner, when KickAllocate signals a membership change) it runs one
+// Allocate round and renews the statistics window. The returned stop
+// function halts the loop and waits for it to exit.
+//
+// The loop is unkillable: a panicking or persistently erroring round is
+// recovered, reported to onErr if non-nil, counted on
+// realloc.loop.failures, and followed by an exponential backoff (capped at
+// 32× the interval) before the next attempt. A successful round clears the
+// failure streak.
 func (c *Cluster) StartAutoAllocate(interval time.Duration, onErr func(error)) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -321,16 +512,35 @@ func (c *Cluster) StartAutoAllocate(interval time.Duration, onErr func(error)) (
 		defer wg.Done()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		failG := c.metrics.Counter("realloc.loop.failures")
+		failures := 0
+		runOnce := func() {
+			if err := c.safeAllocate(); err != nil {
+				failures++
+				failG.Set(int64(failures))
+				if onErr != nil {
+					onErr(err)
+				}
+				shift := failures - 1
+				if shift > 5 {
+					shift = 5
+				}
+				select {
+				case <-time.After(interval << shift):
+				case <-done:
+				}
+				return
+			}
+			failures = 0
+			failG.Set(0)
+			c.RenewWindow()
+		}
 		for {
 			select {
 			case <-ticker.C:
-				if _, err := c.Allocate(context.Background()); err != nil {
-					if onErr != nil {
-						onErr(err)
-					}
-					continue
-				}
-				c.RenewWindow()
+				runOnce()
+			case <-c.allocKick:
+				runOnce()
 			case <-done:
 				return
 			}
@@ -343,6 +553,18 @@ func (c *Cluster) StartAutoAllocate(interval time.Duration, onErr func(error)) (
 			wg.Wait()
 		})
 	}
+}
+
+// safeAllocate runs one allocation round with panic containment — a bug in
+// the optimizer or a hook must not kill the auto-allocate goroutine.
+func (c *Cluster) safeAllocate() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: allocation round panicked: %v", r)
+		}
+	}()
+	_, err = c.Allocate(context.Background())
+	return err
 }
 
 // TransferStats reports document-transfer accounting for the cost model.

@@ -29,6 +29,9 @@ type Config struct {
 	Traces *trace.Ring
 	// Info is static node metadata served on /healthz (id, rack, ...).
 	Info map[string]string
+	// Health, if set, supplies live status fields merged into /healthz
+	// (reallocation epoch, dual-read state, membership counts, ...).
+	Health func() map[string]any
 }
 
 // Server is a running debug endpoint.
@@ -71,7 +74,13 @@ func Start(cfg Config) (*Server, error) {
 		writeJSON(w, summaries)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{"status": "ok", "info": cfg.Info})
+		body := map[string]any{"status": "ok", "info": cfg.Info}
+		if cfg.Health != nil {
+			for k, v := range cfg.Health() {
+				body[k] = v
+			}
+		}
+		writeJSON(w, body)
 	})
 	// pprof handlers are registered explicitly rather than through the
 	// package's DefaultServeMux side effect, keeping the debug mux closed

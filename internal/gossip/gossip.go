@@ -87,6 +87,11 @@ type Config struct {
 	// OnLeave, if set, is called (outside the lock) when a member is
 	// declared dead.
 	OnLeave func(ring.NodeID)
+	// OnChange, if set, is called (outside the lock) after any membership
+	// transition — a join, a rejoin, or a leave. It carries no payload on
+	// purpose: the hook exists to kick the reallocation loop, which reads
+	// the membership itself.
+	OnChange func()
 }
 
 // entry is the internal table row.
@@ -173,11 +178,13 @@ func (g *Gossiper) SeedPeers(members ...Member) {
 }
 
 func (g *Gossiper) notifyJoins(members []Member) {
-	if g.cfg.OnJoin == nil {
-		return
+	if g.cfg.OnJoin != nil {
+		for _, m := range members {
+			g.cfg.OnJoin(m)
+		}
 	}
-	for _, m := range members {
-		g.cfg.OnJoin(m)
+	if len(members) > 0 && g.cfg.OnChange != nil {
+		g.cfg.OnChange()
 	}
 }
 
@@ -365,6 +372,9 @@ func (g *Gossiper) detectFailures() {
 		for _, id := range left {
 			g.cfg.OnLeave(id)
 		}
+	}
+	if len(left) > 0 && g.cfg.OnChange != nil {
+		g.cfg.OnChange()
 	}
 }
 

@@ -155,6 +155,52 @@ func (ix *Index) Register(f model.Filter, postingTerms []string) error {
 	return nil
 }
 
+// EnsureRegistered is Register made idempotent for migration replay: a
+// duplicated or retried MigrateReq batch may deliver the same (filter,
+// posting terms) pair any number of times, and the counters must still
+// count distinct state. created reports whether this call stored the
+// filter definition (false when a copy already existed — pre-existing
+// copies belong to an older placement or the home itself and must survive
+// an abort of the current epoch).
+//
+// Unlike Register, the posting-shard insert runs before the store write:
+// addIfAbsent's single write-lock hold is what arbitrates concurrent
+// replays, so it must decide first and the store add follows only for the
+// winner. A crash between the two loses only in-memory state, which the
+// next replay of the same batch restores.
+func (ix *Index) EnsureRegistered(f model.Filter, postingTerms []string) (bool, error) {
+	if err := f.Validate(); err != nil {
+		return false, err
+	}
+	created := false
+	sh := ix.state.filterShard(f.ID)
+	sh.mu.Lock()
+	if _, ok := sh.filters[f.ID]; !ok {
+		// Store write before the shard publish, under the shard lock —
+		// Unregister's locking mirrored — so concurrent replays agree on
+		// exactly one creator and the layers never disagree.
+		if err := ix.filters.Put(f); err != nil {
+			sh.mu.Unlock()
+			return false, err
+		}
+		sh.filters[f.ID] = f.Clone()
+		created = true
+	}
+	sh.mu.Unlock()
+	if created {
+		ix.numFilters.Add(1)
+	}
+	for _, t := range postingTerms {
+		if ix.state.termShard(t).addIfAbsent(t, f.ID) {
+			ix.numPostings.Add(1)
+			if err := ix.postings.Add(t, f.ID); err != nil {
+				return created, err
+			}
+		}
+	}
+	return created, nil
+}
+
 // Unregister removes a filter definition if present (no-op otherwise, so
 // cluster-wide broadcasts are safe). Posting entries are left to be
 // filtered lazily on match (a standard tombstone-style design: posting

@@ -73,6 +73,27 @@ func (s *termShard) add(term string, id model.FilterID) {
 	s.mu.Unlock()
 }
 
+// addIfAbsent is add reporting whether id was newly inserted. The check
+// and the append happen under one write-lock hold, so concurrent replays
+// of the same (term, id) pair agree on exactly one inserter — the caller
+// can count distinct posting entries without a separate read-then-write
+// race window.
+func (s *termShard) addIfAbsent(term string, id model.FilterID) bool {
+	s.mu.Lock()
+	p := s.lists[term]
+	if p == nil {
+		p = &posting{seen: make(map[model.FilterID]struct{}, 4)}
+		s.lists[term] = p
+	}
+	_, dup := p.seen[id]
+	if !dup {
+		p.seen[id] = struct{}{}
+		p.ids = append(p.ids, id)
+	}
+	s.mu.Unlock()
+	return !dup
+}
+
 // snapshot returns the current posting list for term. The returned slice
 // is an immutable snapshot: callers may iterate it freely but must not
 // append to or mutate it.

@@ -29,6 +29,11 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset zeroes the counter (epoch renewals, §V allocation refresh).
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Set stores an absolute value, turning the counter into a gauge — used
+// for level-style readings such as the current reallocation epoch or the
+// consecutive auto-allocate failure count.
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
 // Registry is a named set of counters and histograms.
 type Registry struct {
 	mu         sync.Mutex

@@ -75,12 +75,28 @@ type Node struct {
 	mu        sync.RWMutex
 	grid      *alloc.Grid
 	gridEpoch uint64
+	// pending is the next epoch's grid, installed by the prepare phase of a
+	// two-phase reallocation (§13). While pending is non-nil the node
+	// dual-reads: publishes fan out to both grid and pending and union the
+	// match sets, so no match is dropped whichever placement a filter is
+	// physically on. Commit promotes pending to grid; abort drops it.
+	pending      *alloc.Grid
+	pendingEpoch uint64
+	// dualSince marks when the current dual-read window opened.
+	dualSince time.Time
 	// termGrids maps specific terms to their own allocation grids — the
 	// per-term variant of the forwarding table whose maintenance cost §V's
 	// per-node aggregation avoids; kept for the ablation comparison.
 	termGrids map[string]*alloc.Grid
 	bloomF    *bloom.Filter
 	rng       *rand.Rand
+
+	// journal records, per prepare epoch, the filter IDs whose definitions
+	// this node first stored for that epoch's migrations. An abort
+	// unregisters exactly these — pre-existing copies (older placements,
+	// home-owned filters) are never journaled and survive untouched.
+	journalMu sync.Mutex
+	journal   map[uint64]map[model.FilterID]struct{}
 
 	// mail holds subscriber mailboxes for network-polling clients.
 	mail *mailboxes
@@ -115,6 +131,15 @@ type Node struct {
 	hMatchTerm *metrics.Histogram
 	hMatchSIFT *metrics.Histogram
 	traces     *trace.Ring
+
+	// Reallocation observability (§13): distinct filter copies installed by
+	// migrations, commit/abort outcomes, the current committed epoch
+	// (gauge), and the length of each dual-read window.
+	migratedC *metrics.Counter
+	commitsC  *metrics.Counter
+	abortsC   *metrics.Counter
+	epochG    *metrics.Counter
+	hDualRead *metrics.Histogram
 }
 
 // New builds a node. Call Attach to connect it to a transport before use.
@@ -156,6 +181,7 @@ func New(cfg Config) (*Node, error) {
 		ix:         ix,
 		reg:        reg,
 		termGrids:  make(map[string]*alloc.Grid),
+		journal:    make(map[uint64]map[model.FilterID]struct{}),
 		mail:       newMailboxes(),
 		rng:        rand.New(rand.NewSource(seed)),
 		res:        cfg.Resilience,
@@ -170,6 +196,11 @@ func New(cfg Config) (*Node, error) {
 		hMatchTerm: reg.Histogram("match.term"),
 		hMatchSIFT: reg.Histogram("match.sift"),
 		traces:     trace.NewRing(depth),
+		migratedC:  reg.Counter("realloc.filters.migrated"),
+		commitsC:   reg.Counter("realloc.commits"),
+		abortsC:    reg.Counter("realloc.aborts"),
+		epochG:     reg.Counter("realloc.epoch"),
+		hDualRead:  reg.Histogram("realloc.dualread.window"),
 	}, nil
 }
 
@@ -397,6 +428,39 @@ func (n *Node) Handle(ctx context.Context, from ring.NodeID, payload []byte) ([]
 			return nil, fmt.Errorf("node %s: decode term grid: %w", n.cfg.ID, err)
 		}
 		return nil, n.BuildTermAllocation(ctx, epoch, term, g)
+	case msgPrepareAlloc:
+		epoch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		gridBytes, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		g, err := alloc.DecodeGrid(gridBytes)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode pending grid: %w", n.cfg.ID, err)
+		}
+		return nil, n.PrepareAllocation(ctx, epoch, g)
+	case msgCommitGrid:
+		epoch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n.CommitGrid(epoch)
+		return nil, nil
+	case msgAbortGrid:
+		epoch, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.AbortGrid(epoch)
+	case msgUnregisterBatch:
+		ids, err := decodeUnregisterBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: decode unregister batch: %w", n.cfg.ID, err)
+		}
+		return nil, n.handleUnregisterBatch(ids)
 	case msgInstallBloom:
 		bloomBytes, err := r.Bytes0()
 		if err != nil {
@@ -436,6 +500,7 @@ func (n *Node) handleRegister(ctx context.Context, req RegisterReq) error {
 	}
 	n.mu.RLock()
 	grid := n.grid
+	pending, pendingEpoch := n.pending, n.pendingEpoch
 	var termGrids []termGridRef
 	for _, t := range req.PostingTerms {
 		if g, ok := n.termGrids[t]; ok {
@@ -445,12 +510,20 @@ func (n *Node) handleRegister(ctx context.Context, req RegisterReq) error {
 	n.mu.RUnlock()
 
 	if grid != nil {
-		if err := n.forwardToGridColumn(ctx, grid, RegisterReq{Filter: req.Filter, PostingTerms: req.PostingTerms}); err != nil {
+		if err := n.forwardToGridColumn(ctx, grid, 0, RegisterReq{Filter: req.Filter, PostingTerms: req.PostingTerms}); err != nil {
+			return err
+		}
+	}
+	if pending != nil {
+		// Mid-prepare registration: the copy on the pending placement is
+		// tagged with the pending epoch so an abort unwinds it along with
+		// the epoch's migrations.
+		if err := n.forwardToGridColumn(ctx, pending, pendingEpoch, RegisterReq{Filter: req.Filter, PostingTerms: req.PostingTerms}); err != nil {
 			return err
 		}
 	}
 	for _, tg := range termGrids {
-		if err := n.forwardToGridColumn(ctx, tg.grid, RegisterReq{Filter: req.Filter, PostingTerms: []string{tg.term}}); err != nil {
+		if err := n.forwardToGridColumn(ctx, tg.grid, 0, RegisterReq{Filter: req.Filter, PostingTerms: []string{tg.term}}); err != nil {
 			return err
 		}
 	}
@@ -466,10 +539,10 @@ type termGridRef struct {
 // all partition rows. Every row is attempted even when one fails — a dead
 // replica must not prevent the live rows from receiving the filter — and
 // the per-row errors are aggregated.
-func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, req RegisterReq) error {
+func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, epoch uint64, req RegisterReq) error {
 	col := g.Column(req.Filter.ID)
 	pw := codec.GetWriter()
-	AppendMigrate(pw, MigrateReq{Entries: []RegisterReq{req}})
+	AppendMigrate(pw, MigrateReq{Epoch: epoch, Entries: []RegisterReq{req}})
 	payload := pw.Bytes()
 	var errs []error
 	for row := 0; row < g.Rows(); row++ {
@@ -485,16 +558,6 @@ func (n *Node) forwardToGridColumn(ctx context.Context, g *alloc.Grid, req Regis
 	return errors.Join(errs...)
 }
 
-// handleMigrate installs a batch of allocated filters.
-func (n *Node) handleMigrate(req MigrateReq) error {
-	for _, e := range req.Entries {
-		if err := n.ix.Register(e.Filter, e.PostingTerms); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // InstallGrid atomically replaces the node's allocation grid (§V forwarding
 // table: one grid per node, all local terms map to it).
 func (n *Node) InstallGrid(epoch uint64, g *alloc.Grid) {
@@ -507,11 +570,15 @@ func (n *Node) InstallGrid(epoch uint64, g *alloc.Grid) {
 	n.gridEpoch = epoch
 }
 
-// DropGrid clears the allocation grid.
+// DropGrid clears the allocation grid — pending included, so a recovered
+// node that slept through commits and GC stops trusting stale placements
+// and matches from its complete local store until the next prepare.
 func (n *Node) DropGrid() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.grid = nil
+	n.pending = nil
+	n.pendingEpoch = 0
 }
 
 // Grid returns the current grid (may be nil) and its epoch.
@@ -552,35 +619,71 @@ func (n *Node) handlePublish(ctx context.Context, req PublishReq) (MatchResp, er
 }
 
 // homePublish matches a term-routed document: through the term's
-// allocation grid when one is installed, locally otherwise.
+// allocation grid when one is installed, locally otherwise. During a
+// dual-read window (pending grid installed, node-wide routing only) the
+// document additionally fans out to the pending placements and the match
+// sets union — entry-side dedup removes the overlap, and extra posting
+// entries can only produce true matches.
 func (n *Node) homePublish(ctx context.Context, req PublishReq) (MatchResp, error) {
 	n.mu.RLock()
 	grid := n.termGrids[req.Term]
+	var pending *alloc.Grid
 	if grid == nil {
 		grid = n.grid
+		pending = n.pending
 	}
 	n.mu.RUnlock()
+
+	var resp MatchResp
+	var err error
 	if grid == nil {
-		resp, err := n.matchLocal(&req.Doc, req.Term)
+		resp, err = n.matchLocal(&req.Doc, req.Term)
 		if err == nil {
 			resp.Hops = append(resp.Hops, trace.Hop{
 				Stage: "local", To: string(n.cfg.ID), Term: req.Term,
 			})
 		}
+	} else {
+		n.mu.Lock()
+		first := grid.PickRow(req.Doc.ID, n.rng)
+		n.mu.Unlock()
+		// The frame is built in a pooled writer: fanOutRow's column RPCs all
+		// finish before it returns, after which the buffer is dead and can be
+		// recycled (transports do not retain payloads past Send — DESIGN.md §11).
+		w := codec.GetWriter()
+		AppendPublish(w, msgPublishLocal, req)
+		resp, err = n.fanOutRow(ctx, grid, first, w.Bytes())
+		codec.PutWriter(w)
+	}
+	if err != nil || pending == nil || pending == grid {
 		return resp, err
 	}
 
+	// Dual-read: the committed path above is authoritative and complete, so
+	// a failure on the pending side never degrades or fails the publish —
+	// its results only add matches the committed placements may not hold yet.
 	n.mu.Lock()
-	first := grid.PickRow(req.Doc.ID, n.rng)
+	pfirst := pending.PickRow(req.Doc.ID, n.rng)
 	n.mu.Unlock()
-	// The frame is built in a pooled writer: fanOutRow's column RPCs all
-	// finish before it returns, after which the buffer is dead and can be
-	// recycled (transports do not retain payloads past Send — DESIGN.md §11).
 	w := codec.GetWriter()
 	AppendPublish(w, msgPublishLocal, req)
-	resp, err := n.fanOutRow(ctx, grid, first, w.Bytes())
+	presp, perr := n.fanOutRow(ctx, pending, pfirst, w.Bytes())
 	codec.PutWriter(w)
-	return resp, err
+	if perr == nil {
+		presp.Degraded = false
+		presp.ColumnsLost = 0
+		markPendingHops(presp.Hops)
+		mergeResp(&resp, presp)
+	}
+	return resp, nil
+}
+
+// markPendingHops tags every hop as taken against a pending grid, so
+// traces show which edges belonged to the dual-read window.
+func markPendingHops(hops []trace.Hop) {
+	for i := range hops {
+		hops[i].Pending = true
+	}
 }
 
 // fanOutRow dispatches the document to the chosen partition row, one RPC
@@ -690,27 +793,25 @@ func (n *Node) handlePublishMulti(ctx context.Context, req PublishMultiReq) (Mat
 
 // gridGroup is the slice of one multi-term publish bound for a single
 // allocation grid: the terms (in document order) whose effective grid it is.
+// pending marks the dual-read group: the same terms fanned out a second
+// time against the not-yet-committed grid, whose losses never degrade the
+// publish (the committed path is authoritative).
 type gridGroup struct {
-	grid  *alloc.Grid
-	terms []string
+	grid    *alloc.Grid
+	terms   []string
+	pending bool
 }
 
 // splitByGrid partitions a multi-term publish's terms by their effective
 // allocation grid — per-term grids take precedence over the node-wide grid,
 // exactly as in the single-term path. Terms with no grid match locally.
+// During a dual-read window every node-wide-routed term additionally joins
+// the pending grid's group.
 func (n *Node) splitByGrid(terms []string) (local []string, groups []gridGroup) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	var idx map[*alloc.Grid]int
-	for _, t := range terms {
-		g := n.termGrids[t]
-		if g == nil {
-			g = n.grid
-		}
-		if g == nil {
-			local = append(local, t)
-			continue
-		}
+	add := func(g *alloc.Grid, t string, pending bool) {
 		if idx == nil {
 			idx = make(map[*alloc.Grid]int, 2)
 		}
@@ -718,9 +819,24 @@ func (n *Node) splitByGrid(terms []string) (local []string, groups []gridGroup) 
 		if !ok {
 			i = len(groups)
 			idx[g] = i
-			groups = append(groups, gridGroup{grid: g})
+			groups = append(groups, gridGroup{grid: g, pending: pending})
 		}
 		groups[i].terms = append(groups[i].terms, t)
+	}
+	for _, t := range terms {
+		g := n.termGrids[t]
+		nodeWide := g == nil
+		if nodeWide {
+			g = n.grid
+		}
+		if g == nil {
+			local = append(local, t)
+		} else {
+			add(g, t, false)
+		}
+		if nodeWide && n.pending != nil && n.pending != g {
+			add(n.pending, t, true)
+		}
 	}
 	return local, groups
 }
@@ -827,6 +943,7 @@ func (n *Node) multiFanOut(ctx context.Context, doc *model.Document, groups []gr
 				for _, t := range g.terms {
 					s.hops = append(s.hops, trace.Hop{
 						Stage: "column", From: string(n.cfg.ID), Col: s.col, Term: t, Lost: true,
+						Pending: g.pending,
 					})
 				}
 				continue
@@ -851,17 +968,25 @@ func (n *Node) multiFanOut(ctx context.Context, doc *model.Document, groups []gr
 			wg.Add(1)
 			go func(ti int, target ring.NodeID, ss []*colSlot) {
 				defer wg.Done()
-				// Union of the terms riding this RPC. Different groups hold
-				// disjoint term sets, and a group contributes its terms once
-				// even when several of its columns land on the same node.
+				// Union of the terms riding this RPC. A group contributes its
+				// terms once even when several of its columns land on the same
+				// node, and a term riding both a committed group and the
+				// pending dual-read group is shipped once.
 				var terms []string
 				seenGroup := make(map[int]struct{}, len(ss))
+				seenTerm := make(map[string]struct{}, 8)
 				for _, s := range ss {
 					if _, dup := seenGroup[s.group]; dup {
 						continue
 					}
 					seenGroup[s.group] = struct{}{}
-					terms = append(terms, groups[s.group].terms...)
+					for _, t := range groups[s.group].terms {
+						if _, dup := seenTerm[t]; dup {
+							continue
+						}
+						seenTerm[t] = struct{}{}
+						terms = append(terms, t)
+					}
 				}
 				if n.cfg.OnTransfer != nil {
 					// One transfer per node: the document ships once however
@@ -887,6 +1012,7 @@ func (n *Node) multiFanOut(ctx context.Context, doc *model.Document, groups []gr
 							Stage: "column", From: string(n.cfg.ID), To: string(target),
 							Row: (firsts[s.group] + s.attempt) % rows, Col: s.col,
 							Attempt: s.attempt, Failover: s.attempt > 0,
+							Pending:   groups[s.group].pending,
 							ElapsedNS: elapsed.Nanoseconds(),
 						})
 						if s.attempt > 0 {
@@ -903,7 +1029,8 @@ func (n *Node) multiFanOut(ctx context.Context, doc *model.Document, groups []gr
 						Stage: "column", From: string(n.cfg.ID), To: string(target),
 						Row: (firsts[s.group] + s.attempt) % rows, Col: s.col,
 						Attempt: s.attempt, Failover: s.attempt > 0,
-						Err: err.Error(), ElapsedNS: elapsed.Nanoseconds(),
+						Pending: groups[s.group].pending,
+						Err:     err.Error(), ElapsedNS: elapsed.Nanoseconds(),
 					})
 					s.attempt++
 				}
@@ -929,7 +1056,9 @@ func (n *Node) multiFanOut(ctx context.Context, doc *model.Document, groups []gr
 
 	for _, s := range slots {
 		merged.Hops = append(merged.Hops, s.hops...)
-		if s.lost {
+		// A lost pending-grid column never degrades the publish: the
+		// committed placements served every term completely.
+		if s.lost && !groups[s.group].pending {
 			merged.Degraded = true
 			merged.ColumnsLost += len(groups[s.group].terms)
 		}
@@ -955,22 +1084,32 @@ func (n *Node) handlePublishBatch(ctx context.Context, reqs []PublishReq) ([]Mat
 	tm := n.hHome.Start()
 
 	n.mu.RLock()
+	pendingG := n.pending
 	var local []int
 	groups := make(map[*alloc.Grid][]int)
 	var order []*alloc.Grid
 	for i := range reqs {
 		g := n.termGrids[reqs[i].Term]
-		if g == nil {
+		nodeWide := g == nil
+		if nodeWide {
 			g = n.grid
 		}
 		if g == nil {
 			local = append(local, i)
-			continue
+		} else {
+			if _, ok := groups[g]; !ok {
+				order = append(order, g)
+			}
+			groups[g] = append(groups[g], i)
 		}
-		if _, ok := groups[g]; !ok {
-			order = append(order, g)
+		// Dual-read window: node-wide-routed items also fan out to the
+		// pending grid; the entry dedups the unioned matches.
+		if nodeWide && pendingG != nil && pendingG != g {
+			if _, ok := groups[pendingG]; !ok {
+				order = append(order, pendingG)
+			}
+			groups[pendingG] = append(groups[pendingG], i)
 		}
-		groups[g] = append(groups[g], i)
 	}
 	n.mu.RUnlock()
 
@@ -993,10 +1132,20 @@ func (n *Node) handlePublishBatch(ctx context.Context, reqs []PublishReq) ([]Mat
 		}
 		out, err := n.batchFanOutRow(ctx, g, sub)
 		if err != nil {
+			if g == pendingG {
+				continue // pending side is best-effort; committed results are complete
+			}
 			return nil, err
 		}
+		if g == pendingG {
+			for j := range out {
+				out[j].Degraded = false
+				out[j].ColumnsLost = 0
+				markPendingHops(out[j].Hops)
+			}
+		}
 		for j, i := range idx {
-			resps[i] = out[j]
+			mergeResp(&resps[i], out[j])
 		}
 	}
 	sp.AddStage("publish.home", tm.Stop())
@@ -1141,19 +1290,12 @@ func (n *Node) handlePublishMultiBatch(ctx context.Context, reqs []PublishMultiR
 	groups := make(map[*alloc.Grid][]subItem)
 	var order []*alloc.Grid
 	n.mu.RLock()
+	pendingG := n.pending
 	for i := range reqs {
 		var localTerms []string
 		var itemGrids []*alloc.Grid
 		var gridTerms map[*alloc.Grid][]string
-		for _, t := range reqs[i].Terms {
-			g := n.termGrids[t]
-			if g == nil {
-				g = n.grid
-			}
-			if g == nil {
-				localTerms = append(localTerms, t)
-				continue
-			}
+		addGrid := func(g *alloc.Grid, t string) {
 			if gridTerms == nil {
 				gridTerms = make(map[*alloc.Grid][]string, 1)
 			}
@@ -1161,6 +1303,23 @@ func (n *Node) handlePublishMultiBatch(ctx context.Context, reqs []PublishMultiR
 				itemGrids = append(itemGrids, g)
 			}
 			gridTerms[g] = append(gridTerms[g], t)
+		}
+		for _, t := range reqs[i].Terms {
+			g := n.termGrids[t]
+			nodeWide := g == nil
+			if nodeWide {
+				g = n.grid
+			}
+			if g == nil {
+				localTerms = append(localTerms, t)
+			} else {
+				addGrid(g, t)
+			}
+			// Dual-read window: node-wide-routed terms also ride the pending
+			// grid's batch frame.
+			if nodeWide && pendingG != nil && pendingG != g {
+				addGrid(pendingG, t)
+			}
 		}
 		if len(localTerms) > 0 {
 			local = append(local, subItem{item: i, terms: localTerms})
@@ -1195,7 +1354,17 @@ func (n *Node) handlePublishMultiBatch(ctx context.Context, reqs []PublishMultiR
 		}
 		out, err := n.batchMultiFanOutRow(ctx, g, sub)
 		if err != nil {
+			if g == pendingG {
+				continue // pending side is best-effort; committed results are complete
+			}
 			return nil, err
+		}
+		if g == pendingG {
+			for j := range out {
+				out[j].Degraded = false
+				out[j].ColumnsLost = 0
+				markPendingHops(out[j].Hops)
+			}
 		}
 		for j, s := range subs {
 			mergeResp(&resps[s.item], out[j])
@@ -1646,6 +1815,22 @@ const migrateBatch = 512
 // index in every partition row), then the grid is installed so subsequent
 // documents fan out to one partition.
 func (n *Node) BuildAllocation(ctx context.Context, epoch uint64, g *alloc.Grid) error {
+	batches, err := n.homeOwnedBatches(g)
+	if err != nil {
+		return err
+	}
+	if err := n.sendMigrations(ctx, epoch, batches); err != nil {
+		return err
+	}
+	n.InstallGrid(epoch, g)
+	return nil
+}
+
+// homeOwnedBatches scans the local filter store for filters this node is
+// the home of (at least one term hashes here) and groups the copies each
+// grid target must receive — the migration work list shared by the hard
+// flip (BuildAllocation) and the two-phase prepare (PrepareAllocation).
+func (n *Node) homeOwnedBatches(g *alloc.Grid) (map[ring.NodeID][]RegisterReq, error) {
 	batches := make(map[ring.NodeID][]RegisterReq)
 	var iterErr error
 	err := n.ix.EachFilter(func(f model.Filter) bool {
@@ -1677,16 +1862,12 @@ func (n *Node) BuildAllocation(ctx context.Context, epoch uint64, g *alloc.Grid)
 		return true
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if iterErr != nil {
-		return iterErr
+		return nil, iterErr
 	}
-	if err := n.sendMigrations(ctx, epoch, batches); err != nil {
-		return err
-	}
-	n.InstallGrid(epoch, g)
-	return nil
+	return batches, nil
 }
 
 // sendMigrations ships batched filter copies, charging one transfer per

@@ -41,6 +41,14 @@ const (
 	msgPublishLocalMulti      = 17 // multi-term grid-node match (home → grid row)
 	msgPublishMultiBatch      = 18 // batch of multi-term home publishes
 	msgPublishLocalMultiBatch = 19 // batch of multi-term grid-node matches
+	// 20 and 21 are msgDeliver / msgFetch (mailbox.go).
+	// Two-phase reallocation framing (§13): the coordinator prepares a
+	// pending grid on a home node (which migrates its filters and starts
+	// dual-reading), then broadcasts a commit barrier or an abort.
+	msgPrepareAlloc    = 22 // prepare: migrate filters + install pending grid
+	msgCommitGrid      = 23 // commit barrier: promote the pending grid
+	msgAbortGrid       = 24 // abort: drop pending grid, unwind journaled migrations
+	msgUnregisterBatch = 25 // batched filter removal (old-placement GC)
 )
 
 // EncodeAllocateTerm serializes a per-term allocation command.
@@ -62,6 +70,69 @@ func EncodeAllocate(epoch uint64, g *alloc.Grid) []byte {
 	w.Uvarint(epoch)
 	w.Bytes0(gridBytes)
 	return w.Bytes()
+}
+
+// EncodePrepareAlloc serializes a prepare-phase reallocation command for a
+// home node: migrate owned filters to their new placements and install the
+// grid as pending (dual-read until commit or abort).
+func EncodePrepareAlloc(epoch uint64, g *alloc.Grid) []byte {
+	gridBytes := g.Encode()
+	w := codec.NewWriter(16 + len(gridBytes))
+	w.Uint8(msgPrepareAlloc)
+	w.Uvarint(epoch)
+	w.Bytes0(gridBytes)
+	return w.Bytes()
+}
+
+// EncodeCommitGrid serializes the cutover barrier promoting epoch's
+// pending grid; a no-op on nodes with no matching pending grid.
+func EncodeCommitGrid(epoch uint64) []byte {
+	w := codec.NewWriter(12)
+	w.Uint8(msgCommitGrid)
+	w.Uvarint(epoch)
+	return w.Bytes()
+}
+
+// EncodeAbortGrid serializes an abort of epoch's prepare: the pending grid
+// is dropped and every filter copy the epoch's migrations created is
+// unregistered, restoring the pre-prepare state.
+func EncodeAbortGrid(epoch uint64) []byte {
+	w := codec.NewWriter(12)
+	w.Uint8(msgAbortGrid)
+	w.Uvarint(epoch)
+	return w.Bytes()
+}
+
+// EncodeUnregisterBatch serializes a batched filter removal — the
+// coordinator's old-placement GC drops all of a node's stale copies in one
+// frame.
+func EncodeUnregisterBatch(ids []model.FilterID) []byte {
+	w := codec.NewWriter(8 + 8*len(ids))
+	w.Uint8(msgUnregisterBatch)
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Uvarint(uint64(id))
+	}
+	return w.Bytes()
+}
+
+func decodeUnregisterBatch(r *codec.Reader) ([]model.FilterID, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("node: unregister batch count %d overflows payload", n)
+	}
+	ids := make([]model.FilterID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, model.FilterID(v))
+	}
+	return ids, nil
 }
 
 // Match is one (filter, subscriber) hit returned by a match RPC.
@@ -474,6 +545,7 @@ func encodeHops(w *codec.Writer, hops []trace.Hop) {
 		w.Uvarint(uint64(h.Batch))
 		w.Bool(h.Failover)
 		w.Bool(h.Lost)
+		w.Bool(h.Pending)
 		w.String(h.Err)
 		w.Uvarint(uint64(h.ElapsedNS))
 	}
@@ -530,6 +602,9 @@ func decodeHops(r *codec.Reader) ([]trace.Hop, error) {
 			return nil, err
 		}
 		if h.Lost, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if h.Pending, err = r.Bool(); err != nil {
 			return nil, err
 		}
 		if h.Err, err = r.String(); err != nil {

@@ -1,0 +1,281 @@
+package node
+
+import (
+	"context"
+	"testing"
+
+	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+	"github.com/movesys/move/internal/store"
+	"github.com/movesys/move/internal/transport"
+)
+
+func soloNode(t *testing.T) *Node {
+	t.Helper()
+	r := ring.New(ring.Config{})
+	if err := r.Add(ring.Member{ID: "solo", Rack: "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := New(Config{ID: "solo", Rack: "r0", Ring: r, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	nd.Attach(net.Join("solo", nd.Handle))
+	return nd
+}
+
+// TestPrepareCommitAbortStateMachine walks the §13 epoch transitions on one
+// node: stale prepares rejected, re-prepares idempotent, commit promotes
+// exactly the matching pending epoch, abort restores the committed state.
+func TestPrepareCommitAbortStateMachine(t *testing.T) {
+	nd := soloNode(t)
+	g, err := alloc.NewGrid(1, 1, []ring.NodeID{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if nd.PrepareGrid(0, g) {
+		t.Fatal("prepare epoch 0 accepted; epochs start at 1")
+	}
+	if !nd.PrepareGrid(1, g) {
+		t.Fatal("prepare epoch 1 rejected")
+	}
+	if !nd.PrepareGrid(1, g) {
+		t.Fatal("re-prepare of the same epoch must be idempotent, not an error")
+	}
+	if committed, pending, dual := nd.EpochInfo(); committed != 0 || pending != 1 || !dual {
+		t.Fatalf("after prepare: committed=%d pending=%d dual=%v, want 0/1/true", committed, pending, dual)
+	}
+
+	if nd.CommitGrid(2) {
+		t.Fatal("commit of a never-prepared epoch promoted something")
+	}
+	if !nd.CommitGrid(1) {
+		t.Fatal("commit of the prepared epoch did not promote")
+	}
+	if committed, pending, dual := nd.EpochInfo(); committed != 1 || pending != 0 || dual {
+		t.Fatalf("after commit: committed=%d pending=%d dual=%v, want 1/0/false", committed, pending, dual)
+	}
+	if nd.PrepareGrid(1, g) {
+		t.Fatal("prepare at the committed epoch accepted; must be stale")
+	}
+
+	if !nd.PrepareGrid(2, g) {
+		t.Fatal("prepare epoch 2 rejected")
+	}
+	if err := nd.AbortGrid(2); err != nil {
+		t.Fatal(err)
+	}
+	if committed, pending, dual := nd.EpochInfo(); committed != 1 || pending != 0 || dual {
+		t.Fatalf("after abort: committed=%d pending=%d dual=%v, want 1/0/false", committed, pending, dual)
+	}
+	if nd.CommitGrid(2) {
+		t.Fatal("commit of an aborted epoch promoted something")
+	}
+}
+
+// TestMigrateReplayIsNoop replays the same migration batch three times —
+// the transport duplicates RPCs and the coordinator retries prepares, so
+// handleMigrate must be idempotent down to the counters.
+func TestMigrateReplayIsNoop(t *testing.T) {
+	nd := soloNode(t)
+	ctx := context.Background()
+	req := MigrateReq{Epoch: 3}
+	for i := 1; i <= 5; i++ {
+		req.Entries = append(req.Entries, RegisterReq{
+			Filter:       model.Filter{ID: model.FilterID(i), Subscriber: "s", Terms: []string{"alerts"}, Mode: model.MatchAny},
+			PostingTerms: []string{"alerts"},
+		})
+	}
+	payload := EncodeMigrate(req)
+	for i := 0; i < 3; i++ {
+		if _, err := nd.Handle(ctx, "home", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nd.Index().NumFilters(); got != 5 {
+		t.Fatalf("NumFilters after 3 replays = %d, want 5", got)
+	}
+	if got := nd.Index().NumPostings(); got != 5 {
+		t.Fatalf("NumPostings after 3 replays = %d, want 5", got)
+	}
+	// The journal saw each copy once: abort removes all five, exactly once.
+	if err := nd.AbortGrid(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.Index().NumFilters(); got != 0 {
+		t.Fatalf("NumFilters after abort = %d, want 0", got)
+	}
+	// Posting entries for unregistered filters are lazy tombstones; what
+	// matters is that they can no longer match.
+	matches, _, err := nd.PublishEntry(ctx, &model.Document{ID: 1, Terms: []string{"alerts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("matches after abort = %v, want none", matches)
+	}
+}
+
+// TestAbortPreservesPreexistingCopies aborts an epoch whose migration batch
+// included a filter the node already held: only the copy the epoch created
+// may be unwound.
+func TestAbortPreservesPreexistingCopies(t *testing.T) {
+	nd := soloNode(t)
+	ctx := context.Background()
+	f1 := model.Filter{ID: 1, Subscriber: "s", Terms: []string{"alerts"}, Mode: model.MatchAny}
+	if _, err := nd.Handle(ctx, "client", EncodeRegister(RegisterReq{Filter: f1, PostingTerms: []string{"alerts"}})); err != nil {
+		t.Fatal(err)
+	}
+
+	req := MigrateReq{Epoch: 7, Entries: []RegisterReq{
+		{Filter: f1, PostingTerms: []string{"alerts"}},
+		{Filter: model.Filter{ID: 2, Subscriber: "s", Terms: []string{"alerts"}, Mode: model.MatchAny}, PostingTerms: []string{"alerts"}},
+	}}
+	if _, err := nd.Handle(ctx, "home", EncodeMigrate(req)); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.Index().NumFilters(); got != 2 {
+		t.Fatalf("NumFilters after migrate = %d, want 2", got)
+	}
+	if err := nd.AbortGrid(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.Index().NumFilters(); got != 1 {
+		t.Fatalf("NumFilters after abort = %d, want 1 (pre-existing copy kept)", got)
+	}
+	matches, _, err := nd.PublishEntry(ctx, &model.Document{ID: 1, Terms: []string{"alerts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Filter != 1 {
+		t.Fatalf("matches after abort = %v, want exactly filter 1", matches)
+	}
+}
+
+// TestRestartMidPrepareRejoinsAtCorrectEpoch crashes a home node between
+// prepare and commit. The coordinator aborts the orphaned epoch, the node
+// reboots from its store at the old committed epoch with no pending state,
+// and the next round prepares and commits cleanly — no duplicate and no
+// missing filter copies anywhere.
+func TestRestartMidPrepareRejoinsAtCorrectEpoch(t *testing.T) {
+	dir := t.TempDir()
+	// Only the home is a ring member: it owns every term. The grid peers
+	// exist solely as migration targets on the shared network.
+	r := ring.New(ring.Config{})
+	if err := r.Add(ring.Member{ID: "h", Rack: "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+
+	peer := func(id ring.NodeID) *Node {
+		t.Helper()
+		st, err := store.Open("", store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := New(Config{ID: id, Rack: "r1", Ring: r, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.Attach(net.Join(id, nd.Handle))
+		return nd
+	}
+	bootHome := func() *Node {
+		t.Helper()
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := New(Config{ID: "h", Rack: "r0", Ring: r, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.Attach(net.Join("h", nd.Handle))
+		return nd
+	}
+
+	a, b := peer("a"), peer("b")
+	h := bootHome()
+	ctx := context.Background()
+	const filters = 20
+	for i := 1; i <= filters; i++ {
+		f := model.Filter{ID: model.FilterID(i), Subscriber: "s", Terms: []string{"alerts"}, Mode: model.MatchAny}
+		if _, err := h.Handle(ctx, "client", EncodeRegister(RegisterReq{Filter: f, PostingTerms: []string{"alerts"}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid, err := alloc.NewGrid(1, 3, []ring.NodeID{"h", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1 prepares... and then the home dies before the commit.
+	if err := h.PrepareAllocation(ctx, 1, grid); err != nil {
+		t.Fatal(err)
+	}
+	if err := flushStore(h); err != nil {
+		t.Fatal(err)
+	}
+	h = bootHome() // crash + restart: pending grid and epoch are gone
+	if committed, pending, dual := h.EpochInfo(); committed != 0 || pending != 0 || dual {
+		t.Fatalf("restarted home: committed=%d pending=%d dual=%v, want 0/0/false", committed, pending, dual)
+	}
+	if got := h.Index().NumFilters(); got != filters {
+		t.Fatalf("restarted home NumFilters = %d, want %d", got, filters)
+	}
+	// The coordinator resolves the orphaned round with an epoch-wide abort.
+	for _, nd := range []*Node{h, a, b} {
+		if err := nd.AbortGrid(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Index().NumFilters() + b.Index().NumFilters(); got != 0 {
+		t.Fatalf("peers hold %d filters after abort, want 0", got)
+	}
+
+	// Round 2 runs to commit. Replay against the already-aborted peers must
+	// recreate exactly one copy per placement.
+	if err := h.PrepareAllocation(ctx, 2, grid); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range []*Node{h, a, b} {
+		nd.CommitGrid(2)
+	}
+	if committed, pending, dual := h.EpochInfo(); committed != 2 || pending != 0 || dual {
+		t.Fatalf("after round 2: committed=%d pending=%d dual=%v, want 2/0/false", committed, pending, dual)
+	}
+	// Column c of the 1×3 grid holds the filters with ID%3 == c; the home
+	// keeps its full copy on top of its column share.
+	wantA, wantB := 0, 0
+	for i := 1; i <= filters; i++ {
+		switch grid.Column(model.FilterID(i)) {
+		case 1:
+			wantA++
+		case 2:
+			wantB++
+		}
+	}
+	if got := a.Index().NumFilters(); got != wantA {
+		t.Fatalf("peer a NumFilters = %d, want %d", got, wantA)
+	}
+	if got := b.Index().NumFilters(); got != wantB {
+		t.Fatalf("peer b NumFilters = %d, want %d", got, wantB)
+	}
+	if got := h.Index().NumFilters(); got != filters {
+		t.Fatalf("home NumFilters = %d, want %d", got, filters)
+	}
+	matches, _, err := h.PublishEntry(ctx, &model.Document{ID: 42, Terms: []string{"alerts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != filters {
+		t.Fatalf("matches after cutover = %d, want %d", len(matches), filters)
+	}
+}

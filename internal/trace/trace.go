@@ -44,6 +44,9 @@ type Hop struct {
 	// Lost marks a column with no live replica in any row (the publish
 	// degrades rather than failing, §VI.D).
 	Lost bool `json:"lost,omitempty"`
+	// Pending marks a hop taken against a *pending* (not yet committed)
+	// grid during the dual-read window of a two-phase reallocation (§13).
+	Pending bool `json:"pending,omitempty"`
 	// Err records a failed attempt's error (the hop after it, if any, is
 	// the failover that replaced it).
 	Err       string `json:"err,omitempty"`
