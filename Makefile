@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn ci
+.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn soak-delivery bench-delivery ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ bench:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCodecRoundTrip -fuzztime=10s ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/text
+	$(GO) test -run='^$$' -fuzz=FuzzDeliverFrameRoundTrip -fuzztime=10s ./internal/delivery
 
 # Regenerate the checked-in publish-latency baseline (BENCH_publish.json):
 # e2e publish p50/p95/p99 plus single-vs-batch match throughput on the
@@ -59,4 +60,23 @@ soak-churn:
 bench-churn:
 	$(GO) run ./cmd/movebench -fig churn -out BENCH_churn.json -baseline BENCH_churn.json
 
-ci: vet build race fuzz-smoke soak-churn bench-publish bench-alloc bench-churn
+# Chaos soak of the end-to-end delivery tier under the race detector:
+# subscriber connect/disconnect churn, stalled readers triggering the
+# slow-consumer policy, node crash/recover cycles, and reallocation rounds
+# racing live publishes. Every published document's notifications must be
+# fully accounted — received, pending in a bounded queue, policy-dropped,
+# or route-lost — with zero silent losses and zero phantom deliveries.
+soak-delivery:
+	SOAK_DELIVERY_ROUNDS=40 $(GO) test -race -run TestDeliverySoak -timeout 900s -v ./internal/cluster
+
+# Regenerate the checked-in delivery baseline (BENCH_delivery.json):
+# 100k live subscriber sessions on a 20-node cluster, every publish's
+# fan-out verified against a brute-force inverted-index oracle, recording
+# publish->delivery p50/p99 and fan-out amplification. dropped must be 0
+# or the run fails outright; a >10% (+25ms slack) p99 regression against
+# the checked-in baseline fails the target (and CI) before the file is
+# overwritten.
+bench-delivery:
+	$(GO) run ./cmd/movebench -fig delivery -out BENCH_delivery.json -baseline BENCH_delivery.json
+
+ci: vet build race fuzz-smoke soak-churn soak-delivery bench-publish bench-alloc bench-churn bench-delivery

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, all")
+	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, delivery, all")
 	scale := flag.Float64("scale", float64(experiments.DefaultScale), "workload scale relative to the paper (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")
 	filtersTrace := flag.String("filters-trace", "", "trace file of preprocessed filters (one per line) for -fig trace")
@@ -43,6 +43,8 @@ func main() {
 	baseline := flag.String("baseline", "", "prior report of the same figure to guard against (bench: >20% publish p95 regression fails; alloc: >10% allocs/op or B/op regression fails)")
 	benchFilters := flag.Int("bench-filters", 2000, "registered filters for -fig bench and -fig alloc")
 	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench and -fig alloc")
+	benchSubs := flag.Int("bench-subs", 100_000, "simulated concurrent subscribers for -fig delivery")
+	deliveryDocs := flag.Int("delivery-docs", 150, "published documents for -fig delivery")
 	pprofDir := flag.String("pprof", "", "directory to write cpu.pprof and heap.pprof profiles of the run")
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
 		os.Exit(1)
 	}
-	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs)
+	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, *benchSubs, *deliveryDocs)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -61,8 +63,13 @@ func main() {
 	}
 }
 
-func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs int) error {
+func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs, benchSubs, deliveryDocs int) error {
 	switch fig {
+	case "delivery":
+		if out == "" {
+			out = "BENCH_delivery.json"
+		}
+		return runDeliveryFig(out, baseline, nodes, benchSubs, deliveryDocs, seed)
 	case "bench":
 		if out == "" {
 			out = "BENCH_publish.json"

@@ -5,6 +5,7 @@
 //	movectl -peers n0=...,n1=... register -sub alice -query "breaking news"
 //	movectl -peers n0=...,n1=... publish -text "breaking news tonight"
 //	movectl -peers n0=...,n1=... watch -sub alice
+//	movectl subscribe -addr 127.0.0.1:7100 -sub alice   # live session (moved -subscribe.addr)
 //	movectl -peers n0=...,n1=... allocate          # run a §IV allocation round
 //	movectl -peers n0=...,n1=... stats
 package main
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"github.com/movesys/move/internal/alloc"
+	"github.com/movesys/move/internal/delivery"
 	"github.com/movesys/move/internal/model"
 	"github.com/movesys/move/internal/node"
 	"github.com/movesys/move/internal/ring"
@@ -75,7 +77,23 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: movectl -peers ... <register|publish|watch|allocate|stats> [options]")
+		return fmt.Errorf("usage: movectl -peers ... <register|publish|watch|subscribe|allocate|stats> [options]")
+	}
+
+	// subscribe talks the subscriber session protocol directly to one
+	// moved's -subscribe.addr listener; it needs no cluster client.
+	if args[0] == "subscribe" {
+		fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+		addr := fs.String("addr", "", "subscriber session address of the owner node (moved -subscribe.addr)")
+		sub := fs.String("sub", "", "subscriber name")
+		resume := fs.Uint64("resume", 0, "last acknowledged sequence number (resume cursor)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *addr == "" || *sub == "" {
+			return fmt.Errorf("subscribe requires -addr and -sub")
+		}
+		return subscribe(*addr, *sub, *resume)
 	}
 
 	c, err := newClient(*peersFlag)
@@ -220,6 +238,38 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
+// subscribe opens a persistent delivery session and streams matched
+// documents as they are published, acknowledging each batch so the server
+// prunes its redelivery window. On reconnect, pass the last printed seq as
+// -resume to receive exactly the unacknowledged tail.
+func subscribe(addr, sub string, resume uint64) error {
+	cl, err := delivery.Dial(addr, sub, resume)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	h := cl.Hello()
+	fmt.Printf("subscribed %s at %s (ack=%d next=%d redeliver=%d)\n", sub, addr, h.AckSeq, h.NextSeq, h.Redeliver)
+	for {
+		msg, err := cl.Recv()
+		if err != nil {
+			return fmt.Errorf("session closed: %w", err)
+		}
+		if msg.Bye != "" {
+			fmt.Printf("server closed session: %s\n", msg.Bye)
+			return nil
+		}
+		for _, ev := range msg.Events {
+			fmt.Printf("seq=%d doc=%d filters=%v terms=%v\n", ev.Seq, ev.DocID, ev.Filters, ev.Terms)
+		}
+		if len(msg.Events) > 0 {
+			if err := cl.Ack(msg.Events[len(msg.Events)-1].Seq); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // watch fetches a subscriber's queued deliveries from its mailbox node.
 func (c *client) watch(ctx context.Context, sub string, since uint64) error {
 	home, err := c.ring.HomeNode("subscriber/" + sub)
@@ -318,16 +368,27 @@ func (c *client) publish(ctx context.Context, content string, showTrace bool) er
 		printHops(hops)
 	}
 	fmt.Printf("published doc with %d terms to %d home node(s); %d matching filter(s)\n", len(terms), len(homes), len(seen))
+	// Route deliveries to each subscriber's session owner: one
+	// deliver-batch frame per owner node carrying every notification it
+	// hosts. Owners with a live hub (moved -subscribe.addr) push to the
+	// session; others fall back to the mailbox `movectl watch` reads.
+	matches := make([]node.Match, 0, len(seen))
 	for id, sub := range seen {
 		fmt.Printf("  -> %s (%s)\n", sub, id)
-		// Queue the delivery in the subscriber's mailbox so `movectl
-		// watch -sub <name>` picks it up.
-		home, err := c.ring.HomeNode("subscriber/" + sub)
+		matches = append(matches, node.Match{Filter: id, Subscriber: sub})
+	}
+	byOwner := make(map[ring.NodeID][]delivery.Notification)
+	for _, nt := range node.GroupMatchesBySub(matches) {
+		owner, err := c.ring.HomeNode("subscriber/" + nt.Sub)
 		if err != nil {
 			return err
 		}
-		if _, err := c.tn.Send(ctx, home, node.EncodeDeliver(sub, doc.ID, id, doc.Terms)); err != nil {
-			return fmt.Errorf("deliver to mailbox of %s: %w", sub, err)
+		byOwner[owner] = append(byOwner[owner], nt)
+	}
+	for owner, notifs := range byOwner {
+		payload := node.EncodeDeliverBatch(&delivery.Batch{DocID: doc.ID, Terms: doc.Terms, Notifs: notifs})
+		if _, err := c.tn.Send(ctx, owner, payload); err != nil {
+			return fmt.Errorf("deliver batch to %s: %w", owner, err)
 		}
 	}
 	return nil

@@ -15,12 +15,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/movesys/move/internal/debugserver"
+	"github.com/movesys/move/internal/delivery"
 	"github.com/movesys/move/internal/gossip"
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/node"
@@ -45,6 +47,11 @@ func run() error {
 	dir := flag.String("dir", "", "data directory ('' = in-memory)")
 	gossipEvery := flag.Duration("gossip", time.Second, "gossip interval")
 	debugAddr := flag.String("debug.addr", "", "debug HTTP listen address serving /metrics, /trace/last, /healthz and /debug/pprof ('' = disabled)")
+
+	subAddr := flag.String("subscribe.addr", "", "subscriber session listen address host:port ('' = mailbox-only delivery)")
+	subPolicy := flag.String("subscribe.policy", "drop-oldest", "slow-consumer policy: drop-oldest, coalesce-by-doc, disconnect")
+	subQueue := flag.Int("subscribe.queue", 256, "per-subscriber delivery queue bound")
+	subHeartbeat := flag.Duration("subscribe.heartbeat", 5*time.Second, "subscriber session ping interval (idle timeout is 4x)")
 
 	retryAttempts := flag.Int("retry-attempts", 3, "max RPC attempts per destination (1 disables retries)")
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per attempt, full jitter)")
@@ -102,20 +109,51 @@ func run() error {
 		Retryable:        transport.IsAvailabilityError,
 	}, reg)
 
+	// The delivery tier: a session hub for subscribers whose home node is
+	// this one, fed by deliver-batch RPCs from publishing entry nodes.
+	var hub *delivery.Hub
+	if *subAddr != "" {
+		policy, err := delivery.ParsePolicy(*subPolicy)
+		if err != nil {
+			return err
+		}
+		hub = delivery.NewHub(delivery.Config{
+			QueueCap:       *subQueue,
+			Policy:         policy,
+			HeartbeatEvery: *subHeartbeat,
+			Metrics:        reg,
+		})
+		defer hub.Stop()
+	}
+
 	var g *gossip.Gossiper
 	nd, err := node.New(node.Config{
-		ID:         ring.NodeID(*id),
-		Rack:       *rack,
-		Ring:       r,
-		Store:      st,
-		Resilience: exec,
-		Metrics:    reg,
+		ID:              ring.NodeID(*id),
+		Rack:            *rack,
+		Ring:            r,
+		Store:           st,
+		Resilience:      exec,
+		Metrics:         reg,
+		Delivery:        hub,
+		RouteDeliveries: *subAddr != "",
 		Gossip: func(from ring.NodeID, digest []byte) ([]byte, error) {
 			return g.Handle(from, digest)
 		},
 	})
 	if err != nil {
 		return err
+	}
+
+	if hub != nil {
+		ln, err := net.Listen("tcp", *subAddr)
+		if err != nil {
+			return err
+		}
+		subSrv := delivery.Serve(ln, hub, 5*time.Second)
+		defer func() {
+			_ = subSrv.Close()
+		}()
+		fmt.Printf("moved: subscriber sessions on %s (policy=%s queue=%d)\n", subSrv.Addr(), *subPolicy, *subQueue)
 	}
 
 	tn, err := transport.NewTCP(ring.NodeID(*id), *listen, nd.Handle, transport.StaticResolver(peers))
@@ -156,6 +194,10 @@ func run() error {
 				}
 				if pending != 0 {
 					h["pending_epoch"] = pending
+				}
+				if hub != nil {
+					h["delivery_sessions"] = hub.SessionCount()
+					h["delivery_pending"] = hub.Pending()
 				}
 				if g != nil {
 					h["members_alive"] = len(g.Members())

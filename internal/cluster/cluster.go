@@ -26,6 +26,7 @@ import (
 
 	"github.com/movesys/move/internal/alloc"
 	"github.com/movesys/move/internal/bloom"
+	"github.com/movesys/move/internal/delivery"
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
 	"github.com/movesys/move/internal/node"
@@ -95,6 +96,14 @@ type Config struct {
 	Seed int64
 	// OnDeliver, if set, receives every (document, matches) delivery.
 	OnDeliver func(doc *model.Document, matches []node.Match)
+	// Delivery, when set, enables the subscriber delivery tier (§14): every
+	// node gets a session hub built from this config (sharing the cluster
+	// registry), and entry nodes route each match set to the subscribers'
+	// session owners via msgDeliverBatch.
+	Delivery *delivery.Config
+	// OnDeliveryLoss, if set, is invoked when routed notifications could
+	// not reach a session owner — the delivery-loss accounting hook.
+	OnDeliveryLoss func(docID uint64, subs []string)
 	// ControlTimeout bounds coordinator control RPCs (stats pulls,
 	// allocation commands). Default 30s.
 	ControlTimeout time.Duration
@@ -126,6 +135,7 @@ type Cluster struct {
 	rng  *rand.Rand
 
 	nodes    map[ring.NodeID]*node.Node
+	hubs     map[ring.NodeID]*delivery.Hub
 	nodeIDs  []ring.NodeID // stable order
 	rackOf   map[ring.NodeID]string
 	alive    map[ring.NodeID]bool
@@ -263,6 +273,7 @@ func New(cfg Config) (*Cluster, error) {
 		ring:               ring.New(ring.Config{}),
 		rng:                rand.New(rand.NewSource(seed)),
 		nodes:              make(map[ring.NodeID]*node.Node, cfg.Nodes),
+		hubs:               make(map[ring.NodeID]*delivery.Hub),
 		rackOf:             make(map[ring.NodeID]string, cfg.Nodes),
 		alive:              make(map[ring.NodeID]bool, cfg.Nodes),
 		pCounter:           stats.NewTermCounter(),
@@ -299,15 +310,25 @@ func New(cfg Config) (*Cluster, error) {
 		pol.Seed = seed + int64(i) + 1
 		ex := resilience.New(pol, reg)
 		c.executors = append(c.executors, ex)
+		var hub *delivery.Hub
+		if cfg.Delivery != nil {
+			dcfg := *cfg.Delivery
+			dcfg.Metrics = reg
+			hub = delivery.NewHub(dcfg)
+			c.hubs[id] = hub
+		}
 		nd, err := node.New(node.Config{
-			ID:         id,
-			Rack:       rack,
-			Ring:       c.ring,
-			Seed:       seed + int64(i) + 1,
-			OnDeliver:  cfg.OnDeliver,
-			OnTransfer: c.recordTransfer,
-			Resilience: ex,
-			Metrics:    reg,
+			ID:              id,
+			Rack:            rack,
+			Ring:            c.ring,
+			Seed:            seed + int64(i) + 1,
+			OnDeliver:       cfg.OnDeliver,
+			Delivery:        hub,
+			RouteDeliveries: cfg.Delivery != nil,
+			OnDeliveryLoss:  cfg.OnDeliveryLoss,
+			OnTransfer:      c.recordTransfer,
+			Resilience:      ex,
+			Metrics:         reg,
 		})
 		if err != nil {
 			return nil, err
@@ -348,6 +369,33 @@ func clusterPolicy() resilience.Policy {
 // Metrics exposes the cluster's resilience counters (rpc.retries,
 // rpc.giveups, breaker.open, publish.failover, publish.degraded, ...).
 func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// DeliveryHub returns the session hub on one node (nil when the delivery
+// tier is disabled).
+func (c *Cluster) DeliveryHub(id ring.NodeID) *delivery.Hub { return c.hubs[id] }
+
+// EachDeliveryHub calls fn with every node's session hub, in node order.
+func (c *Cluster) EachDeliveryHub(fn func(id ring.NodeID, h *delivery.Hub)) {
+	for _, id := range c.nodeIDs {
+		if h := c.hubs[id]; h != nil {
+			fn(id, h)
+		}
+	}
+}
+
+// SubscriberOwner returns the node whose hub owns a subscriber's session
+// (the home node of "subscriber/<name>").
+func (c *Cluster) SubscriberOwner(sub string) (ring.NodeID, error) {
+	return c.ring.HomeNode("subscriber/" + sub)
+}
+
+// Close stops the delivery hubs (worker pools, janitors, attached
+// connections). The in-memory transport itself needs no teardown.
+func (c *Cluster) Close() {
+	for _, h := range c.hubs {
+		h.Stop()
+	}
+}
 
 // Scheme returns the configured scheme.
 func (c *Cluster) Scheme() Scheme { return c.cfg.Scheme }
@@ -519,6 +567,10 @@ func (c *Cluster) Unregister(ctx context.Context, id model.FilterID) error {
 
 // PublishResult reports one document's dissemination outcome.
 type PublishResult struct {
+	// DocID is the coordinator-assigned document ID — the key delivery
+	// events carry, so subscribers (and the oracle suite) can correlate
+	// what they received with what was published.
+	DocID uint64
 	// Matches are the deduplicated (filter, subscriber) hits.
 	Matches []node.Match
 	// Complete is true when every match request succeeded — the paper's
@@ -557,6 +609,7 @@ func (c *Cluster) Publish(ctx context.Context, terms []string) (PublishResult, e
 	ctx = trace.With(ctx, sp)
 	res, err := c.publish(ctx, &doc)
 	sp.Finish()
+	res.DocID = doc.ID
 	res.Trace = sp.Summary()
 	return res, err
 }

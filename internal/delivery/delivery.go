@@ -1,0 +1,918 @@
+// Package delivery implements the end-to-end subscriber delivery tier: the
+// last mile from a deduplicated match set to the subscribers that asked for
+// it. Each subscriber has one Session — a bounded queue of matched-document
+// notifications, a per-session monotonic sequence numbering, and a bounded
+// replay window of sent-but-unacked events — owned by the Hub on the home
+// node of "subscriber/<name>". Sessions survive disconnects: a reconnect
+// resumes at the first unacked sequence number and the window is redelivered
+// (at-least-once). When a consumer cannot keep up, a configurable
+// slow-consumer policy (drop-oldest, coalesce-by-doc, disconnect) decides
+// what the bounded queue sheds, and every shed event is counted and reported
+// so delivery loss is always accounted for, never silent.
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/model"
+)
+
+// Policy selects what a subscriber's bounded delivery queue sheds when it
+// overflows (slow-consumer handling, DESIGN.md §14).
+type Policy int
+
+const (
+	// DropOldest evicts the oldest queued (not-yet-sent) event to admit the
+	// new one. Sent-but-unacked events are never evicted by this policy.
+	DropOldest Policy = iota
+	// CoalesceByDoc merges notifications for the same document into one
+	// queued event (filter-ID union) at enqueue time — one notification per
+	// document per subscriber. On overflow with no same-document event to
+	// merge into, it falls back to DropOldest.
+	CoalesceByDoc
+	// Disconnect terminates the session on overflow: the connection is told
+	// why and closed, every queued and unacked event is dropped (and
+	// accounted), and further notifications are dropped until the
+	// subscriber reconnects.
+	Disconnect
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case CoalesceByDoc:
+		return "coalesce-by-doc"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a flag spelling ("drop-oldest", "coalesce-by-doc",
+// "disconnect").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "drop-oldest":
+		return DropOldest, nil
+	case "coalesce-by-doc":
+		return CoalesceByDoc, nil
+	case "disconnect":
+		return Disconnect, nil
+	default:
+		return 0, fmt.Errorf("delivery: unknown policy %q", s)
+	}
+}
+
+// State is a session's lifecycle state.
+type State int
+
+const (
+	// StateDetached: no connection; the queue accumulates for a reconnect.
+	StateDetached State = iota
+	// StateAttached: connection live, events flowing.
+	StateAttached
+	// StateStalled: connection live but writes are timing out; the janitor
+	// retries the flush on its next sweep while the queue absorbs (and the
+	// policy sheds) the backlog.
+	StateStalled
+	// StateClosed: terminated by the Disconnect policy. Notifications are
+	// dropped (and counted) until the subscriber reconnects.
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateDetached:
+		return "detached"
+	case StateAttached:
+		return "attached"
+	case StateStalled:
+		return "stalled"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Drop reasons passed to Config.OnDrop.
+const (
+	// DropReasonOldest: evicted from a full queue by DropOldest (or the
+	// CoalesceByDoc fallback).
+	DropReasonOldest = "drop-oldest"
+	// DropReasonDisconnect: shed when the Disconnect policy killed the
+	// session (queued and unacked events alike).
+	DropReasonDisconnect = "disconnect"
+	// DropReasonClosed: arrived while the session was policy-closed.
+	DropReasonClosed = "closed"
+)
+
+// ErrStalled marks a connection write that timed out but left the stream
+// usable, so the session parks in StateStalled and the janitor retries.
+// Transports whose stream a timed-out write corrupts (TCP: a partial frame
+// may be on the wire) must return a different error so the session detaches
+// instead.
+var ErrStalled = errors.New("delivery: consumer stalled")
+
+// Event is one matched-document notification bound for a subscriber. Seq is
+// zero while queued and assigned from the session's monotonic counter when
+// the event is first sent.
+type Event struct {
+	Seq     uint64
+	DocID   uint64
+	Filters []model.FilterID
+	Terms   []string
+
+	enqueuedAt time.Time
+	sentAt     time.Time
+}
+
+// HelloInfo is what the server tells a subscriber on attach: where the
+// cumulative ack cursor landed after applying the client's resume ack, the
+// next fresh sequence number, and how many unacked events are about to be
+// redelivered.
+type HelloInfo struct {
+	AckSeq    uint64
+	NextSeq   uint64
+	Redeliver int
+}
+
+// Conn is the server-side sink of one subscriber connection. Implementations
+// must be safe for concurrent use (the flush workers and the janitor both
+// write). SendEvents may return ErrStalled (wrapped) to signal a retryable
+// write timeout; any other error detaches the session.
+type Conn interface {
+	SendHello(info HelloInfo) error
+	SendEvents(evs []*Event) error
+	SendPing() error
+	SendBye(reason string) error
+	Close() error
+}
+
+// Config parameterizes a Hub.
+type Config struct {
+	// QueueCap bounds each session's not-yet-sent queue; overflow invokes
+	// Policy. Default 256.
+	QueueCap int
+	// Policy is the slow-consumer policy. Default DropOldest.
+	Policy Policy
+	// WindowCap bounds the sent-but-unacked replay window. A full window
+	// pauses sending (flow control), letting the queue absorb the backlog
+	// until the policy sheds it. Default 1024.
+	WindowCap int
+	// FlushBatch caps events per SendEvents call. Default 64.
+	FlushBatch int
+	// Workers is the flush worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// HeartbeatEvery is the janitor cadence: pings are sent and idle/stall
+	// checks run every interval. Zero disables the janitor (tests drive
+	// Sweep directly).
+	HeartbeatEvery time.Duration
+	// IdleTimeout detaches a connection with no inbound activity (hello,
+	// ack, pong) for this long. Default 4x HeartbeatEvery.
+	IdleTimeout time.Duration
+	// Metrics receives the delivery.* counters and histograms; nil creates
+	// a private registry.
+	Metrics *metrics.Registry
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+	// OnDrop, if set, is invoked for every event shed by a policy — the
+	// accounting hook the oracle-equivalence suite uses to prove no loss is
+	// silent.
+	OnDrop func(sub string, docID uint64, reason string)
+}
+
+// Hub owns every subscriber session on one node: it enqueues notifications,
+// schedules flushes over a fixed worker pool (no per-session goroutines, so
+// 100k+ concurrent sessions stay cheap), and sweeps heartbeats and idle
+// timeouts.
+type Hub struct {
+	cfg Config
+	reg *metrics.Registry
+	now func() time.Time
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	readyMu   sync.Mutex
+	ready     []*Session
+	readyCond *sync.Cond
+	stopped   bool
+
+	wg          sync.WaitGroup
+	stopJanitor chan struct{}
+
+	sessionsG    *metrics.Counter
+	attachedG    *metrics.Counter
+	enqueuedC    *metrics.Counter
+	deliveredC   *metrics.Counter
+	redeliveredC *metrics.Counter
+	ackedC       *metrics.Counter
+	dropOldestC  *metrics.Counter
+	dropDisconnC *metrics.Counter
+	coalescedC   *metrics.Counter
+	idleKicksC   *metrics.Counter
+	replacedC    *metrics.Counter
+	hQueueDepth  *metrics.Histogram
+	hAckLatency  *metrics.Histogram
+	hFlushBatch  *metrics.Histogram
+}
+
+// NewHub builds and starts a hub: Workers flush goroutines plus, when
+// HeartbeatEvery > 0, one janitor goroutine.
+func NewHub(cfg Config) *Hub {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.WindowCap <= 0 {
+		cfg.WindowCap = 1024
+	}
+	if cfg.FlushBatch <= 0 {
+		cfg.FlushBatch = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.IdleTimeout <= 0 && cfg.HeartbeatEvery > 0 {
+		cfg.IdleTimeout = 4 * cfg.HeartbeatEvery
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	h := &Hub{
+		cfg:          cfg,
+		reg:          reg,
+		now:          now,
+		sessions:     make(map[string]*Session),
+		stopJanitor:  make(chan struct{}),
+		sessionsG:    reg.Counter("delivery.sessions"),
+		attachedG:    reg.Counter("delivery.attached"),
+		enqueuedC:    reg.Counter("delivery.enqueued"),
+		deliveredC:   reg.Counter("delivery.delivered"),
+		redeliveredC: reg.Counter("delivery.redelivered"),
+		ackedC:       reg.Counter("delivery.acked"),
+		dropOldestC:  reg.Counter("delivery.drops.oldest"),
+		dropDisconnC: reg.Counter("delivery.drops.disconnect"),
+		coalescedC:   reg.Counter("delivery.coalesced"),
+		idleKicksC:   reg.Counter("delivery.kicks.idle"),
+		replacedC:    reg.Counter("delivery.kicks.replaced"),
+		hQueueDepth:  reg.Histogram("delivery.queue.depth"),
+		hAckLatency:  reg.Histogram("delivery.ack.latency"),
+		hFlushBatch:  reg.Histogram("delivery.flush.batch"),
+	}
+	h.readyCond = sync.NewCond(&h.readyMu)
+	for i := 0; i < cfg.Workers; i++ {
+		h.wg.Add(1)
+		go h.worker()
+	}
+	if cfg.HeartbeatEvery > 0 {
+		h.wg.Add(1)
+		go h.janitor()
+	}
+	return h
+}
+
+// Metrics exposes the hub's registry.
+func (h *Hub) Metrics() *metrics.Registry { return h.reg }
+
+// Policy returns the configured slow-consumer policy.
+func (h *Hub) Policy() Policy { return h.cfg.Policy }
+
+// Stop terminates the workers and janitor and closes every attached
+// connection. Queued events are retained in memory until the hub is
+// garbage-collected; Stop is a process-shutdown path, not a flush barrier.
+func (h *Hub) Stop() {
+	h.readyMu.Lock()
+	if h.stopped {
+		h.readyMu.Unlock()
+		return
+	}
+	h.stopped = true
+	h.readyCond.Broadcast()
+	h.readyMu.Unlock()
+	close(h.stopJanitor)
+
+	h.mu.RLock()
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.RUnlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		conn := s.detachLocked()
+		s.mu.Unlock()
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}
+	h.wg.Wait()
+}
+
+// session returns the subscriber's session, creating a detached one on first
+// reference — notifications routed here before the subscriber ever connects
+// queue up for its first attach.
+func (h *Hub) session(sub string) *Session {
+	h.mu.RLock()
+	s := h.sessions[sub]
+	h.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s = h.sessions[sub]; s != nil {
+		return s
+	}
+	s = &Session{hub: h, sub: sub}
+	if h.cfg.Policy == CoalesceByDoc {
+		s.byDoc = make(map[uint64]*Event)
+	}
+	h.sessions[sub] = s
+	// Add, not Set: several hubs may share one registry (one per cluster
+	// node), and the counter is the cluster-wide session total.
+	h.sessionsG.Add(1)
+	return s
+}
+
+// Session returns the subscriber's session if one exists.
+func (h *Hub) Session(sub string) (*Session, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.sessions[sub]
+	return s, ok
+}
+
+// Deliver enqueues one notification for a subscriber: the document matched
+// at least one of the subscriber's filters. Terms may alias the decoded wire
+// payload — events never mutate it.
+func (h *Hub) Deliver(sub string, docID uint64, filters []model.FilterID, terms []string) {
+	h.session(sub).enqueue(docID, filters, terms)
+}
+
+// Ack applies a cumulative ack for a subscriber (in-process sinks that have
+// no read loop of their own).
+func (h *Hub) Ack(sub string, seq uint64) {
+	if s, ok := h.Session(sub); ok {
+		s.Ack(seq)
+	}
+}
+
+// Attach binds a connection to the subscriber's session, applies the
+// client's resume ack, sends the hello response on the connection, stages
+// every still-unacked event for redelivery, and starts flushing. An existing
+// connection is replaced (told "replaced" and closed) — last writer wins,
+// the standard relay takeover rule.
+func (h *Hub) Attach(sub string, conn Conn, resumeAck uint64) (*Session, HelloInfo, error) {
+	s := h.session(sub)
+	s.mu.Lock()
+	old := s.detachLocked()
+	if s.state == StateClosed {
+		// A reconnect revives a policy-closed session; the dropped range is
+		// visible to the client as the gap between its resume ack and
+		// HelloInfo.NextSeq.
+		s.state = StateDetached
+	}
+	s.ackLocked(resumeAck)
+	s.resend = append(s.resend[:0], s.window...)
+	s.conn = conn
+	s.state = StateAttached
+	s.touchLocked()
+	s.lastPing = s.hub.now()
+	info := HelloInfo{AckSeq: s.ackSeq, NextSeq: s.sendSeq + 1, Redeliver: len(s.resend)}
+	s.mu.Unlock()
+	h.attachedG.Add(1)
+
+	if old != nil {
+		_ = old.SendBye("replaced")
+		_ = old.Close()
+		h.replacedC.Inc()
+	}
+	if err := conn.SendHello(info); err != nil {
+		s.mu.Lock()
+		if s.conn == conn {
+			_ = s.detachLocked()
+		}
+		s.mu.Unlock()
+		return nil, HelloInfo{}, fmt.Errorf("delivery: hello to %q: %w", sub, err)
+	}
+	h.schedule(s)
+	return s, info, nil
+}
+
+// schedule marks a session ready to flush. The scheduled flag keeps at most
+// one ready-queue entry per session; it is cleared by the worker before the
+// flush, so an enqueue racing a flush re-schedules rather than getting lost.
+func (h *Hub) schedule(s *Session) {
+	if !s.scheduled.CompareAndSwap(false, true) {
+		return
+	}
+	h.readyMu.Lock()
+	if h.stopped {
+		h.readyMu.Unlock()
+		s.scheduled.Store(false)
+		return
+	}
+	h.ready = append(h.ready, s)
+	h.readyCond.Signal()
+	h.readyMu.Unlock()
+}
+
+func (h *Hub) worker() {
+	defer h.wg.Done()
+	for {
+		h.readyMu.Lock()
+		for len(h.ready) == 0 && !h.stopped {
+			h.readyCond.Wait()
+		}
+		if len(h.ready) == 0 {
+			h.readyMu.Unlock()
+			return
+		}
+		s := h.ready[0]
+		h.ready = h.ready[1:]
+		h.readyMu.Unlock()
+		s.scheduled.Store(false)
+		s.flush()
+	}
+}
+
+func (h *Hub) janitor() {
+	defer h.wg.Done()
+	t := time.NewTicker(h.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stopJanitor:
+			return
+		case <-t.C:
+			h.Sweep()
+		}
+	}
+}
+
+// Sweep runs one janitor pass: idle connections are kicked (detached with a
+// bye — the queue survives for a reconnect), stalled sessions get a flush
+// retry, and live connections quiet for a heartbeat interval are pinged.
+// Exported so tests (and hubs with no janitor goroutine) can drive it.
+func (h *Hub) Sweep() {
+	now := h.now()
+	h.mu.RLock()
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.RUnlock()
+	for _, s := range sessions {
+		var kicked, ping Conn
+		s.mu.Lock()
+		switch s.state {
+		case StateAttached, StateStalled:
+			if h.cfg.IdleTimeout > 0 && now.Sub(s.lastActivity) > h.cfg.IdleTimeout {
+				kicked = s.detachLocked()
+				break
+			}
+			if s.state == StateStalled {
+				s.state = StateAttached
+			}
+			if h.cfg.HeartbeatEvery > 0 && now.Sub(s.lastPing) >= h.cfg.HeartbeatEvery {
+				s.lastPing = now
+				ping = s.conn
+			}
+		}
+		retry := s.state == StateAttached && s.flushableLocked()
+		s.mu.Unlock()
+		if kicked != nil {
+			h.idleKicksC.Inc()
+			_ = kicked.SendBye("idle-timeout")
+			_ = kicked.Close()
+			continue
+		}
+		if ping != nil {
+			if err := ping.SendPing(); err != nil {
+				s.mu.Lock()
+				if s.conn == ping {
+					_ = s.detachLocked()
+				}
+				s.mu.Unlock()
+				_ = ping.Close()
+				continue
+			}
+		}
+		if retry {
+			h.schedule(s)
+		}
+	}
+}
+
+// SessionSnapshot is a point-in-time view of one session, for tests,
+// /healthz, and the oracle accounting suite (QueuedDocs and WindowDocs are
+// the "pending in bounded queues" side of the delivery-equivalence union).
+type SessionSnapshot struct {
+	Sub     string
+	State   State
+	AckSeq  uint64
+	SendSeq uint64
+	Queued  int
+	Window  int
+	// QueuedDocs lists the DocID of every not-yet-sent event, oldest first.
+	QueuedDocs []uint64
+	// WindowDocs lists the DocID of every sent-but-unacked event, in
+	// sequence order.
+	WindowDocs []uint64
+}
+
+// Snapshot returns a session's snapshot.
+func (h *Hub) Snapshot(sub string) (SessionSnapshot, bool) {
+	s, ok := h.Session(sub)
+	if !ok {
+		return SessionSnapshot{}, false
+	}
+	return s.snapshot(), true
+}
+
+// Each calls fn with a snapshot of every session.
+func (h *Hub) Each(fn func(SessionSnapshot)) {
+	h.mu.RLock()
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.RUnlock()
+	for _, s := range sessions {
+		fn(s.snapshot())
+	}
+}
+
+// SessionCount returns the number of sessions (attached or not).
+func (h *Hub) SessionCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.sessions)
+}
+
+// Pending returns the total number of queued plus unacked events across all
+// sessions — the drain gauge /healthz exposes.
+func (h *Hub) Pending() int {
+	total := 0
+	h.Each(func(ss SessionSnapshot) { total += ss.Queued + ss.Window })
+	return total
+}
+
+// Session is one subscriber's delivery state. All fields are guarded by mu;
+// flushMu serializes flushes so events reach the connection in sequence
+// order even when two workers pick the session up back-to-back.
+type Session struct {
+	hub *Hub
+	sub string
+
+	flushMu sync.Mutex
+
+	mu    sync.Mutex
+	state State
+	conn  Conn
+	// queue holds not-yet-sent events (no Seq). byDoc indexes it by DocID
+	// under CoalesceByDoc.
+	queue []*Event
+	byDoc map[uint64]*Event
+	// window holds sent-but-unacked events in Seq order; resend stages the
+	// window slice scheduled for redelivery after an attach.
+	window []*Event
+	resend []*Event
+	// sendSeq is the last assigned sequence number; ackSeq the cumulative
+	// ack cursor (everything <= ackSeq is acknowledged).
+	sendSeq uint64
+	ackSeq  uint64
+
+	lastActivity time.Time
+	lastPing     time.Time
+
+	scheduled atomic.Bool
+}
+
+// Sub returns the subscriber name.
+func (s *Session) Sub() string { return s.sub }
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// touchLocked records inbound activity (requires mu).
+func (s *Session) touchLocked() { s.lastActivity = s.hub.now() }
+
+// Touch records inbound activity (pong frames, protocol no-ops).
+func (s *Session) Touch() {
+	s.mu.Lock()
+	s.touchLocked()
+	s.mu.Unlock()
+}
+
+// detachLocked unbinds the current connection (requires mu) and returns it
+// for the caller to close outside the lock. Closed sessions stay closed.
+func (s *Session) detachLocked() Conn {
+	conn := s.conn
+	if conn == nil {
+		return nil
+	}
+	s.conn = nil
+	s.resend = nil
+	if s.state != StateClosed {
+		s.state = StateDetached
+	}
+	s.hub.attachedG.Add(-1)
+	return conn
+}
+
+// Detach unbinds conn if it is still the session's current connection (the
+// server's read loop calls this when the socket dies). The caller owns
+// closing conn.
+func (s *Session) Detach(conn Conn) {
+	s.mu.Lock()
+	if s.conn == conn {
+		_ = s.detachLocked()
+	}
+	s.mu.Unlock()
+}
+
+// enqueue admits one notification, applying the slow-consumer policy on
+// overflow.
+func (s *Session) enqueue(docID uint64, filters []model.FilterID, terms []string) {
+	h := s.hub
+	var dropped []*Event
+	var killed Conn
+	reason := ""
+
+	s.mu.Lock()
+	if s.state == StateClosed {
+		s.mu.Unlock()
+		h.dropDisconnC.Inc()
+		if h.cfg.OnDrop != nil {
+			h.cfg.OnDrop(s.sub, docID, DropReasonClosed)
+		}
+		return
+	}
+	if s.byDoc != nil {
+		if ev, ok := s.byDoc[docID]; ok {
+			ev.Filters = mergeFilterIDs(ev.Filters, filters)
+			s.mu.Unlock()
+			h.coalescedC.Inc()
+			return
+		}
+	}
+	if len(s.queue) >= h.cfg.QueueCap {
+		switch h.cfg.Policy {
+		case Disconnect:
+			killed = s.detachLocked()
+			dropped = s.shedAllLocked()
+			s.state = StateClosed
+			reason = DropReasonDisconnect
+			s.mu.Unlock()
+			h.dropDisconnC.Add(int64(len(dropped) + 1))
+			if h.cfg.OnDrop != nil {
+				for _, ev := range dropped {
+					h.cfg.OnDrop(s.sub, ev.DocID, DropReasonDisconnect)
+				}
+				h.cfg.OnDrop(s.sub, docID, DropReasonDisconnect)
+			}
+			if killed != nil {
+				_ = killed.SendBye("slow-consumer: " + reason)
+				_ = killed.Close()
+			}
+			return
+		default: // DropOldest, and the CoalesceByDoc fallback
+			old := s.queue[0]
+			s.queue = s.queue[1:]
+			if s.byDoc != nil {
+				delete(s.byDoc, old.DocID)
+			}
+			dropped = append(dropped, old)
+			reason = DropReasonOldest
+		}
+	}
+	ev := &Event{
+		DocID:      docID,
+		Filters:    append([]model.FilterID(nil), filters...),
+		Terms:      terms,
+		enqueuedAt: h.now(),
+	}
+	s.queue = append(s.queue, ev)
+	if s.byDoc != nil {
+		s.byDoc[docID] = ev
+	}
+	depth := len(s.queue)
+	ready := s.state == StateAttached
+	s.mu.Unlock()
+
+	h.enqueuedC.Inc()
+	h.hQueueDepth.Observe(time.Duration(depth))
+	if len(dropped) > 0 {
+		h.dropOldestC.Add(int64(len(dropped)))
+		if h.cfg.OnDrop != nil {
+			for _, d := range dropped {
+				h.cfg.OnDrop(s.sub, d.DocID, reason)
+			}
+		}
+	}
+	if ready {
+		h.schedule(s)
+	}
+}
+
+// shedAllLocked empties the queue and window (requires mu) and returns the
+// shed events: the queue plus the unacked window. Resend entries alias
+// window entries, so the window alone covers them.
+func (s *Session) shedAllLocked() []*Event {
+	shed := make([]*Event, 0, len(s.queue)+len(s.window))
+	shed = append(shed, s.queue...)
+	shed = append(shed, s.window...)
+	s.queue, s.window, s.resend = nil, nil, nil
+	if s.byDoc != nil {
+		clear(s.byDoc)
+	}
+	return shed
+}
+
+// flushableLocked reports whether a flush would send anything (requires mu).
+func (s *Session) flushableLocked() bool {
+	if len(s.resend) > 0 {
+		return true
+	}
+	return len(s.queue) > 0 && len(s.window) < s.hub.cfg.WindowCap
+}
+
+// flush drains the session to its connection: staged redeliveries first,
+// then fresh queue events (assigned their sequence numbers here, at send
+// time, so coalesce merges never leave gaps). Stops when the window is full,
+// the queue is empty, the connection fails, or the session detaches.
+func (s *Session) flush() {
+	h := s.hub
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for {
+		s.mu.Lock()
+		if s.state != StateAttached || s.conn == nil {
+			s.mu.Unlock()
+			return
+		}
+		batch := make([]*Event, 0, h.cfg.FlushBatch)
+		for len(s.resend) > 0 && len(batch) < h.cfg.FlushBatch {
+			batch = append(batch, s.resend[0])
+			s.resend = s.resend[1:]
+		}
+		resent := len(batch)
+		for len(s.queue) > 0 && len(s.window) < h.cfg.WindowCap && len(batch) < h.cfg.FlushBatch {
+			ev := s.queue[0]
+			s.queue = s.queue[1:]
+			if s.byDoc != nil {
+				delete(s.byDoc, ev.DocID)
+			}
+			s.sendSeq++
+			ev.Seq = s.sendSeq
+			s.window = append(s.window, ev)
+			batch = append(batch, ev)
+		}
+		if len(batch) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		conn := s.conn
+		now := h.now()
+		for _, ev := range batch {
+			ev.sentAt = now
+		}
+		s.mu.Unlock()
+
+		err := conn.SendEvents(batch)
+		if err == nil {
+			h.deliveredC.Add(int64(len(batch) - resent))
+			h.redeliveredC.Add(int64(resent))
+			h.hFlushBatch.Observe(time.Duration(len(batch)))
+			continue
+		}
+		s.mu.Lock()
+		if s.conn == conn {
+			if errors.Is(err, ErrStalled) {
+				// The stream survived the timeout: park and let the janitor
+				// retry. The sent-side staging is already undone — batch
+				// events live in the window and will be re-staged on the
+				// next attach or resent by the retry.
+				s.state = StateStalled
+				s.resend = append(batch, s.resend...)
+			} else {
+				conn = s.detachLocked()
+				s.mu.Unlock()
+				if conn != nil {
+					_ = conn.Close()
+				}
+				return
+			}
+		}
+		s.mu.Unlock()
+		return
+	}
+}
+
+// Ack applies a cumulative acknowledgement: every event with Seq <= seq is
+// confirmed delivered, pruned from the replay window, and its send→ack
+// latency recorded. Acks beyond the last sent sequence clamp.
+func (s *Session) Ack(seq uint64) {
+	h := s.hub
+	s.mu.Lock()
+	s.touchLocked()
+	acked, canFlush := s.ackLocked(seq)
+	s.mu.Unlock()
+	if acked > 0 {
+		h.ackedC.Add(int64(acked))
+	}
+	if canFlush {
+		h.schedule(s)
+	}
+}
+
+// ackLocked advances the cumulative ack cursor (requires mu). Returns how
+// many window events were confirmed and whether the freed window space makes
+// the session flushable again.
+func (s *Session) ackLocked(seq uint64) (acked int, canFlush bool) {
+	if seq > s.sendSeq {
+		seq = s.sendSeq
+	}
+	if seq <= s.ackSeq {
+		return 0, false
+	}
+	s.ackSeq = seq
+	now := s.hub.now()
+	i := 0
+	for i < len(s.window) && s.window[i].Seq <= seq {
+		s.hub.hAckLatency.Observe(now.Sub(s.window[i].sentAt))
+		i++
+	}
+	s.window = s.window[i:]
+	j := 0
+	for j < len(s.resend) && s.resend[j].Seq <= seq {
+		j++
+	}
+	s.resend = s.resend[j:]
+	return i, s.state == StateAttached && s.flushableLocked()
+}
+
+// snapshot captures the session state for tests and accounting.
+func (s *Session) snapshot() SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := SessionSnapshot{
+		Sub:     s.sub,
+		State:   s.state,
+		AckSeq:  s.ackSeq,
+		SendSeq: s.sendSeq,
+		Queued:  len(s.queue),
+		Window:  len(s.window),
+	}
+	if len(s.queue) > 0 {
+		ss.QueuedDocs = make([]uint64, len(s.queue))
+		for i, ev := range s.queue {
+			ss.QueuedDocs[i] = ev.DocID
+		}
+	}
+	if len(s.window) > 0 {
+		ss.WindowDocs = make([]uint64, len(s.window))
+		for i, ev := range s.window {
+			ss.WindowDocs[i] = ev.DocID
+		}
+	}
+	return ss
+}
+
+// mergeFilterIDs unions add into dst, preserving dst's order.
+func mergeFilterIDs(dst, add []model.FilterID) []model.FilterID {
+	for _, id := range add {
+		dup := false
+		for _, have := range dst {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

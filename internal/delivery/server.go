@@ -1,0 +1,212 @@
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/movesys/move/internal/codec"
+)
+
+// Server accepts subscriber TCP connections and binds them to hub sessions.
+// The protocol is length-prefixed codec frames: the client opens with a
+// hello (subscriber name + resume ack), the server replies hello-ok and
+// streams event frames; the client sends cumulative acks and pong replies.
+type Server struct {
+	hub          *Hub
+	ln           net.Listener
+	writeTimeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting subscriber connections on ln. writeTimeout bounds
+// each frame write to a subscriber (0 means no deadline); a timed-out write
+// detaches the session (the stream may hold a partial frame, so the
+// connection is not reusable — the bounded queue holds the backlog for the
+// reconnect).
+func Serve(ln net.Listener, hub *Hub, writeTimeout time.Duration) *Server {
+	s := &Server{hub: hub, ln: ln, writeTimeout: writeTimeout, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes every live subscriber connection, and waits
+// for the per-connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+func (s *Server) forget(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(c)
+	wc := &wireConn{c: c, writeTimeout: s.writeTimeout}
+
+	// First frame must be the hello.
+	payload, err := ReadFrame(c)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	r := codec.NewReader(payload)
+	t, err := r.Uint8()
+	if err != nil || t != frameHello {
+		_ = wc.SendBye("protocol: expected hello")
+		_ = c.Close()
+		return
+	}
+	sub, resumeAck, err := DecodeHello(r)
+	if err != nil || sub == "" {
+		_ = wc.SendBye("protocol: bad hello")
+		_ = c.Close()
+		return
+	}
+	sess, _, err := s.hub.Attach(sub, wc, resumeAck)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+
+	// Inbound loop: acks and pongs. A dead socket detaches the session;
+	// its queue and window survive for the reconnect.
+	for {
+		payload, err := ReadFrame(c)
+		if err != nil {
+			sess.Detach(wc)
+			_ = c.Close()
+			return
+		}
+		r := codec.NewReader(payload)
+		t, err := r.Uint8()
+		if err != nil {
+			sess.Detach(wc)
+			_ = c.Close()
+			return
+		}
+		switch t {
+		case frameAck:
+			seq, err := DecodeAck(r)
+			if err != nil {
+				sess.Detach(wc)
+				_ = c.Close()
+				return
+			}
+			sess.Ack(seq)
+		case framePong:
+			sess.Touch()
+		default:
+			_ = wc.SendBye(fmt.Sprintf("protocol: unexpected frame %d", t))
+			sess.Detach(wc)
+			_ = c.Close()
+			return
+		}
+	}
+}
+
+// wireConn adapts one subscriber TCP connection to the Conn sink. Writes
+// are serialized (flush workers and the janitor both send) and bounded by
+// the server's write timeout. A timed-out write returns the raw error — not
+// ErrStalled — because the stream may carry a partial frame and must be
+// dropped, not retried.
+type wireConn struct {
+	c            net.Conn
+	writeTimeout time.Duration
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+var errConnClosed = errors.New("delivery: connection closed")
+
+func (w *wireConn) writeFrame(build func(enc *codec.Writer)) error {
+	enc := codec.GetWriter()
+	defer codec.PutWriter(enc)
+	build(enc)
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if w.closed {
+		return errConnClosed
+	}
+	if w.writeTimeout > 0 {
+		_ = w.c.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+	}
+	return WriteFrame(w.c, enc.Bytes())
+}
+
+func (w *wireConn) SendHello(info HelloInfo) error {
+	return w.writeFrame(func(enc *codec.Writer) { AppendHelloOK(enc, info) })
+}
+
+func (w *wireConn) SendEvents(evs []*Event) error {
+	return w.writeFrame(func(enc *codec.Writer) { AppendEvents(enc, evs) })
+}
+
+func (w *wireConn) SendPing() error {
+	return w.writeFrame(func(enc *codec.Writer) { enc.Uint8(framePing) })
+}
+
+func (w *wireConn) SendBye(reason string) error {
+	return w.writeFrame(func(enc *codec.Writer) { AppendBye(enc, reason) })
+}
+
+func (w *wireConn) Close() error {
+	w.wmu.Lock()
+	if w.closed {
+		w.wmu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.wmu.Unlock()
+	return w.c.Close()
+}

@@ -1,0 +1,166 @@
+package delivery
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/movesys/move/internal/model"
+)
+
+func startServer(t *testing.T, cfg Config) (*Hub, *Server) {
+	t.Helper()
+	hub := NewHub(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, hub, time.Second)
+	t.Cleanup(func() {
+		_ = srv.Close()
+		hub.Stop()
+	})
+	return hub, srv
+}
+
+// TestServerEndToEnd runs the full wire protocol over loopback TCP:
+// hello/hello-ok, streamed events, cumulative acks, disconnect, and
+// resumed redelivery on reconnect.
+func TestServerEndToEnd(t *testing.T) {
+	hub, srv := startServer(t, Config{Workers: 2, FlushBatch: 4})
+	addr := srv.Addr().String()
+
+	cl, err := Dial(addr, "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := cl.Hello(); h.AckSeq != 0 || h.NextSeq != 1 || h.Redeliver != 0 {
+		t.Fatalf("hello = %+v", h)
+	}
+
+	for doc := uint64(1); doc <= 5; doc++ {
+		hub.Deliver("alice", doc, []model.FilterID{model.FilterID(doc * 10)}, []string{"news", "tech"})
+	}
+	var got []*Event
+	for len(got) < 5 {
+		msg, err := cl.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Bye != "" {
+			t.Fatalf("unexpected bye: %s", msg.Bye)
+		}
+		got = append(got, msg.Events...)
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) || ev.DocID != uint64(i+1) {
+			t.Fatalf("event %d = seq %d doc %d", i, ev.Seq, ev.DocID)
+		}
+		if len(ev.Terms) != 2 || ev.Terms[0] != "news" {
+			t.Fatalf("event %d terms = %v", i, ev.Terms)
+		}
+	}
+
+	// Ack 3 of 5, drop the connection, reconnect with the same cursor:
+	// exactly 4 and 5 come back.
+	if err := cl.Ack(3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "server-side ack", func() bool {
+		ss, _ := hub.Snapshot("alice")
+		return ss.AckSeq == 3
+	})
+	_ = cl.Close()
+	waitFor(t, "detach", func() bool {
+		ss, _ := hub.Snapshot("alice")
+		return ss.State == StateDetached
+	})
+
+	cl2, err := Dial(addr, "alice", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if h := cl2.Hello(); h.AckSeq != 3 || h.Redeliver != 2 {
+		t.Fatalf("resume hello = %+v, want ack 3, redeliver 2", h)
+	}
+	got = got[:0]
+	for len(got) < 2 {
+		msg, err := cl2.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, msg.Events...)
+	}
+	if got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("redelivered seqs = %d,%d want 4,5", got[0].Seq, got[1].Seq)
+	}
+	if err := cl2.Ack(5); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "window drained", func() bool {
+		ss, _ := hub.Snapshot("alice")
+		return ss.Window == 0 && ss.AckSeq == 5
+	})
+}
+
+// TestServerTakeoverBye asserts a second connection for the same
+// subscriber receives the flow while the first is told "replaced".
+func TestServerTakeoverBye(t *testing.T) {
+	hub, srv := startServer(t, Config{Workers: 1})
+	addr := srv.Addr().String()
+
+	cl1, err := Dial(addr, "bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl1.Close()
+	cl2, err := Dial(addr, "bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+
+	msg, err := cl1.Recv()
+	if err == nil && msg.Bye != "replaced" {
+		t.Fatalf("first conn got %+v, want bye replaced", msg)
+	}
+	hub.Deliver("bob", 1, []model.FilterID{1}, []string{"t"})
+	msg, err = cl2.Recv()
+	if err != nil || len(msg.Events) != 1 {
+		t.Fatalf("second conn recv = %+v, %v", msg, err)
+	}
+}
+
+// TestServerHeartbeat runs a real janitor: the client's transparent pong
+// keeps an otherwise silent session attached across several idle windows.
+func TestServerHeartbeat(t *testing.T) {
+	hub, srv := startServer(t, Config{Workers: 1, HeartbeatEvery: 20 * time.Millisecond, IdleTimeout: 100 * time.Millisecond})
+	addr := srv.Addr().String()
+
+	cl, err := Dial(addr, "carol", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := cl.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond) // 3x the idle timeout
+	if ss, _ := hub.Snapshot("carol"); ss.State != StateAttached {
+		t.Fatalf("state = %v, want attached (pongs keep it alive)", ss.State)
+	}
+	_ = cl.Close()
+	<-done
+	waitFor(t, "idle kick or detach", func() bool {
+		ss, _ := hub.Snapshot("carol")
+		return ss.State == StateDetached
+	})
+}

@@ -1,0 +1,264 @@
+package delivery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/model"
+)
+
+// Subscriber-facing frame types. Every frame on a subscriber connection is a
+// 4-byte big-endian length prefix followed by a payload whose first byte is
+// one of these.
+const (
+	frameHello   = 1 // client → server: subscriber name + resume ack
+	frameHelloOK = 2 // server → client: HelloInfo
+	frameEvents  = 3 // server → client: batch of sequenced events
+	frameAck     = 4 // client → server: cumulative ack
+	framePing    = 5 // server → client: heartbeat probe
+	framePong    = 6 // client → server: heartbeat reply
+	frameBye     = 7 // server → client: reason, then close
+)
+
+// maxFrame bounds a subscriber frame; anything larger is a protocol error.
+const maxFrame = 16 << 20
+
+// AppendHello encodes a client hello: the subscriber name and the highest
+// sequence number the client has durably consumed (0 for a fresh session).
+func AppendHello(w *codec.Writer, sub string, resumeAck uint64) {
+	w.Uint8(frameHello)
+	w.String(sub)
+	w.Uvarint(resumeAck)
+}
+
+// DecodeHello decodes a hello payload (after the type byte).
+func DecodeHello(r *codec.Reader) (sub string, resumeAck uint64, err error) {
+	if sub, err = r.String(); err != nil {
+		return "", 0, err
+	}
+	if resumeAck, err = r.Uvarint(); err != nil {
+		return "", 0, err
+	}
+	return sub, resumeAck, nil
+}
+
+// AppendHelloOK encodes the server's attach response.
+func AppendHelloOK(w *codec.Writer, info HelloInfo) {
+	w.Uint8(frameHelloOK)
+	w.Uvarint(info.AckSeq)
+	w.Uvarint(info.NextSeq)
+	w.Uvarint(uint64(info.Redeliver))
+}
+
+// DecodeHelloOK decodes an attach response payload (after the type byte).
+func DecodeHelloOK(r *codec.Reader) (HelloInfo, error) {
+	var info HelloInfo
+	var err error
+	if info.AckSeq, err = r.Uvarint(); err != nil {
+		return HelloInfo{}, err
+	}
+	if info.NextSeq, err = r.Uvarint(); err != nil {
+		return HelloInfo{}, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	if n > uint64(maxFrame) {
+		return HelloInfo{}, fmt.Errorf("delivery: redeliver count %d overflows frame", n)
+	}
+	info.Redeliver = int(n)
+	return info, nil
+}
+
+// AppendEvents encodes a batch of sequenced events.
+func AppendEvents(w *codec.Writer, evs []*Event) {
+	w.Uint8(frameEvents)
+	w.Uvarint(uint64(len(evs)))
+	for _, ev := range evs {
+		w.Uvarint(ev.Seq)
+		w.Uvarint(ev.DocID)
+		w.Uvarint(uint64(len(ev.Filters)))
+		for _, id := range ev.Filters {
+			w.Uvarint(uint64(id))
+		}
+		w.StringSlice(ev.Terms)
+	}
+}
+
+// DecodeEvents decodes an events payload (after the type byte).
+func DecodeEvents(r *codec.Reader) ([]*Event, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("delivery: event count %d overflows payload", n)
+	}
+	evs := make([]*Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ev := &Event{}
+		if ev.Seq, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if ev.DocID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		nf, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nf > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("delivery: filter count %d overflows payload", nf)
+		}
+		if nf > 0 {
+			ev.Filters = make([]model.FilterID, nf)
+			for j := range ev.Filters {
+				v, err := r.Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				ev.Filters[j] = model.FilterID(v)
+			}
+		}
+		if ev.Terms, err = r.StringSlice(); err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// AppendAck encodes a cumulative ack.
+func AppendAck(w *codec.Writer, seq uint64) {
+	w.Uint8(frameAck)
+	w.Uvarint(seq)
+}
+
+// DecodeAck decodes an ack payload (after the type byte).
+func DecodeAck(r *codec.Reader) (uint64, error) { return r.Uvarint() }
+
+// AppendBye encodes a bye with its reason.
+func AppendBye(w *codec.Writer, reason string) {
+	w.Uint8(frameBye)
+	w.String(reason)
+}
+
+// DecodeBye decodes a bye payload (after the type byte).
+func DecodeBye(r *codec.Reader) (string, error) { return r.String() }
+
+// Notification is one subscriber's slice of a routed delivery batch: the
+// filter IDs of theirs that matched the document.
+type Notification struct {
+	Sub     string
+	Filters []model.FilterID
+}
+
+// Batch is the node-to-node delivery payload (msgDeliverBatch body): one
+// matched document plus every notification bound for sessions owned by the
+// destination node. The document is encoded once no matter how many
+// subscribers it fans out to — the same coalescing discipline as the
+// publish fan-out.
+type Batch struct {
+	DocID  uint64
+	Terms  []string
+	Notifs []Notification
+}
+
+// AppendBatch encodes a routed delivery batch (no type byte — the node
+// layer owns its message-type namespace).
+func AppendBatch(w *codec.Writer, b *Batch) {
+	w.Uvarint(b.DocID)
+	w.StringSlice(b.Terms)
+	w.Uvarint(uint64(len(b.Notifs)))
+	for i := range b.Notifs {
+		n := &b.Notifs[i]
+		w.String(n.Sub)
+		w.Uvarint(uint64(len(n.Filters)))
+		for _, id := range n.Filters {
+			w.Uvarint(uint64(id))
+		}
+	}
+}
+
+// DecodeBatch decodes a routed delivery batch.
+func DecodeBatch(r *codec.Reader) (*Batch, error) {
+	b := &Batch{}
+	var err error
+	if b.DocID, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if b.Terms, err = r.StringSlice(); err != nil {
+		return nil, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("delivery: notification count %d overflows payload", n)
+	}
+	b.Notifs = make([]Notification, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var nt Notification
+		if nt.Sub, err = r.String(); err != nil {
+			return nil, err
+		}
+		nf, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nf > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("delivery: filter count %d overflows payload", nf)
+		}
+		if nf > 0 {
+			nt.Filters = make([]model.FilterID, nf)
+			for j := range nt.Filters {
+				v, err := r.Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				nt.Filters[j] = model.FilterID(v)
+			}
+		}
+		b.Notifs = append(b.Notifs, nt)
+	}
+	return b, nil
+}
+
+// WriteFrame writes one length-prefixed frame. The payload must start with
+// a frame-type byte.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("delivery: frame of %d bytes exceeds max %d", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, returning the payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("delivery: empty frame")
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("delivery: frame of %d bytes exceeds max %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

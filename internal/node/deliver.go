@@ -1,0 +1,145 @@
+package node
+
+import (
+	"context"
+	"sync"
+
+	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/delivery"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/ring"
+)
+
+// msgDeliverBatch routes a matched document's notifications to the session
+// owner of each subscriber: one frame per destination node carrying the
+// document once plus every (subscriber, matched-filter-IDs) pair whose
+// session that node owns — the same coalescing discipline as the publish
+// fan-out (§12), applied to the last mile (§14).
+const msgDeliverBatch = 26
+
+// EncodeDeliverBatch serializes a routed delivery batch (entry node or
+// movectl → session owner).
+func EncodeDeliverBatch(b *delivery.Batch) []byte {
+	w := codec.NewWriter(64 + 24*len(b.Notifs) + 12*len(b.Terms))
+	w.Uint8(msgDeliverBatch)
+	delivery.AppendBatch(w, b)
+	return w.Bytes()
+}
+
+// handleDeliverBatch lands a routed delivery batch on the session owner.
+// With a delivery hub attached the notifications enqueue into subscriber
+// sessions; without one (legacy deployments) they fall back to the polled
+// mailbox tier so mixed clusters still deliver.
+func (n *Node) handleDeliverBatch(r *codec.Reader) error {
+	b, err := delivery.DecodeBatch(r)
+	if err != nil {
+		return err
+	}
+	if hub := n.cfg.Delivery; hub != nil {
+		for i := range b.Notifs {
+			nt := &b.Notifs[i]
+			hub.Deliver(nt.Sub, b.DocID, nt.Filters, b.Terms)
+		}
+		return nil
+	}
+	for i := range b.Notifs {
+		nt := &b.Notifs[i]
+		for _, f := range nt.Filters {
+			n.mail.push(nt.Sub, Delivery{DocID: b.DocID, Filter: f, Terms: b.Terms})
+		}
+	}
+	return nil
+}
+
+// GroupMatchesBySub folds a deduplicated match set into per-subscriber
+// notifications (a subscriber with several matching filters gets one
+// notification carrying all their IDs).
+func GroupMatchesBySub(matches []Match) []delivery.Notification {
+	idx := make(map[string]int, len(matches))
+	notifs := make([]delivery.Notification, 0, len(matches))
+	for _, m := range matches {
+		if i, ok := idx[m.Subscriber]; ok {
+			notifs[i].Filters = append(notifs[i].Filters, m.Filter)
+			continue
+		}
+		idx[m.Subscriber] = len(notifs)
+		notifs = append(notifs, delivery.Notification{
+			Sub:     m.Subscriber,
+			Filters: []model.FilterID{m.Filter},
+		})
+	}
+	return notifs
+}
+
+// routeDeliveries ships a matched document's notifications to each
+// subscriber's session owner (the home node of "subscriber/<name>"): one
+// msgDeliverBatch per distinct owner, all frames built in pooled writers
+// before the first goroutine spawns (DESIGN.md §11). Routing is
+// best-effort: a failed owner RPC is counted, and the affected subscribers
+// are reported through OnDeliveryLoss so loss is accounted, never silent —
+// publish completion does not block on slow consumers beyond these sends.
+func (n *Node) routeDeliveries(ctx context.Context, doc *model.Document, matches []Match) {
+	notifs := GroupMatchesBySub(matches)
+	batches := make(map[ring.NodeID]*delivery.Batch)
+	var unrouted []string
+	for i := range notifs {
+		home, err := n.cfg.Ring.HomeNode("subscriber/" + notifs[i].Sub)
+		if err != nil {
+			unrouted = append(unrouted, notifs[i].Sub)
+			continue
+		}
+		b := batches[home]
+		if b == nil {
+			b = &delivery.Batch{DocID: doc.ID, Terms: doc.Terms}
+			batches[home] = b
+		}
+		b.Notifs = append(b.Notifs, notifs[i])
+	}
+	if len(unrouted) > 0 {
+		n.routeFailures.Inc()
+		n.routeLost.Add(int64(len(unrouted)))
+		if n.cfg.OnDeliveryLoss != nil {
+			n.cfg.OnDeliveryLoss(doc.ID, unrouted)
+		}
+	}
+	if len(batches) == 0 {
+		return
+	}
+
+	type dest struct {
+		home  ring.NodeID
+		frame *codec.Writer
+		batch *delivery.Batch
+	}
+	dests := make([]dest, 0, len(batches))
+	for home, b := range batches {
+		pw := codec.GetWriter()
+		pw.Uint8(msgDeliverBatch)
+		delivery.AppendBatch(pw, b)
+		dests = append(dests, dest{home: home, frame: pw, batch: b})
+		n.routeRPCs.Inc()
+		n.routeSubs.Add(int64(len(b.Notifs)))
+	}
+	var wg sync.WaitGroup
+	for i := range dests {
+		wg.Add(1)
+		go func(d *dest) {
+			defer wg.Done()
+			_, err := n.send(ctx, d.home, d.frame.Bytes())
+			codec.PutWriter(d.frame)
+			if err == nil {
+				return
+			}
+			n.routeFailures.Inc()
+			n.routeLost.Add(int64(len(d.batch.Notifs)))
+			if n.cfg.OnDeliveryLoss != nil {
+				subs := make([]string, len(d.batch.Notifs))
+				for j := range d.batch.Notifs {
+					subs[j] = d.batch.Notifs[j].Sub
+				}
+				n.cfg.OnDeliveryLoss(doc.ID, subs)
+			}
+		}(&dests[i])
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/movesys/move/internal/alloc"
 	"github.com/movesys/move/internal/bloom"
 	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/delivery"
 	"github.com/movesys/move/internal/index"
 	"github.com/movesys/move/internal/metrics"
 	"github.com/movesys/move/internal/model"
@@ -45,6 +46,18 @@ type Config struct {
 	// with its deduplicated matches — the final dissemination hop to
 	// subscribers.
 	OnDeliver func(doc *model.Document, matches []Match)
+	// Delivery, if set, is this node's subscriber-session hub: inbound
+	// msgDeliverBatch frames enqueue into its sessions. Nil falls back to
+	// the polled mailbox tier.
+	Delivery *delivery.Hub
+	// RouteDeliveries makes the entry node push each document's matches to
+	// the subscribers' session owners (one msgDeliverBatch per distinct
+	// owner) after the match set is deduplicated.
+	RouteDeliveries bool
+	// OnDeliveryLoss, if set, is invoked when routed notifications could
+	// not reach a session owner (RPC failure, unroutable subscriber) — the
+	// accounting hook that keeps delivery loss visible.
+	OnDeliveryLoss func(docID uint64, subs []string)
 	// OnTransfer, if set, is invoked once per document transfer attempt
 	// (entry→home and home→grid-row). The cluster cost model uses it to
 	// charge y_d with rack locality taken into account.
@@ -122,6 +135,14 @@ type Node struct {
 	homeRPCs  *metrics.Counter
 	homeBytes *metrics.Counter
 
+	// Delivery-routing accounting (§14): owner-bound batch frames, the
+	// subscriber notifications they carried, failed sends, and
+	// notifications lost to failed sends.
+	routeRPCs     *metrics.Counter
+	routeSubs     *metrics.Counter
+	routeFailures *metrics.Counter
+	routeLost     *metrics.Counter
+
 	// Per-stage latency histograms (§IV latency model, one per pipeline
 	// stage) and the ring of recent publish traces.
 	hE2E       *metrics.Histogram
@@ -177,30 +198,34 @@ func New(cfg Config) (*Node, error) {
 		depth = 64
 	}
 	return &Node{
-		cfg:        cfg,
-		ix:         ix,
-		reg:        reg,
-		termGrids:  make(map[string]*alloc.Grid),
-		journal:    make(map[uint64]map[model.FilterID]struct{}),
-		mail:       newMailboxes(),
-		rng:        rand.New(rand.NewSource(seed)),
-		res:        cfg.Resilience,
-		failoverC:  reg.Counter("publish.failover"),
-		degradedC:  reg.Counter("publish.degraded"),
-		homeRPCs:   reg.Counter("publish.home.rpcs"),
-		homeBytes:  reg.Counter("publish.home.bytes"),
-		hE2E:       reg.Histogram("publish.e2e"),
-		hHome:      reg.Histogram("publish.home"),
-		hFanout:    reg.Histogram("publish.fanout"),
-		hColumnRPC: reg.Histogram("publish.column.rpc"),
-		hMatchTerm: reg.Histogram("match.term"),
-		hMatchSIFT: reg.Histogram("match.sift"),
-		traces:     trace.NewRing(depth),
-		migratedC:  reg.Counter("realloc.filters.migrated"),
-		commitsC:   reg.Counter("realloc.commits"),
-		abortsC:    reg.Counter("realloc.aborts"),
-		epochG:     reg.Counter("realloc.epoch"),
-		hDualRead:  reg.Histogram("realloc.dualread.window"),
+		cfg:           cfg,
+		ix:            ix,
+		reg:           reg,
+		termGrids:     make(map[string]*alloc.Grid),
+		journal:       make(map[uint64]map[model.FilterID]struct{}),
+		mail:          newMailboxes(),
+		rng:           rand.New(rand.NewSource(seed)),
+		res:           cfg.Resilience,
+		failoverC:     reg.Counter("publish.failover"),
+		degradedC:     reg.Counter("publish.degraded"),
+		homeRPCs:      reg.Counter("publish.home.rpcs"),
+		homeBytes:     reg.Counter("publish.home.bytes"),
+		routeRPCs:     reg.Counter("delivery.route.rpcs"),
+		routeSubs:     reg.Counter("delivery.route.subs"),
+		routeFailures: reg.Counter("delivery.route.failures"),
+		routeLost:     reg.Counter("delivery.route.lost"),
+		hE2E:          reg.Histogram("publish.e2e"),
+		hHome:         reg.Histogram("publish.home"),
+		hFanout:       reg.Histogram("publish.fanout"),
+		hColumnRPC:    reg.Histogram("publish.column.rpc"),
+		hMatchTerm:    reg.Histogram("match.term"),
+		hMatchSIFT:    reg.Histogram("match.sift"),
+		traces:        trace.NewRing(depth),
+		migratedC:     reg.Counter("realloc.filters.migrated"),
+		commitsC:      reg.Counter("realloc.commits"),
+		abortsC:       reg.Counter("realloc.aborts"),
+		epochG:        reg.Counter("realloc.epoch"),
+		hDualRead:     reg.Histogram("realloc.dualread.window"),
 	}, nil
 }
 
@@ -474,6 +499,8 @@ func (n *Node) Handle(ctx context.Context, from ring.NodeID, payload []byte) ([]
 		return nil, nil
 	case msgDeliver:
 		return nil, n.handleDeliver(r)
+	case msgDeliverBatch:
+		return nil, n.handleDeliverBatch(r)
 	case msgFetch:
 		return n.handleFetch(r)
 	case msgGossip:
@@ -1733,6 +1760,9 @@ func (n *Node) publishEntry(ctx context.Context, doc *model.Document, coalesce b
 	}
 	if n.cfg.OnDeliver != nil && len(matches) > 0 {
 		n.cfg.OnDeliver(doc, matches)
+	}
+	if n.cfg.RouteDeliveries && len(matches) > 0 {
+		n.routeDeliveries(ctx, doc, matches)
 	}
 	// Partial failure: report what matched alongside the aggregated
 	// per-home errors so the caller can account availability (Fig. 9 c–d).

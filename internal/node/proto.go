@@ -49,6 +49,8 @@ const (
 	msgCommitGrid      = 23 // commit barrier: promote the pending grid
 	msgAbortGrid       = 24 // abort: drop pending grid, unwind journaled migrations
 	msgUnregisterBatch = 25 // batched filter removal (old-placement GC)
+	// 26 is msgDeliverBatch (deliver.go): routed delivery batch to the
+	// session owner of each matched subscriber (§14).
 )
 
 // EncodeAllocateTerm serializes a per-term allocation command.
