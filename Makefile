@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn soak-delivery bench-delivery ci
+.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn soak-delivery bench-delivery bench-aggregate ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCodecRoundTrip -fuzztime=10s ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/text
 	$(GO) test -run='^$$' -fuzz=FuzzDeliverFrameRoundTrip -fuzztime=10s ./internal/delivery
+	$(GO) test -run='^$$' -fuzz=FuzzIndexRegisterMatch -fuzztime=10s ./internal/index
 
 # Regenerate the checked-in publish-latency baseline (BENCH_publish.json):
 # e2e publish p50/p95/p99 plus single-vs-batch match throughput on the
@@ -79,4 +80,15 @@ soak-delivery:
 bench-delivery:
 	$(GO) run ./cmd/movebench -fig delivery -out BENCH_delivery.json -baseline BENCH_delivery.json
 
-ci: vet build race fuzz-smoke soak-churn soak-delivery bench-publish bench-alloc bench-churn bench-delivery
+# Regenerate the checked-in index-aggregation baseline
+# (BENCH_aggregate.json): serving-layer bytes/filter for the flat vs the
+# aggregated covering index over 1M Zipf-drawn filter instances, with
+# every document's aggregated match set verified byte-identical to the
+# flat oracle. A reduction below the 30% acceptance floor fails outright;
+# a >10% regression against the checked-in baseline (relative reduction
+# lost, or agg bytes/filter gained) fails the target (and CI) before the
+# file is overwritten.
+bench-aggregate:
+	$(GO) run ./cmd/movebench -fig aggregate -out BENCH_aggregate.json -baseline BENCH_aggregate.json
+
+ci: vet build race fuzz-smoke soak-churn soak-delivery bench-publish bench-alloc bench-churn bench-delivery bench-aggregate

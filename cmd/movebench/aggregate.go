@@ -1,0 +1,369 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/movesys/move/internal/dataset"
+	"github.com/movesys/move/internal/index"
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/store"
+)
+
+// aggregateReport is the JSON document `movebench -fig aggregate` writes:
+// the serving-layer memory cost of the flat per-filter index versus the
+// aggregated covering index over the same synthetic Zipf filter set, plus
+// the cover-compression accounting and match timing. Checked into the repo
+// as BENCH_aggregate.json so PRs carry a compression baseline the same way
+// BENCH_alloc.json carries an allocation baseline.
+type aggregateReport struct {
+	GeneratedBy   string `json:"generated_by"`
+	Filters       int    `json:"filters"`
+	Catalog       int    `json:"catalog"`
+	DistinctTerms int    `json:"distinct_terms"`
+	Docs          int    `json:"docs"`
+	Seed          int64  `json:"seed"`
+
+	// StoreBytesPerFilter is the durable layer's heap cost per filter —
+	// identical content under both engines, measured so the index figures
+	// below can exclude it.
+	StoreBytesPerFilter float64 `json:"store_bytes_per_filter"`
+	// FlatBytesPerFilter / AggBytesPerFilter are the serving-layer heap
+	// bytes per registered filter (store cost subtracted out) for the
+	// flat and aggregated engines.
+	FlatBytesPerFilter float64 `json:"flat_index_bytes_per_filter"`
+	AggBytesPerFilter  float64 `json:"agg_index_bytes_per_filter"`
+	// Reduction is 1 - agg/flat: the fraction of serving-layer index
+	// memory the covering index saves. The acceptance floor is 0.30.
+	Reduction float64 `json:"index_bytes_reduction"`
+
+	// Cover-compression accounting, from Index.CoverStats and
+	// Index.CoverDetailStats on the aggregated build.
+	Covers               int `json:"covers"`
+	CoveredFilters       int `json:"covered_filters"`
+	StoredEntries        int `json:"stored_entries"`
+	LogicalPostings      int `json:"logical_postings"`
+	PostingsSaved        int `json:"postings_saved"`
+	ExpansionFanoutMilli int `json:"expansion_fanout_milli"`
+	PostingTerms         int `json:"posting_terms"`
+	LiveBits             int `json:"live_bits"`
+
+	// Match timing over the oracle document set (MatchSIFT per document).
+	FlatMatchNsPerDoc float64 `json:"flat_match_ns_per_doc"`
+	AggMatchNsPerDoc  float64 `json:"agg_match_ns_per_doc"`
+
+	// OracleDocs is the number of documents whose aggregated match set
+	// was verified byte-identical to the flat engine's.
+	OracleDocs int `json:"oracle_docs"`
+}
+
+// aggregateReductionFloor is the ISSUE acceptance criterion: the covering
+// index must shave at least this fraction off the flat serving layer.
+const aggregateReductionFloor = 0.30
+
+// aggregateTolerance is the regression budget enforced against -baseline:
+// a reduction more than 10% (relative) below the checked-in baseline, or
+// an agg bytes/filter more than 10% above it, fails the run (and CI).
+const aggregateTolerance = 0.10
+
+// heapInUse settles the heap and returns the live allocation level. Two GC
+// cycles let finalizer-freed objects (store column families dropped between
+// builds) actually leave the heap before the reading.
+func heapInUse() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// aggregateFilterAt builds the i-th synthetic filter over the prepared
+// term sets — deterministic, so the store-only, flat, and aggregated
+// builds register byte-identical content.
+func aggregateFilterAt(i int, terms []string) model.Filter {
+	return model.Filter{
+		ID:         model.FilterID(i + 1),
+		Subscriber: "agg-sub-" + strconv.Itoa(i),
+		Terms:      terms,
+		Mode:       model.MatchAny,
+	}
+}
+
+// buildAggregateIndex opens a fresh in-memory store, registers every
+// filter through the given engine constructor, and returns the index plus
+// the heap delta the build retained.
+func buildAggregateIndex(open func(*store.Store) (*index.Index, error), filterTerms [][]string) (*index.Index, int64, error) {
+	before := heapInUse()
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	ix, err := open(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, terms := range filterTerms {
+		if err := ix.Register(aggregateFilterAt(i, terms), terms); err != nil {
+			return nil, 0, fmt.Errorf("register filter %d: %w", i, err)
+		}
+	}
+	return ix, int64(heapInUse()) - int64(before), nil
+}
+
+// buildAggregateStoreOnly writes the same filters and postings straight to
+// a store with no index on top — the durable-layer baseline subtracted
+// from both engines' totals.
+func buildAggregateStoreOnly(filterTerms [][]string) (int64, error) {
+	before := heapInUse()
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		return 0, err
+	}
+	fs, err := store.NewFilterStore(st)
+	if err != nil {
+		return 0, err
+	}
+	ps, err := store.NewPostingStore(st)
+	if err != nil {
+		return 0, err
+	}
+	for i, terms := range filterTerms {
+		f := aggregateFilterAt(i, terms)
+		if err := fs.Put(f); err != nil {
+			return 0, err
+		}
+		for _, t := range terms {
+			if err := ps.Add(t, f.ID); err != nil {
+				return 0, err
+			}
+		}
+	}
+	delta := int64(heapInUse()) - int64(before)
+	runtime.KeepAlive(st)
+	return delta, nil
+}
+
+// aggregateMatchSet renders one document's match set in canonical sorted
+// form for byte-identical engine comparison.
+func aggregateMatchSet(ix *index.Index, doc *model.Document) (string, error) {
+	fs, _, err := ix.MatchSIFT(doc)
+	if err != nil {
+		return "", err
+	}
+	ids := make([]int, len(fs))
+	for i, f := range fs {
+		ids[i] = int(f.ID)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String(), nil
+}
+
+// aggregateMatchRun times MatchSIFT over the document set, returning
+// ns/doc.
+func aggregateMatchRun(ix *index.Index, docs []*model.Document) (float64, error) {
+	start := time.Now()
+	for _, d := range docs {
+		if _, _, err := ix.MatchSIFT(d); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(docs)), nil
+}
+
+// checkAggregateBaseline compares a fresh report against the checked-in
+// baseline: the memory reduction must not fall more than
+// aggregateTolerance (relative) below it, and agg bytes/filter must not
+// rise more than aggregateTolerance above it. A missing baseline file is
+// not an error — first runs have nothing to compare.
+func checkAggregateBaseline(path string, rep aggregateReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("aggregate: baseline %s not found, skipping regression check\n", path)
+			return nil
+		}
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base aggregateReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.Reduction > 0 {
+		floor := base.Reduction * (1 - aggregateTolerance)
+		if rep.Reduction < floor {
+			return fmt.Errorf("index memory reduction regression: %.1f%% vs baseline %.1f%% (budget -%d%% relative)",
+				rep.Reduction*100, base.Reduction*100, int(aggregateTolerance*100))
+		}
+		fmt.Printf("aggregate: reduction %.1f%% within -%d%% of baseline (%.1f%%)\n",
+			rep.Reduction*100, int(aggregateTolerance*100), base.Reduction*100)
+	}
+	if base.AggBytesPerFilter > 0 {
+		limit := base.AggBytesPerFilter * (1 + aggregateTolerance)
+		if rep.AggBytesPerFilter > limit {
+			return fmt.Errorf("agg index bytes/filter regression: %.1f vs baseline %.1f (budget +%d%%)",
+				rep.AggBytesPerFilter, base.AggBytesPerFilter, int(aggregateTolerance*100))
+		}
+		fmt.Printf("aggregate: %.1f bytes/filter within +%d%% of baseline (%.1f)\n",
+			rep.AggBytesPerFilter, int(aggregateTolerance*100), base.AggBytesPerFilter)
+	}
+	return nil
+}
+
+// runAggregateFig builds the same synthetic Zipf filter set three times —
+// store only, flat index, aggregated covering index — and prices each
+// build's retained heap. Every document's aggregated match set is verified
+// byte-identical to the flat engine's (the in-tree oracle), so a memory
+// "optimization" that corrupts matching fails loudly here. Hard-fails when
+// the serving-layer reduction drops below the 30% acceptance floor.
+func runAggregateFig(outPath, baselinePath string, filters, catalog, distinctTerms, docs int, seed int64) error {
+	fg, err := dataset.NewFilterGen(dataset.FilterConfig{DistinctTerms: distinctTerms, Seed: seed})
+	if err != nil {
+		return err
+	}
+	dg, err := dataset.NewDocGen(dataset.CorpusConfig{
+		Kind: dataset.CorpusWT, DistinctTerms: distinctTerms, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	// Predicate catalog: real subscription traces are Zipf-skewed at the
+	// whole-predicate level too — popular keyword sets are subscribed by
+	// many users (the MSN trace's duplicated queries), which is exactly the
+	// sharing the covering index exploits. Draw each filter instance from a
+	// Zipf-ranked catalog of distinct term sets.
+	if catalog > filters {
+		catalog = filters
+	}
+	catalogTerms := make([][]string, catalog)
+	for i := range catalogTerms {
+		catalogTerms[i] = model.SortTerms(fg.Next())
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	pick := rand.NewZipf(rng, 1.2, 1.0, uint64(catalog-1))
+	filterTerms := make([][]string, filters)
+	for i := range filterTerms {
+		filterTerms[i] = catalogTerms[pick.Uint64()]
+	}
+	docSet := make([]*model.Document, docs)
+	for i := range docSet {
+		d := &model.Document{ID: uint64(i + 1), Terms: model.SortTerms(dg.Next())}
+		d.View()
+		docSet[i] = d
+	}
+
+	storeBytes, err := buildAggregateStoreOnly(filterTerms)
+	if err != nil {
+		return fmt.Errorf("store-only build: %w", err)
+	}
+
+	flat, flatTotal, err := buildAggregateIndex(index.NewFlat, filterTerms)
+	if err != nil {
+		return fmt.Errorf("flat build: %w", err)
+	}
+	oracle := make([]string, docs)
+	for i, d := range docSet {
+		if oracle[i], err = aggregateMatchSet(flat, d); err != nil {
+			return fmt.Errorf("flat match doc %d: %w", i, err)
+		}
+	}
+	flatNs, err := aggregateMatchRun(flat, docSet)
+	if err != nil {
+		return err
+	}
+	flat = nil // release the flat engine before the aggregated build prices its heap
+
+	agg, aggTotal, err := buildAggregateIndex(index.New, filterTerms)
+	if err != nil {
+		return fmt.Errorf("aggregated build: %w", err)
+	}
+	if !agg.Aggregated() {
+		return fmt.Errorf("index.New did not select the aggregated engine")
+	}
+	for i, d := range docSet {
+		got, err := aggregateMatchSet(agg, d)
+		if err != nil {
+			return fmt.Errorf("agg match doc %d: %w", i, err)
+		}
+		if got != oracle[i] {
+			return fmt.Errorf("doc %d: aggregated match set diverges from flat oracle\n got: %q\nwant: %q", i, got, oracle[i])
+		}
+	}
+	aggNs, err := aggregateMatchRun(agg, docSet)
+	if err != nil {
+		return err
+	}
+	cs := agg.CoverStats()
+	cd := agg.CoverDetailStats()
+
+	flatIndexBytes := flatTotal - storeBytes
+	aggIndexBytes := aggTotal - storeBytes
+	if flatIndexBytes <= 0 {
+		return fmt.Errorf("flat serving layer measured %d bytes over a %d-byte store; workload too small to price", flatIndexBytes, storeBytes)
+	}
+	n := float64(filters)
+	rep := aggregateReport{
+		GeneratedBy:          "movebench -fig aggregate",
+		Filters:              filters,
+		Catalog:              catalog,
+		DistinctTerms:        distinctTerms,
+		Docs:                 docs,
+		Seed:                 seed,
+		StoreBytesPerFilter:  float64(storeBytes) / n,
+		FlatBytesPerFilter:   float64(flatIndexBytes) / n,
+		AggBytesPerFilter:    float64(aggIndexBytes) / n,
+		Reduction:            1 - float64(aggIndexBytes)/float64(flatIndexBytes),
+		Covers:               cs.Covers,
+		CoveredFilters:       cs.CoveredFilters,
+		StoredEntries:        cs.StoredEntries,
+		LogicalPostings:      cs.LogicalPostings,
+		PostingsSaved:        cs.PostingsSaved,
+		ExpansionFanoutMilli: cs.ExpansionFanoutMilli,
+		PostingTerms:         cd.Terms,
+		LiveBits:             cd.LiveBits,
+		FlatMatchNsPerDoc:    flatNs,
+		AggMatchNsPerDoc:     aggNs,
+		OracleDocs:           docs,
+	}
+	runtime.KeepAlive(agg)
+
+	fmt.Printf("aggregate: %d filters -> %d covers, %d stored entries for %d logical postings over %d terms; flat %.1f B/filter, agg %.1f B/filter (%.1f%% reduction); match %.0f ns/doc flat vs %.0f ns/doc agg\n",
+		rep.Filters, rep.Covers, rep.StoredEntries, rep.LogicalPostings, rep.PostingTerms,
+		rep.FlatBytesPerFilter, rep.AggBytesPerFilter, rep.Reduction*100,
+		rep.FlatMatchNsPerDoc, rep.AggMatchNsPerDoc)
+
+	if rep.Reduction < aggregateReductionFloor {
+		return fmt.Errorf("index memory reduction %.1f%% is below the %.0f%% acceptance floor (flat %.1f B/filter, agg %.1f B/filter)",
+			rep.Reduction*100, aggregateReductionFloor*100, rep.FlatBytesPerFilter, rep.AggBytesPerFilter)
+	}
+	if baselinePath != "" {
+		if err := checkAggregateBaseline(baselinePath, rep); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("aggregate: %d docs oracle-verified -> %s\n", rep.OracleDocs, outPath)
+	return nil
+}

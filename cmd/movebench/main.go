@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, delivery, all")
+	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, delivery, aggregate, all")
 	scale := flag.Float64("scale", float64(experiments.DefaultScale), "workload scale relative to the paper (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")
 	filtersTrace := flag.String("filters-trace", "", "trace file of preprocessed filters (one per line) for -fig trace")
@@ -45,6 +45,10 @@ func main() {
 	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench and -fig alloc")
 	benchSubs := flag.Int("bench-subs", 100_000, "simulated concurrent subscribers for -fig delivery")
 	deliveryDocs := flag.Int("delivery-docs", 150, "published documents for -fig delivery")
+	aggFilters := flag.Int("aggregate-filters", 1_000_000, "registered synthetic Zipf filters for -fig aggregate")
+	aggCatalog := flag.Int("aggregate-catalog", 150_000, "distinct predicate catalog size for -fig aggregate (instances are Zipf-drawn from it)")
+	aggTerms := flag.Int("aggregate-distinct-terms", 20_000, "filter/document vocabulary size for -fig aggregate")
+	aggDocs := flag.Int("aggregate-docs", 20, "oracle-verified documents for -fig aggregate")
 	pprofDir := flag.String("pprof", "", "directory to write cpu.pprof and heap.pprof profiles of the run")
 	flag.Parse()
 
@@ -53,7 +57,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
 		os.Exit(1)
 	}
-	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, *benchSubs, *deliveryDocs)
+	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, *benchSubs, *deliveryDocs, *aggFilters, *aggCatalog, *aggTerms, *aggDocs)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -63,8 +67,13 @@ func main() {
 	}
 }
 
-func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs, benchSubs, deliveryDocs int) error {
+func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs, benchSubs, deliveryDocs, aggFilters, aggCatalog, aggTerms, aggDocs int) error {
 	switch fig {
+	case "aggregate":
+		if out == "" {
+			out = "BENCH_aggregate.json"
+		}
+		return runAggregateFig(out, baseline, aggFilters, aggCatalog, aggTerms, aggDocs, seed)
 	case "delivery":
 		if out == "" {
 			out = "BENCH_delivery.json"

@@ -42,6 +42,48 @@ func canonicalIDs(ids []model.FilterID) string {
 	return b.String()
 }
 
+// assertAggregatedCovers verifies the cluster serves from the aggregated
+// (covering) index and that its compression accounting stayed exact across
+// every epoch of the run: each node's live cover members equal its filter
+// count (no dropped or phantom index entries survived migration, abort
+// unwinding, or crash churn), the stored posting entries never exceed the
+// flat-equivalent logical postings, and the savings arithmetic is
+// internally consistent.
+func assertAggregatedCovers(t *testing.T, c *Cluster) {
+	t.Helper()
+	totalCovers, totalMembers, totalSaved := 0, 0, 0
+	for _, id := range c.nodeIDs {
+		ix := c.nodes[id].Index()
+		if !ix.Aggregated() {
+			t.Fatalf("node %s: index is not aggregated", id)
+		}
+		cs := ix.CoverStats()
+		if live := ix.LiveFilters(); cs.CoveredFilters != live {
+			t.Fatalf("node %s: %d covered filters but the index holds %d live definitions", id, cs.CoveredFilters, live)
+		}
+		if cs.StoredEntries > cs.LogicalPostings {
+			t.Fatalf("node %s: stored %d posting entries for only %d logical postings", id, cs.StoredEntries, cs.LogicalPostings)
+		}
+		if want := cs.LogicalPostings - cs.StoredEntries; cs.PostingsSaved != want {
+			t.Fatalf("node %s: PostingsSaved = %d, want %d (logical %d - stored %d)",
+				id, cs.PostingsSaved, want, cs.LogicalPostings, cs.StoredEntries)
+		}
+		if cs.CoveredFilters > 0 && cs.Covers == 0 {
+			t.Fatalf("node %s: %d live filters but no live covers", id, cs.CoveredFilters)
+		}
+		totalCovers += cs.Covers
+		totalMembers += cs.CoveredFilters
+		totalSaved += cs.PostingsSaved
+	}
+	// The workloads register many same-signature filters, so aggregation
+	// must actually have compressed: strictly fewer covers than members.
+	if totalMembers > 0 && totalCovers >= totalMembers {
+		t.Fatalf("no cover sharing: %d covers for %d filters", totalCovers, totalMembers)
+	}
+	t.Logf("cover integrity: %d covers / %d filters cluster-wide, %d posting entries saved",
+		totalCovers, totalMembers, totalSaved)
+}
+
 // TestChurnSoak drives the two-phase reallocation protocol through a
 // Zipf-drifting workload with flash crowds, seeded fault injection on the
 // data path, and periodic crash/recover churn. On every single publish the
@@ -241,10 +283,12 @@ func TestChurnSoak(t *testing.T) {
 			committed++
 		}
 		// Post-round: the cutover (or abort) settled; matching must be
-		// exact with no dual-read leftovers.
+		// exact with no dual-read leftovers, and the covering index's
+		// accounting must have survived the epoch boundary intact.
 		for i := 0; i < 10; i++ {
 			checkPublish(round, []string{term(round), term(round)})
 		}
+		assertAggregatedCovers(t, c)
 	}
 
 	if committed == 0 {

@@ -399,6 +399,10 @@ func runDeliveryChaos(t *testing.T, policy delivery.Policy, rounds int, seed int
 		}
 	}
 
+	// The delivery tier rode the aggregated index the whole run: verify
+	// the cover accounting came through every reallocation intact.
+	assertAggregatedCovers(t, c)
+
 	reg := c.Metrics()
 	t.Logf("delivery chaos (%v): %d docs, %d subs, %d reallocs; enqueued=%d delivered=%d redelivered=%d drops.oldest=%d drops.disconnect=%d coalesced=%d route.rpcs=%d route.lost=%d",
 		policy, len(published), len(subs), reallocs,

@@ -1,0 +1,560 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// This file is the aggregated (covering) index engine — the production
+// serving layer built by New. It stores posting lists as one compressed
+// (term, cover) entry per predicate signature instead of one entry per
+// filter, and expands covers back to concrete filters at match time. The
+// flat per-filter engine (index.go + shard.go, built by NewFlat) stays
+// alive as the in-tree correctness oracle; the equivalence battery in
+// cover_test.go / fuzz_test.go / shard_equiv_test.go pins the two engines
+// to identical (sorted) match sets and identical MatchStats.
+//
+// Stats parity is a hard invariant, not an accident: every (term, filter)
+// pair the flat index would keep on a posting list corresponds to exactly
+// one set bit across that term's entries, tombstones included. MatchStats
+// therefore reports the same logical PostingLists/Postings/Evaluated the
+// flat engine reports; the physical savings are visible through
+// CoverStats and the index.cover.* gauges instead.
+
+// aggEntry is one (term, cover) posting entry: the compressed replacement
+// for a run of per-filter posting entries sharing a signature. bits holds
+// member slots posted under the term.
+type aggEntry struct {
+	c    *cover
+	bits slotSet
+}
+
+// aggPosting is one term's posting list: entries sorted by cover id, plus
+// the cached logical cardinality (total set bits — what the flat engine's
+// len(ids) would be).
+type aggPosting struct {
+	entries []aggEntry
+	card    int
+}
+
+// find returns the index of cid in entries (or its insertion point) and
+// whether it is present.
+func (p *aggPosting) find(cid uint32) (int, bool) {
+	lo, hi := 0, len(p.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.entries[mid].c.id < cid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(p.entries) && p.entries[lo].c.id == cid
+}
+
+// aggTermShard holds the aggregated posting lists whose terms hash to it.
+// Unlike the flat termShard, entries and bitsets mutate in place, so the
+// match path holds the read lock for the whole scan instead of copying a
+// snapshot header.
+type aggTermShard struct {
+	mu    sync.RWMutex
+	lists map[string]*aggPosting
+}
+
+// entryFor returns term's entry for cover c, inserting posting and entry
+// as needed. Caller holds s.mu.
+func (s *aggTermShard) entryFor(term string, c *cover) (*aggPosting, *aggEntry, bool) {
+	p := s.lists[term]
+	if p == nil {
+		p = &aggPosting{}
+		s.lists[term] = p
+	}
+	i, ok := p.find(c.id)
+	if !ok {
+		p.entries = append(p.entries, aggEntry{})
+		copy(p.entries[i+1:], p.entries[i:])
+		p.entries[i] = aggEntry{c: c}
+	}
+	return p, &p.entries[i], !ok
+}
+
+// clearID clears id's bit in every entry of p other than keep, returning
+// the number of bits cleared. Caller holds s.mu.
+func clearID(p *aggPosting, keep *cover, id model.FilterID) int {
+	cleared := 0
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.c == keep {
+			continue
+		}
+		if s, ok := e.c.slotIndex(id); ok && e.bits.clear(int(s)) {
+			cleared++
+		}
+	}
+	p.card -= cleared
+	return cleared
+}
+
+// aggAdd sets (c, slot)'s bit under term. Re-homing first: when the filter
+// previously carried this term under another cover — prior when its last
+// cover is known, any entry when fullScan says the id has multi-cover
+// history — the stale bits are cleared in the same lock hold, so a term's
+// entries never hold the same filter twice and the logical cardinality
+// tracks the flat index's deduplicated list length exactly.
+func (s *aggTermShard) aggAdd(term string, c *cover, slot int, id model.FilterID, prior *cover, fullScan bool) (newBit, newEntry bool) {
+	s.mu.Lock()
+	p, e, newEntry := s.entryFor(term, c)
+	if fullScan {
+		clearID(p, c, id)
+	} else if prior != nil && prior != c {
+		if i, ok := p.find(prior.id); ok {
+			pe := &p.entries[i]
+			if ps, ok := prior.slotIndex(id); ok && pe.bits.clear(int(ps)) {
+				p.card--
+			}
+		}
+	}
+	if e.bits.testAndSet(slot) {
+		p.card++
+		newBit = true
+	}
+	s.mu.Unlock()
+	return newBit, newEntry
+}
+
+// addIfAbsent is the migration-replay variant: the bit is set only when no
+// entry of the term — any cover — already holds the filter, mirroring the
+// flat engine's addIfAbsent over the whole deduplicated list. The scan is
+// O(entries); this path only runs during migration replay.
+func (s *aggTermShard) addIfAbsent(term string, c *cover, slot int, id model.FilterID) (added, newEntry bool) {
+	s.mu.Lock()
+	p, e, newEntry := s.entryFor(term, c)
+	present := e.bits.has(slot)
+	if !present {
+		for i := range p.entries {
+			oe := &p.entries[i]
+			if oe.c == c {
+				continue
+			}
+			if s2, ok := oe.c.slotIndex(id); ok && oe.bits.has(int(s2)) {
+				present = true
+				break
+			}
+		}
+	}
+	if !present {
+		e.bits.testAndSet(slot)
+		p.card++
+		added = true
+	}
+	s.mu.Unlock()
+	return added, newEntry
+}
+
+// remove drops term's posting list, returning the physical entry count it
+// held (for stored-entry accounting).
+func (s *aggTermShard) remove(term string) int {
+	s.mu.Lock()
+	n := 0
+	if p := s.lists[term]; p != nil {
+		n = len(p.entries)
+		delete(s.lists, term)
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// histShard tracks per-filter cover history for the re-registration
+// paths, sharded like the filter shards. Both maps stay tiny: lastGone
+// only holds ids whose definition is currently deleted (tombstones), and
+// multi only ids that ever switched signatures.
+type histShard struct {
+	mu sync.Mutex
+	// lastGone maps an id with no live definition to the cover that held
+	// it when it unregistered (or the orphan cover after a restart).
+	lastGone map[model.FilterID]*cover
+	// multi marks ids that have been members of more than one cover; their
+	// stale bits can hide in any entry, so re-registration re-homes them
+	// with a full entry scan instead of a targeted clear.
+	multi map[model.FilterID]struct{}
+}
+
+// aggState is the aggregated engine's serving state, attached to an Index
+// by New (nil under NewFlat).
+type aggState struct {
+	seq  atomic.Uint32
+	sig  [DefaultShards]coverSigShard
+	term [DefaultShards]aggTermShard
+	hist [DefaultShards]histShard
+
+	// orphan collects posting bits recovered at startup whose filter
+	// definition no longer exists — the flat engine's tombstones. Its mode
+	// is invalid so it never matches as a cover; its members are dropped
+	// at match time by the same missing-definition check the flat index
+	// uses.
+	orphan *cover
+
+	coversLive    atomic.Int64
+	membersLive   atomic.Int64
+	storedEntries atomic.Int64
+}
+
+func newAggState() *aggState {
+	a := &aggState{}
+	for i := range a.term {
+		a.term[i].lists = make(map[string]*aggPosting)
+	}
+	for i := range a.sig {
+		a.sig[i].covers = make(map[coverKey]*cover)
+	}
+	for i := range a.hist {
+		a.hist[i].lastGone = make(map[model.FilterID]*cover)
+		a.hist[i].multi = make(map[model.FilterID]struct{})
+	}
+	a.orphan = &cover{id: a.seq.Add(1)}
+	return a
+}
+
+func (a *aggState) termShard(term string) *aggTermShard {
+	return &a.term[termShardFor(term)]
+}
+
+func (a *aggState) histShard(id model.FilterID) *histShard {
+	return &a.hist[filterShardFor(id)]
+}
+
+// intern returns the cover for key, creating it with the canonical term
+// set on first use. canon must be freshly allocated; the cover takes
+// ownership.
+func (a *aggState) intern(key coverKey, canon []string) *cover {
+	sh := &a.sig[sigShardFor(key)]
+	sh.mu.Lock()
+	c := sh.covers[key]
+	if c == nil {
+		c = &cover{
+			id:        a.seq.Add(1),
+			mode:      key.mode,
+			threshold: key.threshold,
+			terms:     canon,
+		}
+		sh.covers[key] = c
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// lookup returns the cover for key, or nil.
+func (a *aggState) lookup(key coverKey) *cover {
+	sh := &a.sig[sigShardFor(key)]
+	sh.mu.Lock()
+	c := sh.covers[key]
+	sh.mu.Unlock()
+	return c
+}
+
+// slotIndex returns id's slot in the cover, if it ever joined.
+func (c *cover) slotIndex(id model.FilterID) (int32, bool) {
+	c.mu.RLock()
+	s, ok := c.findSlot(id)
+	c.mu.RUnlock()
+	return s, ok
+}
+
+// bareSlot assigns a slot without touching liveness — used for orphan
+// members, which have no definition and therefore are not alive.
+func (c *cover) bareSlot(id model.FilterID) int32 {
+	c.mu.Lock()
+	s, ok := c.findSlot(id)
+	if !ok {
+		s = c.addSlot(id)
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// takeLastGone removes and returns id's tombstone cover, if any.
+func (h *histShard) takeLastGone(id model.FilterID) *cover {
+	h.mu.Lock()
+	c := h.lastGone[id]
+	if c != nil {
+		delete(h.lastGone, id)
+	}
+	h.mu.Unlock()
+	return c
+}
+
+func (h *histShard) setLastGone(id model.FilterID, c *cover) {
+	h.mu.Lock()
+	h.lastGone[id] = c
+	h.mu.Unlock()
+}
+
+// noteCover records that id now belongs to c having previously belonged
+// to prior, and reports whether stale bits could hide outside prior —
+// i.e. whether the id was already multi-cover before this hop.
+func (h *histShard) noteCover(id model.FilterID, prior *cover) (wasMulti bool) {
+	h.mu.Lock()
+	_, wasMulti = h.multi[id]
+	if prior != nil {
+		h.multi[id] = struct{}{}
+	}
+	h.mu.Unlock()
+	return wasMulti
+}
+
+// sameStrings reports element-wise equality.
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// aggRegister is Register on the aggregated engine. The store writes and
+// counter updates mirror the flat path exactly (including its
+// unconditional counter increments); the in-memory layer re-homes the
+// filter's posting bits when its signature changed.
+func (ix *Index) aggRegister(f model.Filter, postingTerms []string) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if err := ix.filters.Put(f); err != nil {
+		return err
+	}
+	for _, t := range postingTerms {
+		if err := ix.postings.Add(t, f.ID); err != nil {
+			return err
+		}
+	}
+	a := ix.agg
+	key, canon := sigOf(&f)
+	c := a.intern(key, canon)
+
+	// Locate the filter's previous cover: from its live definition if it
+	// is re-registering, from the tombstone record if it was unregistered
+	// or recovered without a definition.
+	var prior *cover
+	if old, hadOld := ix.state.filterShard(f.ID).get(f.ID); hadOld {
+		if okey, _ := sigOf(&old); okey != key {
+			prior = a.lookup(okey)
+		}
+	} else {
+		prior = a.histShard(f.ID).takeLastGone(f.ID)
+	}
+	if prior == c {
+		prior = nil
+	}
+	fullScan := a.histShard(f.ID).noteCover(f.ID, prior)
+
+	slot, revived, firstLive := c.memberSlot(f.ID)
+	if revived {
+		a.membersLive.Add(1)
+	}
+	if firstLive {
+		a.coversLive.Add(1)
+	}
+	if prior != nil {
+		died, emptied, _ := prior.markDead(f.ID)
+		if died {
+			a.membersLive.Add(-1)
+		}
+		if emptied {
+			a.coversLive.Add(-1)
+		}
+	}
+
+	stored := f.Clone()
+	if sameStrings(stored.Terms, c.terms) {
+		// Attach: share the cover's canonical term array so the match path
+		// can recognize membership by slice identity (see attachedTo).
+		stored.Terms = c.terms
+	}
+	ix.state.filterShard(f.ID).put(stored)
+
+	for _, t := range postingTerms {
+		_, newEntry := a.termShard(t).aggAdd(t, c, int(slot), f.ID, prior, fullScan)
+		if newEntry {
+			a.storedEntries.Add(1)
+		}
+	}
+	ix.numFilters.Add(1)
+	ix.numPostings.Add(int64(len(postingTerms)))
+	return nil
+}
+
+// aggEnsureRegistered is EnsureRegistered on the aggregated engine:
+// idempotent for migration replay, with posting bits attached to the
+// cover of whichever definition is current.
+func (ix *Index) aggEnsureRegistered(f model.Filter, postingTerms []string) (bool, error) {
+	if err := f.Validate(); err != nil {
+		return false, err
+	}
+	a := ix.agg
+	key, canon := sigOf(&f)
+	c := a.intern(key, canon)
+	created := false
+	sh := ix.state.filterShard(f.ID)
+	sh.mu.Lock()
+	cur, ok := sh.filters[f.ID]
+	if !ok {
+		if err := ix.filters.Put(f); err != nil {
+			sh.mu.Unlock()
+			return false, err
+		}
+		stored := f.Clone()
+		if sameStrings(stored.Terms, c.terms) {
+			stored.Terms = c.terms
+		}
+		sh.filters[f.ID] = stored
+		cur = stored
+		created = true
+	}
+	sh.mu.Unlock()
+	if created {
+		ix.numFilters.Add(1)
+		// The id may come back from a tombstone whose cover still holds
+		// stale bits on terms this replay doesn't carry; record the hop so
+		// later re-registrations re-home with a full scan.
+		if prior := a.histShard(f.ID).takeLastGone(f.ID); prior != nil && prior != c {
+			a.histShard(f.ID).noteCover(f.ID, prior)
+		}
+	} else if ckey, ccanon := sigOf(&cur); ckey != key {
+		// A copy already existed under a different signature; the bits
+		// belong with the definition the match path will read.
+		key, c = ckey, a.intern(ckey, ccanon)
+	}
+	slot, revived, firstLive := c.memberSlot(f.ID)
+	if revived {
+		a.membersLive.Add(1)
+	}
+	if firstLive {
+		a.coversLive.Add(1)
+	}
+	for _, t := range postingTerms {
+		added, newEntry := a.termShard(t).addIfAbsent(t, c, int(slot), f.ID)
+		if newEntry {
+			a.storedEntries.Add(1)
+		}
+		if added {
+			ix.numPostings.Add(1)
+			if err := ix.postings.Add(t, f.ID); err != nil {
+				return created, err
+			}
+		}
+	}
+	return created, nil
+}
+
+// aggUnregister is Unregister on the aggregated engine. Beyond the flat
+// path's tombstone discipline it maintains cover liveness — in particular
+// promoting a surviving member to representative when the covering filter
+// itself unregisters, so the cover (and its posting entries) stay owned.
+func (ix *Index) aggUnregister(id model.FilterID) error {
+	sh := ix.state.filterShard(id)
+	sh.mu.Lock()
+	f, present := sh.filters[id]
+	if !present {
+		sh.mu.Unlock()
+		return nil
+	}
+	if err := ix.filters.Delete(id); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	delete(sh.filters, id)
+	sh.mu.Unlock()
+	ix.numFilters.Add(-1)
+	a := ix.agg
+	key, _ := sigOf(&f)
+	if c := a.lookup(key); c != nil {
+		died, emptied, _ := c.markDead(id)
+		if died {
+			a.membersLive.Add(-1)
+		}
+		if emptied {
+			a.coversLive.Add(-1)
+		}
+		a.histShard(id).setLastGone(id, c)
+	}
+	return nil
+}
+
+// aggDropTerm drops a term's aggregated posting list.
+func (ix *Index) aggDropTerm(term string) error {
+	if err := ix.postings.Remove(term); err != nil {
+		return err
+	}
+	removed := ix.agg.termShard(term).remove(term)
+	ix.agg.storedEntries.Add(-int64(removed))
+	return nil
+}
+
+// aggLoad rebuilds the aggregated serving layer from the store after a
+// restart. Definitions are interned into covers first; posting bits are
+// then attached to each id's current cover, or to the orphan cover when
+// the definition is gone — which also normalizes every id back to a
+// single cover, clearing any pre-crash multi-cover history.
+func (ix *Index) aggLoad() error {
+	a := ix.agg
+	count := 0
+	err := ix.filters.Each(func(f model.Filter) bool {
+		key, canon := sigOf(&f)
+		c := a.intern(key, canon)
+		_, revived, firstLive := c.memberSlot(f.ID)
+		if revived {
+			a.membersLive.Add(1)
+		}
+		if firstLive {
+			a.coversLive.Add(1)
+		}
+		if sameStrings(f.Terms, c.terms) {
+			f.Terms = c.terms
+		}
+		ix.state.filterShard(f.ID).put(f)
+		count++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	ix.numFilters.Store(int64(count))
+	terms, err := ix.postings.Terms()
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, t := range terms {
+		ids, err := ix.postings.Get(t)
+		if err != nil {
+			return err
+		}
+		sh := a.termShard(t)
+		for _, id := range ids {
+			var c *cover
+			var slot int32
+			if f, ok := ix.state.filterShard(id).get(id); ok {
+				key, canon := sigOf(&f)
+				c = a.intern(key, canon)
+				slot, _, _ = c.memberSlot(id)
+			} else {
+				c = a.orphan
+				slot = c.bareSlot(id)
+				a.histShard(id).setLastGone(id, c)
+			}
+			_, newEntry := sh.aggAdd(t, c, int(slot), id, nil, false)
+			if newEntry {
+				a.storedEntries.Add(1)
+			}
+		}
+		total += len(ids)
+	}
+	ix.numPostings.Store(int64(total))
+	return nil
+}

@@ -1,0 +1,289 @@
+package index
+
+import (
+	"sync"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// Match paths of the aggregated engine. The scan order is: posting →
+// entries (ascending cover id) → set bits (ascending slot). For each bit
+// the member's definition is read from the filter shards exactly like the
+// flat engine — a missing definition drops the candidate lazily — and the
+// predicate is decided once per cover for attached members (the cover
+// verdict), individually for stale ones. Container intersection happens
+// before expansion: a candidate only surfaces where the entry's bitset
+// says the cover posted it, and the per-cover verdict lets a whole
+// container short-circuit to one predicate evaluation.
+//
+// Lock discipline: the term shard's read lock is held across the whole
+// posting scan (entries and bitsets mutate in place, unlike the flat
+// engine's append-only snapshots); the cover lock is taken only briefly to
+// capture the slots header, and is never held across a filter-shard read.
+
+// verdict cache values: 0 unknown, verdictMatch, verdictNoMatch.
+const (
+	verdictMatch   = uint8(1)
+	verdictNoMatch = uint8(2)
+)
+
+// verdictPool recycles the per-call cover-verdict cache of multi-term
+// matches, keyed by cover id.
+var verdictPool = sync.Pool{
+	New: func() any { return make(map[uint32]uint8, 16) },
+}
+
+// emitSlot evaluates one member bit: dedup, definition lookup, predicate
+// (cached cover verdict for attached members), result append. Returns the
+// possibly-grown matched slice and the updated verdict state.
+func (ix *Index) emitSlot(c *cover, slots []model.FilterID, slot int, view *model.DocView,
+	seen map[model.FilterID]struct{}, st *MatchStats, matched []model.Filter, capHint int, verdict uint8) ([]model.Filter, uint8) {
+	if slot >= len(slots) {
+		return matched, verdict
+	}
+	id := slots[slot]
+	if seen != nil {
+		if _, dup := seen[id]; dup {
+			return matched, verdict
+		}
+		seen[id] = struct{}{}
+	}
+	f, ok := ix.state.filterShard(id).get(id)
+	if !ok {
+		return matched, verdict // unregistered; lazy posting cleanup
+	}
+	st.Evaluated++
+	var isMatch bool
+	if attachedTo(&f, c) {
+		if verdict == 0 {
+			cf := model.Filter{Mode: c.mode, Threshold: c.threshold, Terms: c.terms}
+			if ix.evaluate(&cf, view) {
+				verdict = verdictMatch
+			} else {
+				verdict = verdictNoMatch
+			}
+		}
+		isMatch = verdict == verdictMatch
+	} else {
+		// Stale member: definition re-registered under another signature
+		// while its posting bit still lives here. Evaluate it individually;
+		// exactness beats the fast path.
+		isMatch = ix.evaluate(&f, view)
+	}
+	if isMatch {
+		if matched == nil && capHint > 0 {
+			matched = make([]model.Filter, 0, capHint)
+		}
+		matched = append(matched, f)
+	}
+	return matched, verdict
+}
+
+// emitEntry expands one (term, cover) entry against the document,
+// iterating the bitset container inline (word-wise for bitmap containers)
+// so the warm path stays allocation-free.
+func (ix *Index) emitEntry(e *aggEntry, view *model.DocView,
+	seen map[model.FilterID]struct{}, verdicts map[uint32]uint8, st *MatchStats, matched []model.Filter, capHint int) []model.Filter {
+	c := e.c
+	c.mu.RLock()
+	slots := c.slots
+	c.mu.RUnlock()
+	verdict := uint8(0)
+	if verdicts != nil {
+		verdict = verdicts[c.id]
+	}
+	if e.bits.words != nil {
+		for w, word := range e.bits.words {
+			for word != 0 {
+				b := trailingZeros(word)
+				word &= word - 1
+				matched, verdict = ix.emitSlot(c, slots, w<<6+b, view, seen, st, matched, capHint, verdict)
+			}
+		}
+	} else {
+		for _, v := range e.bits.arr {
+			matched, verdict = ix.emitSlot(c, slots, int(v), view, seen, st, matched, capHint, verdict)
+		}
+	}
+	if verdicts != nil && verdict != 0 {
+		verdicts[c.id] = verdict
+	}
+	return matched
+}
+
+// aggMatchTerm is MatchTerm on the aggregated engine.
+func (ix *Index) aggMatchTerm(d *model.Document, term string) ([]model.Filter, MatchStats, error) {
+	var st MatchStats
+	sh := ix.agg.termShard(term)
+	view := d.View()
+	readTm := ix.postingReadH.Start()
+	sh.mu.RLock()
+	p := sh.lists[term]
+	readTm.Stop()
+	if p == nil || p.card == 0 {
+		sh.mu.RUnlock()
+		return nil, st, nil
+	}
+	st.PostingLists = 1
+	st.Postings = p.card
+	evalTm := ix.evalH.Start()
+	// Lazy exact-size result allocation, as in the flat MatchTerm: the
+	// no-match case returns nil without touching the heap; the first match
+	// sizes the slice for the whole logical list.
+	var matched []model.Filter
+	for i := range p.entries {
+		matched = ix.emitEntry(&p.entries[i], view, nil, nil, &st, matched, p.card)
+	}
+	sh.mu.RUnlock()
+	evalTm.Stop()
+	return matched, st, nil
+}
+
+// aggMatchTerms is MatchTerms on the aggregated engine: one pass over the
+// aggregated shards, each term's entries expanded once, duplicates removed
+// across terms, cover verdicts cached across the whole call.
+func (ix *Index) aggMatchTerms(d *model.Document, terms []string) ([]model.Filter, MatchStats, error) {
+	if len(terms) == 1 {
+		return ix.aggMatchTerm(d, terms[0])
+	}
+	var st MatchStats
+	view := d.View()
+	seen := seenPool.Get().(map[model.FilterID]struct{})
+	verdicts := verdictPool.Get().(map[uint32]uint8)
+	defer func() {
+		clear(seen)
+		seenPool.Put(seen)
+		clear(verdicts)
+		verdictPool.Put(verdicts)
+	}()
+	var matched []model.Filter
+	evalTm := ix.evalH.Start()
+	defer evalTm.Stop()
+	for _, term := range terms {
+		sh := ix.agg.termShard(term)
+		readTm := ix.postingReadH.Start()
+		sh.mu.RLock()
+		p := sh.lists[term]
+		readTm.Stop()
+		if p == nil || p.card == 0 {
+			sh.mu.RUnlock()
+			continue
+		}
+		st.PostingLists++
+		st.Postings += p.card
+		for i := range p.entries {
+			matched = ix.emitEntry(&p.entries[i], view, seen, verdicts, &st, matched, 0)
+		}
+		sh.mu.RUnlock()
+	}
+	return matched, st, nil
+}
+
+// aggMatchSIFT is MatchSIFT on the aggregated engine.
+func (ix *Index) aggMatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error) {
+	var st MatchStats
+	view := d.View()
+	seen := seenPool.Get().(map[model.FilterID]struct{})
+	verdicts := verdictPool.Get().(map[uint32]uint8)
+	defer func() {
+		clear(seen)
+		seenPool.Put(seen)
+		clear(verdicts)
+		verdictPool.Put(verdicts)
+	}()
+	var matched []model.Filter
+	evalTm := ix.evalH.Start()
+	defer evalTm.Stop()
+	for _, term := range d.Terms {
+		sh := ix.agg.termShard(term)
+		readTm := ix.postingReadH.Start()
+		sh.mu.RLock()
+		p := sh.lists[term]
+		readTm.Stop()
+		if p == nil || p.card == 0 {
+			sh.mu.RUnlock()
+			continue
+		}
+		st.PostingLists++
+		st.Postings += p.card
+		for i := range p.entries {
+			matched = ix.emitEntry(&p.entries[i], view, seen, verdicts, &st, matched, 0)
+		}
+		sh.mu.RUnlock()
+	}
+	return matched, st, nil
+}
+
+// aggPostingIDs expands term's aggregated posting list back to concrete
+// filter IDs (covers first by id, members in slot order), as a fresh copy.
+func (ix *Index) aggPostingIDs(term string) []model.FilterID {
+	sh := ix.agg.termShard(term)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p := sh.lists[term]
+	if p == nil || p.card == 0 {
+		return nil
+	}
+	out := make([]model.FilterID, 0, p.card)
+	for i := range p.entries {
+		e := &p.entries[i]
+		e.c.mu.RLock()
+		slots := e.c.slots
+		e.c.mu.RUnlock()
+		e.bits.forEach(func(slot int) {
+			if slot < len(slots) {
+				out = append(out, slots[slot])
+			}
+		})
+	}
+	return out
+}
+
+// aggPostingLen returns term's logical posting-list length.
+func (ix *Index) aggPostingLen(term string) int {
+	sh := ix.agg.termShard(term)
+	sh.mu.RLock()
+	n := 0
+	if p := sh.lists[term]; p != nil {
+		n = p.card
+	}
+	sh.mu.RUnlock()
+	return n
+}
+
+// CoverDetail is a deep, O(index) walk of the aggregated posting lists —
+// bench/diagnostic use only. LiveBits intersects each entry's bitset with
+// its cover's alive set container-wise, separating live expansion fan-out
+// from tombstone bits.
+type CoverDetail struct {
+	Terms    int // terms with a posting list
+	Entries  int // physical (term, cover) entries
+	Bits     int // total set bits (= logical postings, tombstones included)
+	LiveBits int // bits whose member is currently registered
+}
+
+// CoverDetailStats walks every aggregated posting list. Returns the zero
+// value on a flat index.
+func (ix *Index) CoverDetailStats() CoverDetail {
+	var d CoverDetail
+	if ix.agg == nil {
+		return d
+	}
+	for si := range ix.agg.term {
+		sh := &ix.agg.term[si]
+		sh.mu.RLock()
+		for _, p := range sh.lists {
+			d.Terms++
+			d.Entries += len(p.entries)
+			for i := range p.entries {
+				e := &p.entries[i]
+				d.Bits += e.bits.count()
+				e.c.mu.RLock()
+				d.LiveBits += e.bits.intersectCard(&e.c.alive)
+				e.c.mu.RUnlock()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return d
+}

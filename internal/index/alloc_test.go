@@ -118,6 +118,89 @@ func TestMatchSIFTSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestMatchTermsZeroAllocs guards the bitset match path of the aggregated
+// engine: a warm multi-term MatchTerms call — pooled seen map, pooled
+// cover-verdict cache, inline container iteration — performs zero heap
+// allocations on the unmatched path. Runs both container shapes: distinct
+// signatures (one array-container entry per cover) and one shared
+// signature large enough to promote its entry to a bitmap container.
+func TestMatchTermsZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	for name, shared := range map[string]bool{"array-containers": false, "bitmap-container": true} {
+		t.Run(name, func(t *testing.T) {
+			ix := newIndex(t)
+			for i := 0; i < 128; i++ {
+				absent := "absent-shared"
+				if !shared {
+					absent = "absent-" + strconv.Itoa(i)
+				}
+				f := model.Filter{
+					ID:    model.FilterID(i + 1),
+					Terms: []string{"hot", absent},
+					Mode:  model.MatchAll,
+				}
+				if err := ix.Register(f, []string{"hot"}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if shared {
+				if cs := ix.CoverStats(); cs.Covers != 1 {
+					t.Fatalf("Covers = %d, want 1 shared cover", cs.Covers)
+				}
+			}
+			doc := allocDoc(24)
+			queryTerms := []string{"hot", "term-1"}
+
+			// Warm call: verifies the multi-term path scans the posting list
+			// (and warms the pools).
+			if _, st, err := ix.MatchTerms(doc, queryTerms); err != nil || st.Postings != 128 {
+				t.Fatalf("warm call: scanned=%d err=%v", st.Postings, err)
+			}
+
+			allocs := testing.AllocsPerRun(500, func() {
+				fs, _, err := ix.MatchTerms(doc, queryTerms)
+				if err != nil {
+					t.Fatal(err)
+				}
+				allocSinkFilters = fs
+			})
+			if allocs != 0 {
+				t.Fatalf("MatchTerms on warm index: %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkMatchTermsWarm measures the aggregated multi-term match (the
+// coalesced-publish serving path) with -benchmem visibility; steady state
+// is 0 B/op on the unmatched path.
+func BenchmarkMatchTermsWarm(b *testing.B) {
+	ix := newIndex(b)
+	for i := 0; i < 256; i++ {
+		f := model.Filter{
+			ID:    model.FilterID(i + 1),
+			Terms: []string{"hot", "absent-shared"},
+			Mode:  model.MatchAll,
+		}
+		if err := ix.Register(f, []string{"hot"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	doc := allocDoc(24)
+	queryTerms := []string{"hot", "term-1"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, _, err := ix.MatchTerms(doc, queryTerms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allocSinkFilters = fs
+	}
+}
+
 // BenchmarkMatchTermWarm measures the home-node posting-list scan (§IV's
 // y_p term) on a warm index with a primed document view. Run with
 // -benchmem: the steady-state figure of merit is 0 B/op on the unmatched

@@ -1,0 +1,270 @@
+package index
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/movesys/move/internal/model"
+)
+
+// A cover is the aggregated index's unit of posting storage: the group of
+// all registered filters sharing one canonical predicate signature (match
+// mode, threshold, sorted deduplicated term set). Instead of one posting
+// entry per filter per term, the aggregated index stores one (term, cover)
+// entry whose slotSet records which members were posted under that term;
+// the cover itself is the expansion table mapping that compressed entry
+// back to concrete filter IDs (and, through the filter shards, to
+// subscribers).
+//
+// Members get dense slot indexes in registration order. Slots are
+// append-only — a member that unregisters keeps its slot (cleared in the
+// alive set) and reclaims the same slot if it re-registers under the same
+// signature, so posting slotSets never need rewriting on membership churn.
+//
+// rep is the cover's representative — the "covering filter" in the
+// subsumption literature. It is maintained so the unregister-a-cover case
+// promotes a surviving member instead of orphaning the group: when the
+// representative unregisters, the lowest live slot takes over.
+type cover struct {
+	id        uint32
+	mode      model.MatchMode
+	threshold float64
+	// terms is the canonical (sorted, deduplicated) term set, privately
+	// owned by the cover and immutable. Members whose registered Terms are
+	// element-wise equal to it share this exact backing array — that slice
+	// identity is what marks a member as "attached" (safe to take the
+	// cover-level verdict) versus "stale" (re-registered under a different
+	// signature; must be evaluated individually).
+	terms []string
+
+	mu    sync.RWMutex
+	slots []model.FilterID
+	// slotOf accelerates member→slot lookup but is built lazily, once the
+	// cover reaches coverSlotMapMin members: most covers stay small, and a
+	// per-cover map would dominate the memory the aggregation saves. Below
+	// the threshold lookups scan slots linearly (nil map).
+	slotOf map[model.FilterID]int32
+	// alive marks the slots of currently registered members — an advisory
+	// set: the match path's source of truth for liveness stays the filter
+	// shards (exactly like the flat index's lazy tombstones), while alive
+	// drives representative promotion and the cover statistics.
+	alive slotSet
+	// rep is the representative member, 0 when the cover has no live
+	// members.
+	rep model.FilterID
+}
+
+// coverKey is a cover's canonical signature, usable as a map key. terms is
+// the canonical term set joined with NUL (terms are tokenized words and
+// never contain NUL, so the join is injective).
+type coverKey struct {
+	mode      model.MatchMode
+	threshold float64
+	terms     string
+}
+
+// sigOf builds the signature key and canonical term set for a filter.
+// The returned slice is freshly allocated and may be retained by a new
+// cover.
+func sigOf(f *model.Filter) (coverKey, []string) {
+	canon := model.SortTerms(append([]string(nil), f.Terms...))
+	key := coverKey{mode: f.Mode, terms: strings.Join(canon, "\x00")}
+	if f.Mode == model.MatchThreshold {
+		key.threshold = f.Threshold
+	}
+	return key, canon
+}
+
+// sigShardFor hashes a signature to its shard (FNV-1a over the joined
+// terms, mode and threshold mixed in).
+func sigShardFor(key coverKey) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.terms); i++ {
+		h ^= uint64(key.terms[i])
+		h *= prime64
+	}
+	h ^= uint64(key.mode)
+	h *= prime64
+	if key.threshold != 0 {
+		h ^= uint64(int64(key.threshold * 1e9))
+		h *= prime64
+	}
+	return uint32(h) & shardMask
+}
+
+// coverSigShard interns covers by signature.
+type coverSigShard struct {
+	mu     sync.Mutex
+	covers map[coverKey]*cover
+}
+
+// attachedTo reports whether f's definition is attached to c: its Terms
+// slice IS the cover's canonical array (identity, not just equality) and
+// mode/threshold agree. Attached members are exactly those whose predicate
+// the cover's single evaluation decides; anything else — including a
+// same-ID filter re-registered under a different signature whose posting
+// bits haven't migrated — falls back to individual evaluation, which keeps
+// the aggregated matcher exact under arbitrary register/unregister
+// interleavings.
+func attachedTo(f *model.Filter, c *cover) bool {
+	if f.Mode != c.mode || len(f.Terms) != len(c.terms) {
+		return false
+	}
+	if f.Mode == model.MatchThreshold && f.Threshold != c.threshold {
+		return false
+	}
+	return len(f.Terms) == 0 || &f.Terms[0] == &c.terms[0]
+}
+
+// debugString renders the cover for test failure messages.
+func (c *cover) debugString() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("cover#")
+	b.WriteString(strconv.FormatUint(uint64(c.id), 10))
+	b.WriteString("{")
+	b.WriteString(c.mode.String())
+	b.WriteString(" [")
+	b.WriteString(strings.Join(c.terms, ","))
+	b.WriteString("] live=")
+	b.WriteString(strconv.Itoa(c.alive.count()))
+	b.WriteString("/")
+	b.WriteString(strconv.Itoa(len(c.slots)))
+	b.WriteString(" rep=")
+	b.WriteString(c.rep.String())
+	b.WriteString("}")
+	return b.String()
+}
+
+// coverSlotMapMin is the membership size at which a cover materializes its
+// slotOf map; below it, findSlot scans the slots slice.
+const coverSlotMapMin = 16
+
+// findSlot returns id's slot, via the map when materialized or a linear
+// scan of the (small) slots slice otherwise. Caller holds c.mu.
+func (c *cover) findSlot(id model.FilterID) (int32, bool) {
+	if c.slotOf != nil {
+		s, ok := c.slotOf[id]
+		return s, ok
+	}
+	for i, m := range c.slots {
+		if m == id {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// addSlot appends a new member slot, materializing the lookup map once the
+// cover grows past coverSlotMapMin. Caller holds c.mu.
+func (c *cover) addSlot(id model.FilterID) int32 {
+	s := int32(len(c.slots))
+	c.slots = append(c.slots, id)
+	if c.slotOf != nil {
+		c.slotOf[id] = s
+	} else if len(c.slots) >= coverSlotMapMin {
+		c.slotOf = make(map[model.FilterID]int32, len(c.slots))
+		for i, m := range c.slots {
+			c.slotOf[m] = int32(i)
+		}
+	}
+	return s
+}
+
+// memberSlot returns the member's slot under the cover lock, adding a new
+// slot when the filter was never a member. revived reports whether the
+// member transitioned dead→alive; firstLive whether the cover transitioned
+// empty→populated.
+func (c *cover) memberSlot(id model.FilterID) (slot int32, revived, firstLive bool) {
+	c.mu.Lock()
+	s, ok := c.findSlot(id)
+	if !ok {
+		s = c.addSlot(id)
+	}
+	if c.alive.testAndSet(int(s)) {
+		revived = true
+		if c.alive.count() == 1 {
+			firstLive = true
+			c.rep = id
+		}
+	}
+	c.mu.Unlock()
+	return s, revived, firstLive
+}
+
+// markDead clears the member's alive bit. died reports a live→dead
+// transition; emptied that the cover lost its last live member; promoted
+// (non-zero) that a surviving member was promoted to representative
+// because the departing member was the representative — the
+// unregister-the-covering-filter case.
+func (c *cover) markDead(id model.FilterID) (died, emptied bool, promoted model.FilterID) {
+	c.mu.Lock()
+	if s, ok := c.findSlot(id); ok && c.alive.clear(int(s)) {
+		died = true
+		if c.alive.count() == 0 {
+			emptied = true
+			c.rep = 0
+		} else if c.rep == id {
+			c.rep = c.slots[c.alive.first()]
+			promoted = c.rep
+		}
+	}
+	c.mu.Unlock()
+	return died, emptied, promoted
+}
+
+// Rep returns the cover's current representative under the read lock.
+func (c *cover) Rep() model.FilterID {
+	c.mu.RLock()
+	r := c.rep
+	c.mu.RUnlock()
+	return r
+}
+
+// RepFor returns the representative filter ID of the cover holding f's
+// predicate signature — the "covering filter" of f's group. ok is false
+// on a flat index, when no such cover exists, or when the cover has no
+// live members. Diagnostic/test use.
+func (ix *Index) RepFor(f model.Filter) (model.FilterID, bool) {
+	if ix.agg == nil {
+		return 0, false
+	}
+	key, _ := sigOf(&f)
+	c := ix.agg.lookup(key)
+	if c == nil {
+		return 0, false
+	}
+	r := c.Rep()
+	return r, r != 0
+}
+
+// CoverStats summarizes the aggregated index's compression state. All
+// fields are O(1) atomic reads — cheap enough to export as gauges on every
+// register/unregister.
+type CoverStats struct {
+	// Covers is the number of covers with at least one live member.
+	Covers int
+	// CoveredFilters is the number of live filter definitions attached to
+	// those covers (every registered filter belongs to exactly one cover).
+	CoveredFilters int
+	// StoredEntries is the number of physical (term, cover) posting entries
+	// — what the aggregated index actually stores.
+	StoredEntries int
+	// LogicalPostings is the flat-equivalent posting count (one per
+	// (term, filter) pair, tombstones included) — identical to
+	// NumPostings().
+	LogicalPostings int
+	// PostingsSaved is LogicalPostings − StoredEntries: posting entries the
+	// aggregation avoided storing.
+	PostingsSaved int
+	// ExpansionFanoutMilli is the mean number of member bits per stored
+	// entry, in thousandths (logical/stored × 1000); 1000 means no
+	// compression, higher is better.
+	ExpansionFanoutMilli int
+}

@@ -1,0 +1,496 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/store"
+)
+
+// This file is the oracle-equivalence battery for the aggregated
+// (covering) engine: every test drives identical operations into an
+// aggregated index (New) and a flat per-filter index (NewFlat) and holds
+// all three matchers to byte-identical sorted match sets and identical
+// MatchStats, including register/unregister interleavings that split and
+// merge covers.
+
+// enginePair is an aggregated index and its flat oracle fed the same
+// operations.
+type enginePair struct {
+	agg  *Index
+	flat *Index
+}
+
+func newEnginePair(t *testing.T) *enginePair {
+	t.Helper()
+	sa, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewFlat(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Aggregated() || flat.Aggregated() {
+		t.Fatal("engine selection broken: New must aggregate, NewFlat must not")
+	}
+	return &enginePair{agg: agg, flat: flat}
+}
+
+func (p *enginePair) register(t *testing.T, f model.Filter, postingTerms []string) {
+	t.Helper()
+	if err := p.agg.Register(f, postingTerms); err != nil {
+		t.Fatalf("agg register %v: %v", f.ID, err)
+	}
+	if err := p.flat.Register(f, postingTerms); err != nil {
+		t.Fatalf("flat register %v: %v", f.ID, err)
+	}
+}
+
+func (p *enginePair) ensure(t *testing.T, f model.Filter, postingTerms []string) {
+	t.Helper()
+	aCreated, err := p.agg.EnsureRegistered(f, postingTerms)
+	if err != nil {
+		t.Fatalf("agg ensure %v: %v", f.ID, err)
+	}
+	fCreated, err := p.flat.EnsureRegistered(f, postingTerms)
+	if err != nil {
+		t.Fatalf("flat ensure %v: %v", f.ID, err)
+	}
+	if aCreated != fCreated {
+		t.Fatalf("ensure %v: created diverged: agg=%v flat=%v", f.ID, aCreated, fCreated)
+	}
+}
+
+func (p *enginePair) unregister(t *testing.T, id model.FilterID) {
+	t.Helper()
+	if err := p.agg.Unregister(id); err != nil {
+		t.Fatalf("agg unregister %v: %v", id, err)
+	}
+	if err := p.flat.Unregister(id); err != nil {
+		t.Fatalf("flat unregister %v: %v", id, err)
+	}
+}
+
+func (p *enginePair) dropTerm(t *testing.T, term string) {
+	t.Helper()
+	if err := p.agg.DropTerm(term); err != nil {
+		t.Fatalf("agg drop %q: %v", term, err)
+	}
+	if err := p.flat.DropTerm(term); err != nil {
+		t.Fatalf("flat drop %q: %v", term, err)
+	}
+}
+
+func (p *enginePair) observe(d *model.Document) {
+	p.agg.ObserveDocument(d)
+	p.flat.ObserveDocument(d)
+}
+
+// compareAll matches doc through MatchTerm (for every doc term),
+// MatchTerms, and MatchSIFT on both engines and fails on any divergence
+// in the sorted match set or the stats.
+func (p *enginePair) compareAll(t *testing.T, doc *model.Document) {
+	t.Helper()
+	for _, term := range doc.Terms {
+		am, ast, err := p.agg.MatchTerm(doc, term)
+		if err != nil {
+			t.Fatalf("agg MatchTerm(%q): %v", term, err)
+		}
+		fm, fst, err := p.flat.MatchTerm(doc, term)
+		if err != nil {
+			t.Fatalf("flat MatchTerm(%q): %v", term, err)
+		}
+		if !bytes.Equal(encodeMatches(am, ast), encodeMatches(fm, fst)) {
+			t.Fatalf("MatchTerm(%v, %q) diverged:\n agg:  %v %+v\n flat: %v %+v",
+				doc.Terms, term, am, ast, fm, fst)
+		}
+	}
+	am, ast, err := p.agg.MatchTerms(doc, doc.Terms)
+	if err != nil {
+		t.Fatalf("agg MatchTerms: %v", err)
+	}
+	fm, fst, err := p.flat.MatchTerms(doc, doc.Terms)
+	if err != nil {
+		t.Fatalf("flat MatchTerms: %v", err)
+	}
+	if !bytes.Equal(encodeMatches(am, ast), encodeMatches(fm, fst)) {
+		t.Fatalf("MatchTerms(%v) diverged:\n agg:  %v %+v\n flat: %v %+v",
+			doc.Terms, am, ast, fm, fst)
+	}
+	am, ast, err = p.agg.MatchSIFT(doc)
+	if err != nil {
+		t.Fatalf("agg MatchSIFT: %v", err)
+	}
+	fm, fst, err = p.flat.MatchSIFT(doc)
+	if err != nil {
+		t.Fatalf("flat MatchSIFT: %v", err)
+	}
+	if !bytes.Equal(encodeMatches(am, ast), encodeMatches(fm, fst)) {
+		t.Fatalf("MatchSIFT(%v) diverged:\n agg:  %v %+v\n flat: %v %+v",
+			doc.Terms, am, ast, fm, fst)
+	}
+	if a, f := p.agg.NumFilters(), p.flat.NumFilters(); a != f {
+		t.Fatalf("NumFilters diverged: agg=%d flat=%d", a, f)
+	}
+	if a, f := p.agg.NumPostings(), p.flat.NumPostings(); a != f {
+		t.Fatalf("NumPostings diverged: agg=%d flat=%d", a, f)
+	}
+}
+
+func anyFilter(id model.FilterID, terms ...string) model.Filter {
+	return model.Filter{ID: id, Subscriber: fmt.Sprintf("s%d", id%7), Terms: terms, Mode: model.MatchAny}
+}
+
+func allFilter(id model.FilterID, terms ...string) model.Filter {
+	return model.Filter{ID: id, Subscriber: fmt.Sprintf("s%d", id%7), Terms: terms, Mode: model.MatchAll}
+}
+
+// TestCoverSharingAndStats pins the basic aggregation contract: filters
+// with the same signature share one cover and one posting entry per term,
+// and CoverStats reports the physical savings while the logical counters
+// stay flat-identical.
+func TestCoverSharingAndStats(t *testing.T) {
+	p := newEnginePair(t)
+	for i := 1; i <= 10; i++ {
+		p.register(t, allFilter(model.FilterID(i), "go", "news"), []string{"go", "news"})
+	}
+	cs := p.agg.CoverStats()
+	if cs.Covers != 1 {
+		t.Fatalf("Covers = %d, want 1 (identical signatures must share)", cs.Covers)
+	}
+	if cs.CoveredFilters != 10 {
+		t.Fatalf("CoveredFilters = %d, want 10", cs.CoveredFilters)
+	}
+	if cs.StoredEntries != 2 {
+		t.Fatalf("StoredEntries = %d, want 2 (one per term)", cs.StoredEntries)
+	}
+	if cs.LogicalPostings != 20 || cs.PostingsSaved != 18 {
+		t.Fatalf("LogicalPostings/PostingsSaved = %d/%d, want 20/18", cs.LogicalPostings, cs.PostingsSaved)
+	}
+	if cs.ExpansionFanoutMilli != 10000 {
+		t.Fatalf("ExpansionFanoutMilli = %d, want 10000", cs.ExpansionFanoutMilli)
+	}
+	p.compareAll(t, &model.Document{ID: 1, Terms: []string{"go", "news"}})
+	p.compareAll(t, &model.Document{ID: 2, Terms: []string{"go"}})
+	p.compareAll(t, &model.Document{ID: 3, Terms: []string{"rust"}})
+
+	// A different signature over the same terms is a different cover.
+	p.register(t, anyFilter(500, "go", "news"), []string{"go", "news"})
+	if cs := p.agg.CoverStats(); cs.Covers != 2 {
+		t.Fatalf("Covers after second signature = %d, want 2", cs.Covers)
+	}
+	p.compareAll(t, &model.Document{ID: 4, Terms: []string{"go"}})
+}
+
+// TestUnregisterCoverPromotesSurvivor is the regression test for the
+// covering-filter unregister fix: removing the cover's representative must
+// promote a surviving covered filter and keep every remaining member
+// matchable — no orphaned postings, no phantom matches of the removed
+// filter.
+func TestUnregisterCoverPromotesSurvivor(t *testing.T) {
+	p := newEnginePair(t)
+	sig := anyFilter(1, "alpha", "beta")
+	p.register(t, anyFilter(1, "alpha", "beta"), []string{"alpha", "beta"})
+	p.register(t, anyFilter(2, "alpha", "beta"), []string{"alpha", "beta"})
+	p.register(t, anyFilter(3, "alpha", "beta"), []string{"alpha", "beta"})
+	if rep, ok := p.agg.RepFor(sig); !ok || rep != 1 {
+		t.Fatalf("RepFor = %v,%v, want f1 (first member is representative)", rep, ok)
+	}
+
+	// Unregister the covering filter itself.
+	p.unregister(t, 1)
+	rep, ok := p.agg.RepFor(sig)
+	if !ok {
+		t.Fatal("cover lost its representative: no survivor was promoted")
+	}
+	if rep != 2 && rep != 3 {
+		t.Fatalf("promoted representative = %v, want a surviving member (f2 or f3)", rep)
+	}
+	if cs := p.agg.CoverStats(); cs.Covers != 1 || cs.CoveredFilters != 2 {
+		t.Fatalf("CoverStats after promotion = %+v, want 1 cover / 2 members", cs)
+	}
+	doc := &model.Document{ID: 1, Terms: []string{"alpha"}}
+	matched, _, err := p.agg.MatchTerm(doc, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[model.FilterID]bool{}
+	for _, m := range matched {
+		ids[m.ID] = true
+	}
+	if ids[1] {
+		t.Fatal("phantom match: unregistered covering filter f1 still matches")
+	}
+	if !ids[2] || !ids[3] {
+		t.Fatalf("orphaned postings: survivors not matchable, got %v", matched)
+	}
+	p.compareAll(t, doc)
+
+	// Remove the survivors too: the cover empties and stops counting.
+	p.unregister(t, 2)
+	p.unregister(t, 3)
+	if _, ok := p.agg.RepFor(sig); ok {
+		t.Fatal("emptied cover still has a representative")
+	}
+	if cs := p.agg.CoverStats(); cs.Covers != 0 || cs.CoveredFilters != 0 {
+		t.Fatalf("CoverStats after emptying = %+v, want 0/0", cs)
+	}
+	p.compareAll(t, doc)
+
+	// Revive one member: the cover repopulates and the revived member
+	// becomes representative.
+	p.register(t, anyFilter(3, "alpha", "beta"), []string{"alpha", "beta"})
+	if rep, ok := p.agg.RepFor(sig); !ok || rep != 3 {
+		t.Fatalf("RepFor after revive = %v,%v, want f3", rep, ok)
+	}
+	p.compareAll(t, doc)
+}
+
+// TestCoverSplitMergeInterleavings walks scripted re-registration
+// interleavings that move a filter between covers — split (same ID
+// re-registered under a new signature), merge (back to the original),
+// and multi-hop chains through three signatures with overlapping posting
+// terms — comparing every matcher against the flat oracle at each step.
+func TestCoverSplitMergeInterleavings(t *testing.T) {
+	probes := []*model.Document{
+		{ID: 1, Terms: []string{"a"}},
+		{ID: 2, Terms: []string{"b"}},
+		{ID: 3, Terms: []string{"c"}},
+		{ID: 4, Terms: []string{"a", "b"}},
+		{ID: 5, Terms: []string{"a", "b", "c"}},
+	}
+	check := func(t *testing.T, p *enginePair) {
+		t.Helper()
+		for _, d := range probes {
+			p.compareAll(t, &model.Document{ID: d.ID, Terms: d.Terms})
+		}
+	}
+
+	t.Run("split-then-merge", func(t *testing.T) {
+		p := newEnginePair(t)
+		p.register(t, anyFilter(1, "a", "b"), []string{"a", "b"})
+		p.register(t, anyFilter(2, "a", "b"), []string{"a", "b"})
+		check(t, p)
+		// Split: f2 leaves for a new signature; posting term "a" overlaps.
+		p.register(t, anyFilter(2, "a", "c"), []string{"a", "c"})
+		check(t, p)
+		if cs := p.agg.CoverStats(); cs.Covers != 2 {
+			t.Fatalf("Covers after split = %d, want 2", cs.Covers)
+		}
+		// Merge: f2 returns to the original signature.
+		p.register(t, anyFilter(2, "a", "b"), []string{"a", "b"})
+		check(t, p)
+	})
+
+	t.Run("multi-hop-rehoming", func(t *testing.T) {
+		p := newEnginePair(t)
+		// f1 hops through three signatures, always posting under "a"; stale
+		// bits from any earlier cover must be re-homed, not duplicated.
+		p.register(t, anyFilter(1, "a"), []string{"a"})
+		p.register(t, anyFilter(1, "a", "b"), []string{"a", "b"})
+		check(t, p)
+		p.register(t, anyFilter(1, "a", "c"), []string{"a", "c"})
+		check(t, p)
+		p.register(t, anyFilter(1, "a"), []string{"a"})
+		check(t, p)
+	})
+
+	t.Run("unregister-then-new-signature", func(t *testing.T) {
+		p := newEnginePair(t)
+		p.register(t, allFilter(1, "a", "b"), []string{"a", "b"})
+		p.register(t, allFilter(2, "a", "b"), []string{"a", "b"})
+		p.unregister(t, 1)
+		check(t, p)
+		// Tombstoned f1 returns under a different signature with an
+		// overlapping posting term: the old cover's stale bit must clear.
+		p.register(t, anyFilter(1, "a", "c"), []string{"a", "c"})
+		check(t, p)
+	})
+
+	t.Run("partial-posting-terms", func(t *testing.T) {
+		p := newEnginePair(t)
+		// Home nodes register only their responsible subset of terms; the
+		// cover still spans the full signature.
+		p.register(t, allFilter(1, "a", "b", "c"), []string{"a"})
+		p.register(t, allFilter(2, "a", "b", "c"), []string{"b"})
+		p.register(t, allFilter(3, "a", "b", "c"), []string{"a", "c"})
+		check(t, p)
+		if cs := p.agg.CoverStats(); cs.Covers != 1 {
+			t.Fatalf("Covers = %d, want 1 (posting subset must not split the cover)", cs.Covers)
+		}
+		p.unregister(t, 3)
+		check(t, p)
+	})
+
+	t.Run("drop-term-mid-cover", func(t *testing.T) {
+		p := newEnginePair(t)
+		p.register(t, anyFilter(1, "a", "b"), []string{"a", "b"})
+		p.register(t, anyFilter(2, "a", "b"), []string{"a", "b"})
+		p.dropTerm(t, "a")
+		check(t, p)
+		p.register(t, anyFilter(3, "a", "b"), []string{"a", "b"})
+		check(t, p)
+	})
+
+	t.Run("ensure-registered-replay", func(t *testing.T) {
+		p := newEnginePair(t)
+		f := allFilter(7, "a", "b")
+		// Replay the same migration batch three times: idempotent counters,
+		// one cover member, equivalent matches.
+		for i := 0; i < 3; i++ {
+			p.ensure(t, f, []string{"a", "b"})
+		}
+		check(t, p)
+		if cs := p.agg.CoverStats(); cs.CoveredFilters != 1 || cs.StoredEntries != 2 {
+			t.Fatalf("CoverStats after replay = %+v, want 1 member / 2 entries", cs)
+		}
+		// Replay racing an unregister: the copy comes back, still exact.
+		p.unregister(t, 7)
+		p.ensure(t, f, []string{"a", "b"})
+		check(t, p)
+	})
+}
+
+// TestAggFlatOracleQuick is the random-walk half of the battery: a
+// testing/quick property driving long random interleavings of register
+// (fresh and re-register), unregister, EnsureRegistered replay, drop-term
+// and observe into both engines with match comparison on random
+// documents after every mutation batch.
+func TestAggFlatOracleQuick(t *testing.T) {
+	vocab := make([]string, 20)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%d", i)
+	}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newEnginePair(t)
+		pick := func(n int) []string {
+			out := map[string]struct{}{}
+			for len(out) < n {
+				out[vocab[rng.Intn(len(vocab))]] = struct{}{}
+			}
+			terms := make([]string, 0, n)
+			for w := range out {
+				terms = append(terms, w)
+			}
+			return model.SortTerms(terms)
+		}
+		randFilter := func(id model.FilterID) model.Filter {
+			f := model.Filter{
+				ID:         id,
+				Subscriber: fmt.Sprintf("s%d", rng.Intn(4)),
+				Terms:      pick(1 + rng.Intn(3)),
+			}
+			switch rng.Intn(3) {
+			case 0:
+				f.Mode = model.MatchAny
+			case 1:
+				f.Mode = model.MatchAll
+			default:
+				f.Mode = model.MatchThreshold
+				f.Threshold = 0.2 + 0.6*rng.Float64()
+			}
+			return f
+		}
+		var ids []model.FilterID
+		nextID := model.FilterID(1)
+		for step := 0; step < 150; step++ {
+			switch op := rng.Intn(12); {
+			case op < 4: // fresh register
+				f := randFilter(nextID)
+				nextID++
+				terms := f.Terms
+				if len(terms) > 1 && rng.Intn(2) == 0 {
+					terms = terms[:1+rng.Intn(len(terms))]
+				}
+				p.register(t, f, terms)
+				ids = append(ids, f.ID)
+			case op < 6 && len(ids) > 0: // re-register an existing ID (cover split/merge)
+				f := randFilter(ids[rng.Intn(len(ids))])
+				p.register(t, f, f.Terms)
+			case op < 8 && len(ids) > 0: // unregister
+				p.unregister(t, ids[rng.Intn(len(ids))])
+			case op == 8 && len(ids) > 0: // migration replay
+				f := randFilter(ids[rng.Intn(len(ids))])
+				p.ensure(t, f, f.Terms)
+			case op == 9: // drop a term
+				p.dropTerm(t, vocab[rng.Intn(len(vocab))])
+			case op == 10: // idf statistics
+				d := model.Document{ID: uint64(step), Terms: pick(1 + rng.Intn(5))}
+				p.observe(&d)
+			default: // match and compare
+				d := model.Document{ID: uint64(step), Terms: pick(1 + rng.Intn(5))}
+				p.compareAll(t, &d)
+			}
+		}
+		p.compareAll(t, &model.Document{ID: 999, Terms: vocab})
+		return !t.Failed()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggRestartRecoversCovers exercises the recovery path: covers are
+// rebuilt from stored definitions, defless posting entries land in the
+// orphan cover (flat tombstone parity, NumPostings included), and a
+// post-restart re-registration of an orphaned ID re-homes its bits.
+func TestAggRestartRecoversCovers(t *testing.T) {
+	dirA, dirF := t.TempDir(), t.TempDir()
+	open := func(dir string, build func(*store.Store) (*Index, error)) (*Index, *store.Store) {
+		t.Helper()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix, s
+	}
+	agg, sa := open(dirA, New)
+	flat, sf := open(dirF, NewFlat)
+	p := &enginePair{agg: agg, flat: flat}
+	for i := 1; i <= 20; i++ {
+		p.register(t, anyFilter(model.FilterID(i), "x", fmt.Sprintf("t%d", i%4)), []string{"x", fmt.Sprintf("t%d", i%4)})
+	}
+	// Tombstones: unregister a third of the filters, postings stay.
+	for i := 1; i <= 20; i += 3 {
+		p.unregister(t, model.FilterID(i))
+	}
+	if err := sa.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	agg2, _ := open(dirA, New)
+	flat2, _ := open(dirF, NewFlat)
+	p2 := &enginePair{agg: agg2, flat: flat2}
+	if a, f := agg2.NumPostings(), flat2.NumPostings(); a != f {
+		t.Fatalf("recovered NumPostings diverged: agg=%d flat=%d", a, f)
+	}
+	p2.compareAll(t, &model.Document{ID: 1, Terms: []string{"x"}})
+	p2.compareAll(t, &model.Document{ID: 2, Terms: []string{"t1", "t2"}})
+
+	// Re-register a tombstoned ID under a new signature with an
+	// overlapping posting term: its orphan bit must re-home, not double.
+	p2.register(t, allFilter(1, "x", "fresh"), []string{"x", "fresh"})
+	p2.compareAll(t, &model.Document{ID: 3, Terms: []string{"x", "fresh"}})
+	p2.compareAll(t, &model.Document{ID: 4, Terms: []string{"x"}})
+}

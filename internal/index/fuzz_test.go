@@ -1,0 +1,153 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/store"
+)
+
+// FuzzIndexRegisterMatch interprets the input as an operation stream over
+// a small vocabulary and drives it into an aggregated index and the flat
+// oracle, comparing every matcher after each match op. Any divergence in
+// the sorted match set, MatchStats, or counters fails the target. The
+// checked-in seed corpus (testdata/fuzz/FuzzIndexRegisterMatch) covers the
+// interleavings the table tests pin: same-signature sharing, unregister
+// of a cover representative, signature splits and merges with overlapping
+// posting terms, migration replays, and drop-term.
+//
+// Byte grammar, per op: [opcode, args...] with opcode % 7 selecting
+//   0,1 register   (id, termMask, modeByte, postingPrefixByte)
+//   2   unregister (id)
+//   3   ensure     (id, termMask, modeByte)
+//   4   dropTerm   (termIndex)
+//   5   observe    (termMask)
+//   6   match      (termMask)
+// Truncated args end the stream.
+func FuzzIndexRegisterMatch(f *testing.F) {
+	// Same-sig cover sharing, then match.
+	f.Add([]byte{0, 1, 0x03, 0, 0, 0, 2, 0x03, 0, 0, 6, 0x03})
+	// Unregister the representative, match the survivors.
+	f.Add([]byte{0, 1, 0x07, 1, 0, 0, 2, 0x07, 1, 0, 2, 1, 6, 0x07})
+	// Split to a new signature with an overlapping term, then merge back.
+	f.Add([]byte{0, 1, 0x03, 0, 0, 6, 0x03, 0, 1, 0x05, 0, 0, 6, 0x07, 0, 1, 0x03, 0, 0, 6, 0x03})
+	// Tombstone, migration replay under a new signature, match.
+	f.Add([]byte{0, 2, 0x0c, 2, 0, 2, 2, 3, 2, 0x06, 2, 6, 0x0e})
+	// Drop a term out from under a cover, threshold-mode members.
+	f.Add([]byte{5, 0x1f, 0, 3, 0x18, 2, 0, 4, 3, 6, 0x1f, 0, 4, 0x18, 2, 1, 6, 0x18})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		sa, err := store.Open("", store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := store.Open("", store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := New(sa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := NewFlat(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &enginePair{agg: agg, flat: flat}
+
+		vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		termsFromMask := func(mask byte) []string {
+			var terms []string
+			for b := 0; b < len(vocab); b++ {
+				if mask&(1<<b) != 0 {
+					terms = append(terms, vocab[b])
+				}
+			}
+			if len(terms) == 0 {
+				terms = []string{vocab[mask%8]}
+			}
+			return terms
+		}
+		buildFilter := func(id, mask, modeByte byte) model.Filter {
+			f := model.Filter{
+				ID:         model.FilterID(1 + id%12),
+				Subscriber: "s",
+				Terms:      termsFromMask(mask),
+			}
+			switch modeByte % 3 {
+			case 0:
+				f.Mode = model.MatchAny
+			case 1:
+				f.Mode = model.MatchAll
+			default:
+				f.Mode = model.MatchThreshold
+				f.Threshold = 0.2 + float64(modeByte%60)/100
+			}
+			return f
+		}
+
+		docID := uint64(0)
+		i := 0
+		take := func(n int) []byte {
+			if i+n > len(ops) {
+				return nil
+			}
+			out := ops[i : i+n]
+			i += n
+			return out
+		}
+		for i < len(ops) {
+			op := ops[i] % 7
+			i++
+			switch op {
+			case 0, 1:
+				args := take(4)
+				if args == nil {
+					return
+				}
+				fl := buildFilter(args[0], args[1], args[2])
+				postingTerms := fl.Terms
+				if n := int(args[3]) % (len(fl.Terms) + 1); n > 0 {
+					postingTerms = fl.Terms[:n]
+				}
+				p.register(t, fl, postingTerms)
+			case 2:
+				args := take(1)
+				if args == nil {
+					return
+				}
+				p.unregister(t, model.FilterID(1+args[0]%12))
+			case 3:
+				args := take(3)
+				if args == nil {
+					return
+				}
+				fl := buildFilter(args[0], args[1], args[2])
+				p.ensure(t, fl, fl.Terms)
+			case 4:
+				args := take(1)
+				if args == nil {
+					return
+				}
+				p.dropTerm(t, vocab[args[0]%8])
+			case 5:
+				args := take(1)
+				if args == nil {
+					return
+				}
+				docID++
+				d := model.Document{ID: docID, Terms: termsFromMask(args[0])}
+				p.observe(&d)
+			case 6:
+				args := take(1)
+				if args == nil {
+					return
+				}
+				docID++
+				d := model.Document{ID: docID, Terms: termsFromMask(args[0])}
+				p.compareAll(t, &d)
+			}
+		}
+		// Terminal probe: full-vocabulary document through every matcher.
+		p.compareAll(t, &model.Document{ID: docID + 1, Terms: vocab})
+	})
+}

@@ -43,6 +43,14 @@ type Index struct {
 	// it and never touches the store.
 	state *shardedState
 
+	// agg is the aggregated (covering) engine: posting lists compressed to
+	// one bitset entry per predicate signature (agg.go). Non-nil for
+	// indexes built by New — the production configuration — and nil for
+	// NewFlat, which serves postings one entry per filter and acts as the
+	// in-tree correctness oracle. Filter definitions live in state's
+	// filter shards either way.
+	agg *aggState
+
 	// Optional per-stage latency instrumentation (§IV cost model: the
 	// posting-list read is the "disk seek" y_seek, the evaluation loop is
 	// the per-posting scan y_p). Nil histograms record nothing.
@@ -65,11 +73,26 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 	ix.evalH = reg.Histogram("index.eval")
 }
 
-// New builds an index over a node-local store. When the store was opened
-// from a data directory, the in-memory shards and counters are rebuilt
-// from the recovered filters and posting lists, so a restarted node
-// resumes serving matches with its full pre-crash state.
+// New builds an index over a node-local store, serving postings from the
+// aggregated (covering) engine: filters sharing a predicate signature are
+// grouped under one cover and stored as compressed bitset posting entries
+// (agg.go, DESIGN.md §15). When the store was opened from a data
+// directory, the in-memory shards and counters are rebuilt from the
+// recovered filters and posting lists, so a restarted node resumes
+// serving matches with its full pre-crash state.
 func New(s *store.Store) (*Index, error) {
+	return open(s, true)
+}
+
+// NewFlat builds an index serving postings from the flat per-filter
+// engine — one posting entry per (term, filter) pair. It is the
+// correctness oracle the equivalence battery compares the aggregated
+// engine against; production nodes use New.
+func NewFlat(s *store.Store) (*Index, error) {
+	return open(s, false)
+}
+
+func open(s *store.Store, aggregated bool) (*Index, error) {
 	fs, err := store.NewFilterStore(s)
 	if err != nil {
 		return nil, fmt.Errorf("index: open filter store: %w", err)
@@ -84,10 +107,39 @@ func New(s *store.Store) (*Index, error) {
 		corpus:   vsm.NewCorpus(),
 		state:    newShardedState(),
 	}
+	if aggregated {
+		ix.agg = newAggState()
+	}
 	if err := ix.loadFromStore(); err != nil {
 		return nil, fmt.Errorf("index: load from store: %w", err)
 	}
 	return ix, nil
+}
+
+// Aggregated reports whether this index serves postings from the
+// aggregated covering engine.
+func (ix *Index) Aggregated() bool { return ix.agg != nil }
+
+// CoverStats summarizes the aggregated engine's compression state (O(1)
+// atomic reads). Zero value on a flat index.
+func (ix *Index) CoverStats() CoverStats {
+	if ix.agg == nil {
+		return CoverStats{}
+	}
+	a := ix.agg
+	st := CoverStats{
+		Covers:          int(a.coversLive.Load()),
+		CoveredFilters:  int(a.membersLive.Load()),
+		StoredEntries:   int(a.storedEntries.Load()),
+		LogicalPostings: int(ix.numPostings.Load()),
+	}
+	if saved := st.LogicalPostings - st.StoredEntries; saved > 0 {
+		st.PostingsSaved = saved
+	}
+	if st.StoredEntries > 0 {
+		st.ExpansionFanoutMilli = st.LogicalPostings * 1000 / st.StoredEntries
+	}
+	return st
 }
 
 // loadFromStore rebuilds the sharded serving layer and counters after a
@@ -95,6 +147,9 @@ func New(s *store.Store) (*Index, error) {
 // so the recovered numPostings counts distinct entries even if the live
 // counter had drifted past that before the crash.
 func (ix *Index) loadFromStore() error {
+	if ix.agg != nil {
+		return ix.aggLoad()
+	}
 	count := 0
 	err := ix.filters.Each(func(f model.Filter) bool {
 		ix.state.filterShard(f.ID).put(f)
@@ -135,6 +190,9 @@ func (ix *Index) loadFromStore() error {
 // shard's copy is immutable from here on, which is what lets the match
 // path return filters without cloning them back out (DESIGN.md §11).
 func (ix *Index) Register(f model.Filter, postingTerms []string) error {
+	if ix.agg != nil {
+		return ix.aggRegister(f, postingTerms)
+	}
 	if err := f.Validate(); err != nil {
 		return err
 	}
@@ -169,6 +227,9 @@ func (ix *Index) Register(f model.Filter, postingTerms []string) error {
 // winner. A crash between the two loses only in-memory state, which the
 // next replay of the same batch restores.
 func (ix *Index) EnsureRegistered(f model.Filter, postingTerms []string) (bool, error) {
+	if ix.agg != nil {
+		return ix.aggEnsureRegistered(f, postingTerms)
+	}
 	if err := f.Validate(); err != nil {
 		return false, err
 	}
@@ -206,6 +267,9 @@ func (ix *Index) EnsureRegistered(f model.Filter, postingTerms []string) (bool, 
 // filtered lazily on match (a standard tombstone-style design: posting
 // lists are append-only; a missing filter definition drops the candidate).
 func (ix *Index) Unregister(id model.FilterID) error {
+	if ix.agg != nil {
+		return ix.aggUnregister(id)
+	}
 	sh := ix.state.filterShard(id)
 	sh.mu.Lock()
 	_, present := sh.filters[id]
@@ -265,6 +329,9 @@ func (s *MatchStats) Add(other MatchStats) {
 // results slice, a call on a warm index performs zero heap allocations —
 // the document view is memoized and filters are returned without cloning.
 func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, MatchStats, error) {
+	if ix.agg != nil {
+		return ix.aggMatchTerm(d, term)
+	}
 	var st MatchStats
 	readTm := ix.postingReadH.Start()
 	ids := ix.state.termShard(term).snapshot(term)
@@ -315,6 +382,9 @@ func (ix *Index) MatchTerm(d *model.Document, term string) ([]model.Filter, Matc
 // Returned filters are immutable shard snapshots; callers must not mutate
 // Terms (DESIGN.md §11).
 func (ix *Index) MatchTerms(d *model.Document, terms []string) ([]model.Filter, MatchStats, error) {
+	if ix.agg != nil {
+		return ix.aggMatchTerms(d, terms)
+	}
 	if len(terms) == 1 {
 		// Single-term frames keep MatchTerm's lazy exact-size allocation.
 		return ix.MatchTerm(d, terms[0])
@@ -367,6 +437,9 @@ var seenPool = sync.Pool{
 // runs on each flooded node. Returned filters are immutable shard
 // snapshots; callers must not mutate Terms (DESIGN.md §11).
 func (ix *Index) MatchSIFT(d *model.Document) ([]model.Filter, MatchStats, error) {
+	if ix.agg != nil {
+		return ix.aggMatchSIFT(d)
+	}
 	var st MatchStats
 	view := d.View()
 	seen := seenPool.Get().(map[model.FilterID]struct{})
@@ -439,6 +512,22 @@ func (ix *Index) NumFilters() int {
 	return int(ix.numFilters.Load())
 }
 
+// LiveFilters counts the filter definitions currently resident by walking
+// the definition shards. Unlike NumFilters — which preserves the original
+// engine's accounting and increments on every Register call, including a
+// re-registration of an ID that is already live — this is exact, so tests
+// can cross-check it against CoverStats.CoveredFilters.
+func (ix *Index) LiveFilters() int {
+	total := 0
+	for i := range ix.state.filters {
+		sh := &ix.state.filters[i]
+		sh.mu.RLock()
+		total += len(sh.filters)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
 // NumPostings returns the total posting entries written (storage-cost
 // accounting for Figure 9(a)).
 func (ix *Index) NumPostings() int {
@@ -448,6 +537,9 @@ func (ix *Index) NumPostings() int {
 // PostingIDs returns the filter IDs on term's posting list, as a fresh
 // copy the caller may keep or mutate.
 func (ix *Index) PostingIDs(term string) ([]model.FilterID, error) {
+	if ix.agg != nil {
+		return ix.aggPostingIDs(term), nil
+	}
 	snap := ix.state.termShard(term).snapshot(term)
 	if len(snap) == 0 {
 		return nil, nil
@@ -457,6 +549,9 @@ func (ix *Index) PostingIDs(term string) ([]model.FilterID, error) {
 
 // PostingLen returns the posting-list length of term.
 func (ix *Index) PostingLen(term string) (int, error) {
+	if ix.agg != nil {
+		return ix.aggPostingLen(term), nil
+	}
 	return len(ix.state.termShard(term).snapshot(term)), nil
 }
 
@@ -475,6 +570,9 @@ func (ix *Index) EachFilter(fn func(model.Filter) bool) error {
 // DropTerm removes a term's posting list (allocation migration moves its
 // filters elsewhere) from both the serving shards and the store.
 func (ix *Index) DropTerm(term string) error {
+	if ix.agg != nil {
+		return ix.aggDropTerm(term)
+	}
 	if err := ix.postings.Remove(term); err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -141,22 +142,40 @@ func (r *refIndex) matchSIFT(d *model.Document) ([]model.Filter, MatchStats) {
 	return matched, st
 }
 
-// encodeMatches flattens an ordered match result to bytes, so equivalence
-// is byte-level: same filters, same order, same field contents.
+// encodeMatches flattens a match result to bytes, so equivalence is
+// byte-level: same filters, same field contents, same stats. Results are
+// compared as sorted sets: the flat engine emits posting-insertion order
+// while the aggregated engine emits cover/slot order, and the system
+// nowhere depends on match-result order (delivery routing keys on filter
+// ID).
 func encodeMatches(matched []model.Filter, st MatchStats) []byte {
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "lists=%d postings=%d eval=%d\n", st.PostingLists, st.Postings, st.Evaluated)
-	for i := range matched {
-		buf.Write(matched[i].Encode())
+	byID := append([]model.Filter(nil), matched...)
+	sort.Slice(byID, func(i, j int) bool { return byID[i].ID < byID[j].ID })
+	for i := range byID {
+		buf.Write(byID[i].Encode())
 	}
 	return buf.Bytes()
 }
 
 // TestShardedMatchesReferenceByteIdentical drives random workloads
 // (register / unregister / drop-term / observe, across all three match
-// modes) into the sharded Index and the single-lock reference, then
+// modes) into the sharded Index — both the aggregated production engine
+// and the flat oracle engine — and the single-lock reference, then
 // compares MatchTerm and MatchSIFT byte-for-byte on random documents.
 func TestShardedMatchesReferenceByteIdentical(t *testing.T) {
+	for name, build := range map[string]func(*store.Store) (*Index, error){
+		"aggregated": New,
+		"flat":       NewFlat,
+	} {
+		t.Run(name, func(t *testing.T) {
+			testShardedMatchesReference(t, build)
+		})
+	}
+}
+
+func testShardedMatchesReference(t *testing.T, build func(*store.Store) (*Index, error)) {
 	vocab := make([]string, 24)
 	for i := range vocab {
 		vocab[i] = fmt.Sprintf("w%d", i)
@@ -167,7 +186,7 @@ func TestShardedMatchesReferenceByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ix, err := New(st)
+		ix, err := build(st)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,198 @@
+package index
+
+import "math/bits"
+
+// slotSet is a compressed bitset over a cover's dense member-slot indexes —
+// the storage unit of the aggregated index's posting lists. One slotSet per
+// (term, cover) pair records which of the cover's members were posted under
+// that term; one more per cover (cover.alive) records which members are
+// currently registered.
+//
+// The representation is roaring-style with two container forms:
+//
+//   - array: a sorted []uint16 of slot indexes, used while the set holds
+//     fewer than slotArrayMax entries and every slot fits in 16 bits. At the
+//     paper's filter densities most (term, cover) memberships are tiny, so
+//     this is the common case: 2 bytes per member.
+//   - bitmap: []uint64 words indexed by slot, used once the set grows past
+//     slotArrayMax or sees a slot ≥ 1<<16. Hot covers with hundreds of
+//     thousands of members cost 1 bit per slot instead of the flat index's
+//     8-byte posting entry plus ~50-byte dedup-map entry.
+//
+// Promotion is one-way (array → bitmap); clears never demote. The cached
+// cardinality makes the logical posting-list length — what MatchStats
+// charges — an O(1) read.
+//
+// slotSets are guarded by their owner's lock (the term shard's RWMutex for
+// posting memberships, the cover's RWMutex for alive sets); they carry no
+// synchronization of their own.
+type slotSet struct {
+	card  int32
+	arr   []uint16 // sorted; nil once promoted
+	words []uint64 // nil until promoted
+}
+
+// slotArrayMax is the array-container capacity before promotion to a
+// bitmap. 64 entries × 2 bytes = 128 bytes, the point where a small bitmap
+// stops losing to the array on both space and membership-test cost.
+const slotArrayMax = 64
+
+// count returns the cardinality.
+func (s *slotSet) count() int { return int(s.card) }
+
+// arrFind returns the insertion index of slot in the sorted array container
+// and whether it is already present.
+func (s *slotSet) arrFind(slot int) (int, bool) {
+	lo, hi := 0, len(s.arr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(s.arr[mid]) < slot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.arr) && int(s.arr[lo]) == slot
+}
+
+// has reports slot membership.
+func (s *slotSet) has(slot int) bool {
+	if s.words != nil {
+		w := slot >> 6
+		return w < len(s.words) && s.words[w]&(1<<(uint(slot)&63)) != 0
+	}
+	_, ok := s.arrFind(slot)
+	return ok
+}
+
+// testAndSet inserts slot, reporting whether it was newly added.
+func (s *slotSet) testAndSet(slot int) bool {
+	if s.words == nil {
+		if len(s.arr) < slotArrayMax && slot < 1<<16 {
+			i, ok := s.arrFind(slot)
+			if ok {
+				return false
+			}
+			s.arr = append(s.arr, 0)
+			copy(s.arr[i+1:], s.arr[i:])
+			s.arr[i] = uint16(slot)
+			s.card++
+			return true
+		}
+		s.promote(slot)
+	}
+	w, mask := slot>>6, uint64(1)<<(uint(slot)&63)
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	if s.words[w]&mask != 0 {
+		return false
+	}
+	s.words[w] |= mask
+	s.card++
+	return true
+}
+
+// promote converts the array container to a bitmap sized for maxSlot.
+func (s *slotSet) promote(maxSlot int) {
+	top := maxSlot
+	if len(s.arr) > 0 && int(s.arr[len(s.arr)-1]) > top {
+		top = int(s.arr[len(s.arr)-1])
+	}
+	s.words = make([]uint64, top>>6+1)
+	for _, v := range s.arr {
+		s.words[v>>6] |= 1 << (uint(v) & 63)
+	}
+	s.arr = nil
+}
+
+// clear removes slot, reporting whether it was present.
+func (s *slotSet) clear(slot int) bool {
+	if s.words != nil {
+		w, mask := slot>>6, uint64(1)<<(uint(slot)&63)
+		if w >= len(s.words) || s.words[w]&mask == 0 {
+			return false
+		}
+		s.words[w] &^= mask
+		s.card--
+		return true
+	}
+	i, ok := s.arrFind(slot)
+	if !ok {
+		return false
+	}
+	s.arr = append(s.arr[:i], s.arr[i+1:]...)
+	s.card--
+	return true
+}
+
+// first returns the lowest set slot, or -1 when empty. Used to promote a
+// surviving member to cover representative.
+func (s *slotSet) first() int {
+	if s.words != nil {
+		for w, bits := range s.words {
+			if bits != 0 {
+				return w<<6 + trailingZeros(bits)
+			}
+		}
+		return -1
+	}
+	if len(s.arr) == 0 {
+		return -1
+	}
+	return int(s.arr[0])
+}
+
+// forEach calls fn for every slot in ascending order. Cold-path helper
+// (PostingIDs, stats, tests); the match loops iterate containers inline to
+// stay allocation-free.
+func (s *slotSet) forEach(fn func(slot int)) {
+	if s.words != nil {
+		for w, bits := range s.words {
+			for bits != 0 {
+				b := trailingZeros(bits)
+				fn(w<<6 + b)
+				bits &= bits - 1
+			}
+		}
+		return
+	}
+	for _, v := range s.arr {
+		fn(int(v))
+	}
+}
+
+// intersectCard returns |s ∩ o| container-wise: word-AND popcounts when
+// both sides are bitmaps, membership probes against the larger side when
+// either is an array. Used to intersect posting memberships with a cover's
+// alive set before expansion accounting (live fan-out statistics).
+func (s *slotSet) intersectCard(o *slotSet) int {
+	if s.words != nil && o.words != nil {
+		n := len(s.words)
+		if len(o.words) < n {
+			n = len(o.words)
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			total += popcount(s.words[i] & o.words[i])
+		}
+		return total
+	}
+	small, big := s, o
+	if small.arr == nil || (big.arr != nil && len(big.arr) < len(small.arr)) {
+		small, big = big, small
+	}
+	total := 0
+	for _, v := range small.arr {
+		if big.has(int(v)) {
+			total++
+		}
+	}
+	return total
+}
+
+func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }
+
+func popcount(v uint64) int { return bits.OnesCount64(v) }

@@ -1,0 +1,140 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSlotSetMatchesMapSet drives random insert/remove sequences into a
+// slotSet and a plain map set, checking membership, cardinality, ascending
+// iteration, first(), and that the container promotes from array to bitmap
+// exactly once and never loses elements doing so.
+func TestSlotSetMatchesMapSet(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s slotSet
+		ref := map[int]bool{}
+		maxSlot := 1 + rng.Intn(3000)
+		for step := 0; step < 2000; step++ {
+			slot := rng.Intn(maxSlot)
+			if rng.Intn(3) == 0 {
+				if s.clear(slot) != ref[slot] {
+					t.Errorf("seed %d: clear(%d) disagreed", seed, slot)
+					return false
+				}
+				delete(ref, slot)
+			} else {
+				if s.testAndSet(slot) != !ref[slot] {
+					t.Errorf("seed %d: testAndSet(%d) disagreed", seed, slot)
+					return false
+				}
+				ref[slot] = true
+			}
+			if s.count() != len(ref) {
+				t.Errorf("seed %d: count=%d ref=%d", seed, s.count(), len(ref))
+				return false
+			}
+		}
+		for slot := 0; slot < maxSlot; slot++ {
+			if s.has(slot) != ref[slot] {
+				t.Errorf("seed %d: has(%d)=%v ref=%v", seed, slot, s.has(slot), ref[slot])
+				return false
+			}
+		}
+		prev, n := -1, 0
+		s.forEach(func(slot int) {
+			if slot <= prev {
+				t.Errorf("seed %d: forEach not ascending: %d after %d", seed, slot, prev)
+			}
+			if !ref[slot] {
+				t.Errorf("seed %d: forEach yielded absent slot %d", seed, slot)
+			}
+			prev = slot
+			n++
+		})
+		if n != len(ref) {
+			t.Errorf("seed %d: forEach yielded %d, want %d", seed, n, len(ref))
+			return false
+		}
+		want := -1
+		for slot := range ref {
+			if want == -1 || slot < want {
+				want = slot
+			}
+		}
+		if s.first() != want {
+			t.Errorf("seed %d: first=%d want %d", seed, s.first(), want)
+			return false
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlotSetPromotion pins the container transitions: small sets stay in
+// the sorted-array form, crossing slotArrayMax (or seeing a slot beyond
+// 16 bits) promotes to the bitmap form, and membership survives.
+func TestSlotSetPromotion(t *testing.T) {
+	var s slotSet
+	for i := 0; i < slotArrayMax; i++ {
+		s.testAndSet(i * 3)
+	}
+	if s.words != nil {
+		t.Fatalf("set of %d elements should still be an array container", slotArrayMax)
+	}
+	s.testAndSet(1000)
+	if s.words == nil {
+		t.Fatal("crossing slotArrayMax must promote to bitmap")
+	}
+	if s.count() != slotArrayMax+1 {
+		t.Fatalf("count after promotion = %d, want %d", s.count(), slotArrayMax+1)
+	}
+	for i := 0; i < slotArrayMax; i++ {
+		if !s.has(i * 3) {
+			t.Fatalf("slot %d lost in promotion", i*3)
+		}
+	}
+
+	// A huge slot promotes immediately, regardless of cardinality.
+	var wide slotSet
+	wide.testAndSet(1 << 16)
+	if wide.words == nil {
+		t.Fatal("slot >= 1<<16 must use the bitmap form")
+	}
+	if !wide.has(1<<16) || wide.has(0) {
+		t.Fatal("bitmap membership wrong after wide insert")
+	}
+}
+
+// TestSlotSetIntersectCard checks container-wise intersection across all
+// four form combinations.
+func TestSlotSetIntersectCard(t *testing.T) {
+	build := func(slots []int, promote bool) *slotSet {
+		var s slotSet
+		if promote {
+			s.testAndSet(70000) // force bitmap form
+			s.clear(70000)
+		}
+		for _, v := range slots {
+			s.testAndSet(v)
+		}
+		return &s
+	}
+	a := []int{1, 5, 9, 100, 2000}
+	b := []int{5, 9, 2000, 3000}
+	const want = 3
+	for _, pa := range []bool{false, true} {
+		for _, pb := range []bool{false, true} {
+			sa, sb := build(a, pa), build(b, pb)
+			if got := sa.intersectCard(sb); got != want {
+				t.Errorf("intersectCard(promoteA=%v, promoteB=%v) = %d, want %d", pa, pb, got, want)
+			}
+			if got := sb.intersectCard(sa); got != want {
+				t.Errorf("reverse intersectCard(promoteA=%v, promoteB=%v) = %d, want %d", pa, pb, got, want)
+			}
+		}
+	}
+}

@@ -34,10 +34,28 @@ func (c *Counter) Reset() { c.v.Store(0) }
 // consecutive auto-allocate failure count.
 func (c *Counter) Set(v int64) { c.v.Store(v) }
 
-// Registry is a named set of counters and histograms.
+// Gauge is an atomic level reading: unlike a Counter it is expected to be
+// Set to the current value of something (live covers, queue depth) rather
+// than accumulated. Kept as a distinct type so dumps can separate levels
+// from totals.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the level by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named set of counters, gauges, and histograms.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -45,6 +63,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -59,6 +78,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns (creating if needed) the named histogram.
@@ -80,6 +111,17 @@ func (r *Registry) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(r.counters))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns all gauge levels.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
 	}
 	return out
 }
@@ -107,12 +149,13 @@ func (r *Registry) Histograms() map[string]HistogramSnapshot {
 // JSON endpoint.
 type Dump struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Dump snapshots every counter and histogram.
+// Dump snapshots every counter, gauge, and histogram.
 func (r *Registry) Dump() Dump {
-	return Dump{Counters: r.Snapshot(), Histograms: r.Histograms()}
+	return Dump{Counters: r.Snapshot(), Gauges: r.Gauges(), Histograms: r.Histograms()}
 }
 
 // Distribution summarizes a per-node load vector the way Figure 9 plots it:

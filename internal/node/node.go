@@ -161,6 +161,15 @@ type Node struct {
 	abortsC   *metrics.Counter
 	epochG    *metrics.Counter
 	hDualRead *metrics.Histogram
+
+	// Aggregated-index observability (DESIGN.md §15): live covers, filters
+	// attached to them, posting entries saved versus the flat layout, and
+	// the mean cover→filter expansion fan-out (×1000). Refreshed from the
+	// index's O(1) CoverStats after every filter mutation.
+	coverCoversG  *metrics.Gauge
+	coverFiltersG *metrics.Gauge
+	coverSavedG   *metrics.Gauge
+	coverFanoutG  *metrics.Gauge
 }
 
 // New builds a node. Call Attach to connect it to a transport before use.
@@ -197,7 +206,7 @@ func New(cfg Config) (*Node, error) {
 	if depth == 0 {
 		depth = 64
 	}
-	return &Node{
+	n := &Node{
 		cfg:           cfg,
 		ix:            ix,
 		reg:           reg,
@@ -226,7 +235,27 @@ func New(cfg Config) (*Node, error) {
 		abortsC:       reg.Counter("realloc.aborts"),
 		epochG:        reg.Counter("realloc.epoch"),
 		hDualRead:     reg.Histogram("realloc.dualread.window"),
-	}, nil
+		coverCoversG:  reg.Gauge("index.cover.covers"),
+		coverFiltersG: reg.Gauge("index.cover.covered_filters"),
+		coverSavedG:   reg.Gauge("index.cover.postings_saved"),
+		coverFanoutG:  reg.Gauge("index.cover.expansion_fanout_milli"),
+	}
+	// Seed the cover gauges so a node whose index recovered filters from
+	// the store reports its compression levels before any mutation.
+	n.updateCoverGauges()
+	return n, nil
+}
+
+// updateCoverGauges refreshes the index.cover.* gauges from the
+// aggregated index's O(1) compression stats. Called after every filter
+// mutation (register, unregister, migration replay); all gauges read zero
+// on a flat index.
+func (n *Node) updateCoverGauges() {
+	cs := n.ix.CoverStats()
+	n.coverCoversG.Set(int64(cs.Covers))
+	n.coverFiltersG.Set(int64(cs.CoveredFilters))
+	n.coverSavedG.Set(int64(cs.PostingsSaved))
+	n.coverFanoutG.Set(int64(cs.ExpansionFanoutMilli))
 }
 
 // Traces exposes the node's ring of recent publish traces (the debug
@@ -296,7 +325,11 @@ func (n *Node) Handle(ctx context.Context, from ring.NodeID, payload []byte) ([]
 		if err != nil {
 			return nil, err
 		}
-		return nil, n.ix.Unregister(model.FilterID(id))
+		if err := n.ix.Unregister(model.FilterID(id)); err != nil {
+			return nil, err
+		}
+		n.updateCoverGauges()
+		return nil, nil
 	case msgPublish:
 		req, err := decodePublish(r)
 		if err != nil {
@@ -525,6 +558,7 @@ func (n *Node) handleRegister(ctx context.Context, req RegisterReq) error {
 	if err := n.ix.Register(req.Filter, req.PostingTerms); err != nil {
 		return err
 	}
+	n.updateCoverGauges()
 	n.mu.RLock()
 	grid := n.grid
 	pending, pendingEpoch := n.pending, n.pendingEpoch
@@ -1986,6 +2020,7 @@ func (n *Node) BuildTermAllocation(ctx context.Context, epoch uint64, term strin
 
 // Stats snapshots the node's counters.
 func (n *Node) Stats() StatsResp {
+	n.updateCoverGauges()
 	return StatsResp{
 		Filters:         int64(n.ix.NumFilters()),
 		Postings:        int64(n.ix.NumPostings()),

@@ -117,6 +117,9 @@ func (n *Node) AbortGrid(epoch uint64) error {
 			errs = append(errs, fmt.Errorf("node %s: abort epoch %d unregister %d: %w", n.cfg.ID, epoch, id, err))
 		}
 	}
+	if len(ids) > 0 {
+		n.updateCoverGauges()
+	}
 	return errors.Join(errs...)
 }
 
@@ -150,6 +153,7 @@ func (n *Node) handleMigrate(req MigrateReq) error {
 	}
 	if created > 0 {
 		n.migratedC.Add(int64(created))
+		n.updateCoverGauges()
 	}
 	return nil
 }
@@ -186,6 +190,9 @@ func (n *Node) handleUnregisterBatch(ids []model.FilterID) error {
 		if err := n.ix.Unregister(id); err != nil {
 			errs = append(errs, err)
 		}
+	}
+	if len(ids) > 0 {
+		n.updateCoverGauges()
 	}
 	return errors.Join(errs...)
 }
