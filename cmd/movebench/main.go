@@ -44,7 +44,12 @@ func main() {
 	benchFilters := flag.Int("bench-filters", 2000, "registered filters for -fig bench and -fig alloc")
 	benchDocs := flag.Int("bench-docs", 500, "published documents for -fig bench and -fig alloc")
 	benchSubs := flag.Int("bench-subs", 100_000, "simulated concurrent subscribers for -fig delivery")
+	subs := flag.Int("subs", 0, "override subscriber count for -fig delivery (0 = -bench-subs); >=1M enables the frames_per_syscall > 2.0 gate")
 	deliveryDocs := flag.Int("delivery-docs", 150, "published documents for -fig delivery")
+	deliveryShards := flag.Int("delivery-shards", 0, "session registry shards per hub for -fig delivery (0 = default)")
+	deliveryWave := flag.Int("delivery-wave", 1, "documents published before each drain barrier for -fig delivery (1 = drain per doc)")
+	deliveryFlushBatch := flag.Int("delivery-flush-batch", 256, "max events per SendEvents frame for -fig delivery")
+	deliveryFlushDelay := flag.Duration("delivery-flush-delay", 0, "writer coalescing window for -fig delivery (0 = flush immediately)")
 	aggFilters := flag.Int("aggregate-filters", 1_000_000, "registered synthetic Zipf filters for -fig aggregate")
 	aggCatalog := flag.Int("aggregate-catalog", 150_000, "distinct predicate catalog size for -fig aggregate (instances are Zipf-drawn from it)")
 	aggTerms := flag.Int("aggregate-distinct-terms", 20_000, "filter/document vocabulary size for -fig aggregate")
@@ -57,7 +62,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "movebench: %v\n", err)
 		os.Exit(1)
 	}
-	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, *benchSubs, *deliveryDocs, *aggFilters, *aggCatalog, *aggTerms, *aggDocs)
+	dopts := deliveryOpts{
+		Subs:       *benchSubs,
+		Docs:       *deliveryDocs,
+		Shards:     *deliveryShards,
+		Wave:       *deliveryWave,
+		FlushBatch: *deliveryFlushBatch,
+		FlushDelay: *deliveryFlushDelay,
+	}
+	if *subs > 0 {
+		dopts.Subs = *subs
+	}
+	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, dopts, *aggFilters, *aggCatalog, *aggTerms, *aggDocs)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -67,7 +83,7 @@ func main() {
 	}
 }
 
-func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs, benchSubs, deliveryDocs, aggFilters, aggCatalog, aggTerms, aggDocs int) error {
+func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs int, dopts deliveryOpts, aggFilters, aggCatalog, aggTerms, aggDocs int) error {
 	switch fig {
 	case "aggregate":
 		if out == "" {
@@ -78,7 +94,7 @@ func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace str
 		if out == "" {
 			out = "BENCH_delivery.json"
 		}
-		return runDeliveryFig(out, baseline, nodes, benchSubs, deliveryDocs, seed)
+		return runDeliveryFig(out, baseline, nodes, dopts, seed)
 	case "bench":
 		if out == "" {
 			out = "BENCH_publish.json"

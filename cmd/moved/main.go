@@ -52,6 +52,8 @@ func run() error {
 	subPolicy := flag.String("subscribe.policy", "drop-oldest", "slow-consumer policy: drop-oldest, coalesce-by-doc, disconnect")
 	subQueue := flag.Int("subscribe.queue", 256, "per-subscriber delivery queue bound")
 	subHeartbeat := flag.Duration("subscribe.heartbeat", 5*time.Second, "subscriber session ping interval (idle timeout is 4x)")
+	subShards := flag.Int("subscribe.shards", delivery.DefaultShards, "session registry shard count (rounded up to a power of two)")
+	subFlushDelay := flag.Duration("subscribe.flush-delay", 0, "event coalescing window (0 = flush immediately; higher trades latency for frames per syscall)")
 
 	retryAttempts := flag.Int("retry-attempts", 3, "max RPC attempts per destination (1 disables retries)")
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per attempt, full jitter)")
@@ -120,6 +122,8 @@ func run() error {
 		hub = delivery.NewHub(delivery.Config{
 			QueueCap:       *subQueue,
 			Policy:         policy,
+			Shards:         *subShards,
+			FlushDelay:     *subFlushDelay,
 			HeartbeatEvery: *subHeartbeat,
 			Metrics:        reg,
 		})
@@ -153,7 +157,7 @@ func run() error {
 		defer func() {
 			_ = subSrv.Close()
 		}()
-		fmt.Printf("moved: subscriber sessions on %s (policy=%s queue=%d)\n", subSrv.Addr(), *subPolicy, *subQueue)
+		fmt.Printf("moved: subscriber sessions on %s (policy=%s queue=%d shards=%d)\n", subSrv.Addr(), *subPolicy, *subQueue, hub.Shards())
 	}
 
 	tn, err := transport.NewTCP(ring.NodeID(*id), *listen, nd.Handle, transport.StaticResolver(peers))
@@ -198,6 +202,8 @@ func run() error {
 				if hub != nil {
 					h["delivery_sessions"] = hub.SessionCount()
 					h["delivery_pending"] = hub.Pending()
+					h["delivery_shards"] = hub.Shards()
+					h["delivery_shard_sessions"] = hub.ShardSessions()
 				}
 				if g != nil {
 					h["members_alive"] = len(g.Members())

@@ -125,7 +125,11 @@ func (c *chaosConn) SendEvents(evs []*delivery.Event) error {
 //	policy (accounted via OnDrop), or lost to a failed owner RPC
 //	(accounted via OnDeliveryLoss) — and nothing was delivered to a
 //	subscriber the brute-force oracle says should not have it.
-func runDeliveryChaos(t *testing.T, policy delivery.Policy, rounds int, seed int64) {
+//
+// shards sets the hub's registry stripe count so the suite proves the
+// sharded registry behaves identically to the degenerate single-map layout
+// (shards=1) under churn.
+func runDeliveryChaos(t *testing.T, policy delivery.Policy, rounds int, seed int64, shards int) {
 	ctx := context.Background()
 	led := newDeliveryLedger()
 	c, err := New(Config{
@@ -153,6 +157,7 @@ func runDeliveryChaos(t *testing.T, policy delivery.Policy, rounds int, seed int
 			WindowCap:  8,
 			FlushBatch: 4,
 			Workers:    2,
+			Shards:     shards,
 			Policy:     policy,
 			OnDrop:     led.onDrop,
 		},
@@ -415,15 +420,23 @@ func runDeliveryChaos(t *testing.T, policy delivery.Policy, rounds int, seed int
 // TestDeliveryOracle is the oracle-backed delivery equivalence suite: the
 // union rule under the drop-oldest and disconnect accounting models, with
 // fault injection, stalled readers, subscriber churn, node crashes, and
-// reallocation all active.
+// reallocation all active. The drop-oldest policy runs across shard counts
+// {1, 4, 32} so the lock-striped registry is proven equivalent to the
+// single-map layout; the other policies pin intermediate stripe counts.
 func TestDeliveryOracle(t *testing.T) {
-	t.Run("drop-oldest", func(t *testing.T) { runDeliveryChaos(t, delivery.DropOldest, 6, 11) })
-	t.Run("disconnect", func(t *testing.T) { runDeliveryChaos(t, delivery.Disconnect, 6, 13) })
-	t.Run("coalesce-by-doc", func(t *testing.T) { runDeliveryChaos(t, delivery.CoalesceByDoc, 6, 17) })
+	for _, shards := range []int{1, 4, 32} {
+		shards := shards
+		t.Run(fmt.Sprintf("drop-oldest/shards=%d", shards), func(t *testing.T) {
+			runDeliveryChaos(t, delivery.DropOldest, 6, 11, shards)
+		})
+	}
+	t.Run("disconnect/shards=4", func(t *testing.T) { runDeliveryChaos(t, delivery.Disconnect, 6, 13, 4) })
+	t.Run("coalesce-by-doc/shards=32", func(t *testing.T) { runDeliveryChaos(t, delivery.CoalesceByDoc, 6, 17, 32) })
 }
 
 // TestDeliverySoak is the long-run chaos soak (`make soak-delivery`):
-// the same harness at SOAK_DELIVERY_ROUNDS length under -race.
+// the same harness at SOAK_DELIVERY_ROUNDS length under -race, on the
+// full production shard count.
 func TestDeliverySoak(t *testing.T) {
-	runDeliveryChaos(t, delivery.DropOldest, deliveryRounds(t), 23)
+	runDeliveryChaos(t, delivery.DropOldest, deliveryRounds(t), 23, delivery.DefaultShards)
 }

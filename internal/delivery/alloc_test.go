@@ -1,0 +1,140 @@
+package delivery
+
+import (
+	"testing"
+
+	"github.com/movesys/move/internal/model"
+	"github.com/movesys/move/internal/testutil"
+)
+
+// ackConn is an allocation-free sink: it records only the last sequence so
+// the driver can ack (which retires events back to the pool).
+type ackConn struct {
+	lastSeq uint64
+	sends   int
+}
+
+func (c *ackConn) SendHello(HelloInfo) error { return nil }
+func (c *ackConn) SendEvents(evs []*Event) error {
+	c.lastSeq = evs[len(evs)-1].Seq
+	c.sends++
+	return nil
+}
+func (c *ackConn) SendPing() error      { return nil }
+func (c *ackConn) SendBye(string) error { return nil }
+func (c *ackConn) Close() error         { return nil }
+
+// newWarmSession builds a hub with no worker pool (flush is driven inline)
+// and warms the enqueue→flush→ack cycle so every pool and backing array has
+// reached steady-state capacity.
+func newWarmSession(tb testing.TB) (*Hub, *Session, *ackConn) {
+	tb.Helper()
+	h := NewHub(Config{Workers: -1, QueueCap: 1 << 10, WindowCap: 1 << 10, FlushBatch: 64})
+	conn := &ackConn{}
+	s, _, err := h.Attach("warm", conn, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	filters := []model.FilterID{1, 2}
+	terms := []string{"alpha", "beta"}
+	for i := 0; i < 4096; i++ {
+		h.Deliver("warm", uint64(i), filters, terms)
+		if i%64 == 63 {
+			s.flush()
+			h.Ack("warm", conn.lastSeq)
+		}
+	}
+	s.flush()
+	h.Ack("warm", conn.lastSeq)
+	s.flush() // recycle the retired events
+	return h, s, conn
+}
+
+// TestEnqueueFlushZeroAlloc is the warm-path guard: after sharding and
+// event pooling, a steady-state enqueue→flush→ack cycle must not allocate.
+// Skipped under -race (instrumentation allocates and sync.Pool drops items
+// on purpose there).
+func TestEnqueueFlushZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	h, s, conn := newWarmSession(t)
+	defer h.Stop()
+
+	filters := []model.FilterID{1, 2}
+	terms := []string{"alpha", "beta"}
+	doc := uint64(1 << 20)
+	allocs := testing.AllocsPerRun(2000, func() {
+		doc++
+		h.Deliver("warm", doc, filters, terms)
+		s.flush()
+		h.Ack("warm", conn.lastSeq)
+	})
+	if allocs != 0 {
+		t.Fatalf("enqueue→flush→ack allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestDeliverBatchZeroAlloc guards the batched routing entry point the node
+// layer uses: the per-shard grouping scratch is pooled, so a warm
+// DeliverBatch over existing sessions must not allocate either.
+func TestDeliverBatchZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	h, s, conn := newWarmSession(t)
+	defer h.Stop()
+
+	notifs := []Notification{{Sub: "warm", Filters: []model.FilterID{1, 2}}}
+	terms := []string{"alpha", "beta"}
+	doc := uint64(1 << 21)
+	allocs := testing.AllocsPerRun(2000, func() {
+		doc++
+		h.DeliverBatch(doc, terms, notifs)
+		s.flush()
+		h.Ack("warm", conn.lastSeq)
+	})
+	if allocs != 0 {
+		t.Fatalf("DeliverBatch→flush→ack allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkHubEnqueueFlush measures the warm enqueue→flush→ack cycle — run
+// with -benchmem to see the allocation-free hot path.
+func BenchmarkHubEnqueueFlush(b *testing.B) {
+	h, s, conn := newWarmSession(b)
+	defer h.Stop()
+
+	filters := []model.FilterID{1, 2}
+	terms := []string{"alpha", "beta"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Deliver("warm", uint64(i), filters, terms)
+		if i%64 == 63 {
+			s.flush()
+			h.Ack("warm", conn.lastSeq)
+		}
+	}
+	b.StopTimer()
+	s.flush()
+	h.Ack("warm", conn.lastSeq)
+}
+
+// BenchmarkDeliverBatch measures the batched per-shard enqueue path at a
+// realistic fan-out (64 subscribers per document).
+func BenchmarkDeliverBatch(b *testing.B) {
+	h := NewHub(Config{Workers: -1, QueueCap: 64, FlushBatch: 64})
+	defer h.Stop()
+	notifs := make([]Notification, 64)
+	for i := range notifs {
+		notifs[i] = Notification{Sub: "sub-" + string(rune('a'+i%26)) + string(rune('a'+i/26)), Filters: []model.FilterID{model.FilterID(i)}}
+	}
+	terms := []string{"alpha", "beta"}
+	h.DeliverBatch(0, terms, notifs) // create the sessions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.DeliverBatch(uint64(i), terms, notifs)
+	}
+}

@@ -9,6 +9,13 @@
 // slow-consumer policy (drop-oldest, coalesce-by-doc, disconnect) decides
 // what the bounded queue sheds, and every shed event is counted and reported
 // so delivery loss is always accounted for, never silent.
+//
+// The hub is built for 1M+ live sessions on one node (DESIGN.md §16): the
+// session registry is lock-striped into power-of-two shards, each shard has
+// its own ready ring that flush workers drain (stealing from sibling shards
+// when their own is dry), the warm enqueue→flush path recycles Event objects
+// through a pool so steady-state delivery allocates nothing, and connections
+// that implement Flusher coalesce consecutive event frames into one syscall.
 package delivery
 
 import (
@@ -127,6 +134,11 @@ var ErrStalled = errors.New("delivery: consumer stalled")
 // Event is one matched-document notification bound for a subscriber. Seq is
 // zero while queued and assigned from the session's monotonic counter when
 // the event is first sent.
+//
+// Events are pooled: once every copy a subscriber could receive has been
+// acknowledged, the hub recycles the object. Conn implementations must not
+// retain *Event pointers (or their Filters slices) past the SendEvents call —
+// copy what outlives the call.
 type Event struct {
 	Seq     uint64
 	DocID   uint64
@@ -150,7 +162,10 @@ type HelloInfo struct {
 // Conn is the server-side sink of one subscriber connection. Implementations
 // must be safe for concurrent use (the flush workers and the janitor both
 // write). SendEvents may return ErrStalled (wrapped) to signal a retryable
-// write timeout; any other error detaches the session.
+// write timeout; any other error detaches the session. Events handed to
+// SendEvents are owned by the hub and recycled after acknowledgement: a Conn
+// must not retain the slice, the *Event pointers, or their Filters slices
+// beyond the call.
 type Conn interface {
 	SendHello(info HelloInfo) error
 	SendEvents(evs []*Event) error
@@ -158,6 +173,23 @@ type Conn interface {
 	SendBye(reason string) error
 	Close() error
 }
+
+// Flusher is implemented by Conns that buffer event frames (the coalescing
+// TCP writer). The hub calls Flush once at the end of every flush round so
+// frames buffered across consecutive SendEvents calls hit the wire in one
+// syscall. A Flush error is a hard connection error: the session detaches.
+type Flusher interface {
+	Flush() error
+}
+
+// DefaultShards is the default power-of-two shard count for the session
+// registry and ready rings, mirroring internal/index's striping.
+const DefaultShards = 32
+
+// DefaultCoalesceBytes is the default flush threshold for coalescing
+// connection writers: a buffered conn flushes on its own once this many
+// bytes are pending, bounding memory and latency between hub flush rounds.
+const DefaultCoalesceBytes = 64 << 10
 
 // Config parameterizes a Hub.
 type Config struct {
@@ -172,8 +204,20 @@ type Config struct {
 	WindowCap int
 	// FlushBatch caps events per SendEvents call. Default 64.
 	FlushBatch int
-	// Workers is the flush worker-pool size. Default GOMAXPROCS.
+	// Workers is the flush worker-pool size. Default GOMAXPROCS; negative
+	// disables the pool entirely (tests drive Session.flush directly).
 	Workers int
+	// Shards is the session-registry/ready-ring stripe count, rounded up to
+	// a power of two. Default DefaultShards.
+	Shards int
+	// CoalesceBytes is the flush threshold handed to coalescing connection
+	// writers (Server). Default DefaultCoalesceBytes.
+	CoalesceBytes int
+	// FlushDelay, when positive, is the coalescing window: an enqueue on a
+	// session with fewer than FlushBatch pending events defers the flush
+	// for up to ~2x FlushDelay so more events share one frame batch and one
+	// syscall. Zero flushes immediately (lowest latency, least coalescing).
+	FlushDelay time.Duration
 	// HeartbeatEvery is the janitor cadence: pings are sent and idle/stall
 	// checks run every interval. Zero disables the janitor (tests drive
 	// Sweep directly).
@@ -192,44 +236,78 @@ type Config struct {
 	OnDrop func(sub string, docID uint64, reason string)
 }
 
+// shard is one stripe of the session registry plus its ready ring: mu guards
+// the sub→session map, rmu the ring of sessions awaiting a flush worker, and
+// dmu the deferred list of sessions waiting out a FlushDelay coalescing
+// window.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	rmu   sync.Mutex
+	ring  []*Session
+	rhead int
+
+	dmu      sync.Mutex
+	deferred []*Session
+}
+
 // Hub owns every subscriber session on one node: it enqueues notifications,
 // schedules flushes over a fixed worker pool (no per-session goroutines, so
-// 100k+ concurrent sessions stay cheap), and sweeps heartbeats and idle
-// timeouts.
+// 1M+ concurrent sessions stay cheap), and sweeps heartbeats and idle
+// timeouts. Sessions are striped across power-of-two shards; each worker
+// drains its home shard's ready ring first and steals from sibling shards
+// when idle.
 type Hub struct {
 	cfg Config
 	reg *metrics.Registry
 	now func() time.Time
 
-	mu       sync.RWMutex
-	sessions map[string]*Session
+	shards    []*shard
+	shardMask uint32
 
-	readyMu   sync.Mutex
-	ready     []*Session
-	readyCond *sync.Cond
-	stopped   bool
+	// Worker parking: idle workers push a buffered(1) wake channel onto
+	// parked and block on it; schedulers pop one and signal. readyN counts
+	// ring entries across all shards, nparked mirrors len(parked) so the
+	// all-workers-busy enqueue path skips the park lock entirely.
+	parkMu  sync.Mutex
+	parked  []chan struct{}
+	nparked atomic.Int32
+	readyN  atomic.Int64
+	stopped atomic.Bool
 
-	wg          sync.WaitGroup
-	stopJanitor chan struct{}
+	wg     sync.WaitGroup
+	stopCh chan struct{}
 
-	sessionsG    *metrics.Counter
-	attachedG    *metrics.Counter
-	enqueuedC    *metrics.Counter
-	deliveredC   *metrics.Counter
-	redeliveredC *metrics.Counter
-	ackedC       *metrics.Counter
-	dropOldestC  *metrics.Counter
-	dropDisconnC *metrics.Counter
-	coalescedC   *metrics.Counter
-	idleKicksC   *metrics.Counter
-	replacedC    *metrics.Counter
-	hQueueDepth  *metrics.Histogram
-	hAckLatency  *metrics.Histogram
-	hFlushBatch  *metrics.Histogram
+	eventPool   sync.Pool // *Event
+	batchPool   sync.Pool // *[]*Event
+	scratchPool sync.Pool // *deliverScratch
+
+	sessionsG      *metrics.Counter
+	attachedG      *metrics.Counter
+	enqueuedC      *metrics.Counter
+	deliveredC     *metrics.Counter
+	redeliveredC   *metrics.Counter
+	ackedC         *metrics.Counter
+	dropOldestC    *metrics.Counter
+	dropDisconnC   *metrics.Counter
+	coalescedC     *metrics.Counter
+	idleKicksC     *metrics.Counter
+	replacedC      *metrics.Counter
+	flushFramesC   *metrics.Counter
+	flushSyscallsC *metrics.Counter
+	flushBytesC    *metrics.Counter
+	shardsGauge    *metrics.Gauge
+	hQueueDepth    *metrics.Histogram
+	hAckLatency    *metrics.Histogram
+	hFlushBatch    *metrics.Histogram
+	hFlushFrames   *metrics.Histogram
+	hFlushBytes    *metrics.Histogram
 }
 
 // NewHub builds and starts a hub: Workers flush goroutines plus, when
-// HeartbeatEvery > 0, one janitor goroutine.
+// HeartbeatEvery > 0, one janitor goroutine, plus, when FlushDelay > 0, one
+// coalescer goroutine draining deferred sessions.
 func NewHub(cfg Config) *Hub {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 256
@@ -240,8 +318,15 @@ func NewHub(cfg Config) *Hub {
 	if cfg.FlushBatch <= 0 {
 		cfg.FlushBatch = 64
 	}
-	if cfg.Workers <= 0 {
+	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	cfg.Shards = ceilPow2(cfg.Shards)
+	if cfg.CoalesceBytes <= 0 {
+		cfg.CoalesceBytes = DefaultCoalesceBytes
 	}
 	if cfg.IdleTimeout <= 0 && cfg.HeartbeatEvery > 0 {
 		cfg.IdleTimeout = 4 * cfg.HeartbeatEvery
@@ -255,36 +340,76 @@ func NewHub(cfg Config) *Hub {
 		now = time.Now
 	}
 	h := &Hub{
-		cfg:          cfg,
-		reg:          reg,
-		now:          now,
-		sessions:     make(map[string]*Session),
-		stopJanitor:  make(chan struct{}),
-		sessionsG:    reg.Counter("delivery.sessions"),
-		attachedG:    reg.Counter("delivery.attached"),
-		enqueuedC:    reg.Counter("delivery.enqueued"),
-		deliveredC:   reg.Counter("delivery.delivered"),
-		redeliveredC: reg.Counter("delivery.redelivered"),
-		ackedC:       reg.Counter("delivery.acked"),
-		dropOldestC:  reg.Counter("delivery.drops.oldest"),
-		dropDisconnC: reg.Counter("delivery.drops.disconnect"),
-		coalescedC:   reg.Counter("delivery.coalesced"),
-		idleKicksC:   reg.Counter("delivery.kicks.idle"),
-		replacedC:    reg.Counter("delivery.kicks.replaced"),
-		hQueueDepth:  reg.Histogram("delivery.queue.depth"),
-		hAckLatency:  reg.Histogram("delivery.ack.latency"),
-		hFlushBatch:  reg.Histogram("delivery.flush.batch"),
+		cfg:            cfg,
+		reg:            reg,
+		now:            now,
+		shards:         make([]*shard, cfg.Shards),
+		shardMask:      uint32(cfg.Shards - 1),
+		stopCh:         make(chan struct{}),
+		sessionsG:      reg.Counter("delivery.sessions"),
+		attachedG:      reg.Counter("delivery.attached"),
+		enqueuedC:      reg.Counter("delivery.enqueued"),
+		deliveredC:     reg.Counter("delivery.delivered"),
+		redeliveredC:   reg.Counter("delivery.redelivered"),
+		ackedC:         reg.Counter("delivery.acked"),
+		dropOldestC:    reg.Counter("delivery.drops.oldest"),
+		dropDisconnC:   reg.Counter("delivery.drops.disconnect"),
+		coalescedC:     reg.Counter("delivery.coalesced"),
+		idleKicksC:     reg.Counter("delivery.kicks.idle"),
+		replacedC:      reg.Counter("delivery.kicks.replaced"),
+		flushFramesC:   reg.Counter("delivery.flush.frames"),
+		flushSyscallsC: reg.Counter("delivery.flush.syscalls"),
+		flushBytesC:    reg.Counter("delivery.flush.bytes.total"),
+		shardsGauge:    reg.Gauge("delivery.shards"),
+		hQueueDepth:    reg.Histogram("delivery.queue.depth"),
+		hAckLatency:    reg.Histogram("delivery.ack.latency"),
+		hFlushBatch:    reg.Histogram("delivery.flush.batch"),
+		hFlushFrames:   reg.Histogram("delivery.flush.frames_per_syscall"),
+		hFlushBytes:    reg.Histogram("delivery.flush.bytes"),
 	}
-	h.readyCond = sync.NewCond(&h.readyMu)
-	for i := 0; i < cfg.Workers; i++ {
-		h.wg.Add(1)
-		go h.worker()
+	for i := range h.shards {
+		h.shards[i] = &shard{sessions: make(map[string]*Session)}
+	}
+	h.shardsGauge.Set(int64(cfg.Shards))
+	h.batchPool.New = func() any {
+		b := make([]*Event, 0, cfg.FlushBatch)
+		return &b
+	}
+	if cfg.Workers > 0 {
+		for i := 0; i < cfg.Workers; i++ {
+			h.wg.Add(1)
+			go h.worker(i)
+		}
 	}
 	if cfg.HeartbeatEvery > 0 {
 		h.wg.Add(1)
 		go h.janitor()
 	}
+	if cfg.FlushDelay > 0 {
+		h.wg.Add(1)
+		go h.coalescer()
+	}
 	return h
+}
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex stripes a subscriber name across the shards (FNV-1a, the same
+// hash discipline as internal/index's term shards).
+func (h *Hub) shardIndex(sub string) uint32 {
+	hash := uint32(2166136261)
+	for i := 0; i < len(sub); i++ {
+		hash ^= uint32(sub[i])
+		hash *= 16777619
+	}
+	return hash & h.shardMask
 }
 
 // Metrics exposes the hub's registry.
@@ -293,57 +418,116 @@ func (h *Hub) Metrics() *metrics.Registry { return h.reg }
 // Policy returns the configured slow-consumer policy.
 func (h *Hub) Policy() Policy { return h.cfg.Policy }
 
-// Stop terminates the workers and janitor and closes every attached
-// connection. Queued events are retained in memory until the hub is
-// garbage-collected; Stop is a process-shutdown path, not a flush barrier.
+// Shards returns the (power-of-two) shard count the hub runs with.
+func (h *Hub) Shards() int { return len(h.shards) }
+
+// CoalesceBytes returns the flush threshold coalescing writers should use.
+func (h *Hub) CoalesceBytes() int { return h.cfg.CoalesceBytes }
+
+// ShardSessions returns the per-shard session counts — the striping balance
+// view /healthz and tests use.
+func (h *Hub) ShardSessions() []int {
+	counts := make([]int, len(h.shards))
+	for i, sh := range h.shards {
+		sh.mu.RLock()
+		counts[i] = len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return counts
+}
+
+// Stop terminates the workers, janitor, and coalescer, drains every shard's
+// ready ring, and closes every attached connection. Queued events are
+// retained in memory until the hub is garbage-collected; Stop is a
+// process-shutdown path, not a flush barrier.
 func (h *Hub) Stop() {
-	h.readyMu.Lock()
-	if h.stopped {
-		h.readyMu.Unlock()
+	if !h.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	h.stopped = true
-	h.readyCond.Broadcast()
-	h.readyMu.Unlock()
-	close(h.stopJanitor)
-
-	h.mu.RLock()
-	sessions := make([]*Session, 0, len(h.sessions))
-	for _, s := range h.sessions {
-		sessions = append(sessions, s)
+	// Barrier: every schedule() checks stopped inside the ring lock, so
+	// after locking and releasing each ring here, any concurrent push has
+	// either landed (and will be drained below) or seen stopped and bailed.
+	for _, sh := range h.shards {
+		sh.rmu.Lock()
+		sh.rmu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	}
-	h.mu.RUnlock()
-	for _, s := range sessions {
-		s.mu.Lock()
-		conn := s.detachLocked()
-		s.mu.Unlock()
-		if conn != nil {
-			_ = conn.Close()
+	close(h.stopCh)
+	// Wake every parked worker so it can observe stopped and exit; workers
+	// drain the remaining ready entries on their way out.
+	h.parkMu.Lock()
+	for _, c := range h.parked {
+		c <- struct{}{}
+	}
+	h.parked = nil
+	h.nparked.Store(0)
+	h.parkMu.Unlock()
+
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			s.mu.Lock()
+			conn := s.detachLocked()
+			s.mu.Unlock()
+			if conn != nil {
+				_ = conn.Close()
+			}
 		}
 	}
 	h.wg.Wait()
+	// With the workers gone, clear whatever the rings and deferred lists
+	// still hold so no session is left marked scheduled/deferred.
+	for _, sh := range h.shards {
+		sh.rmu.Lock()
+		for i := sh.rhead; i < len(sh.ring); i++ {
+			sh.ring[i].scheduled.Store(false)
+			sh.ring[i] = nil
+			h.readyN.Add(-1)
+		}
+		sh.ring, sh.rhead = sh.ring[:0], 0
+		sh.rmu.Unlock()
+		sh.dmu.Lock()
+		for i, s := range sh.deferred {
+			s.deferred.Store(false)
+			sh.deferred[i] = nil
+		}
+		sh.deferred = sh.deferred[:0]
+		sh.dmu.Unlock()
+	}
 }
 
 // session returns the subscriber's session, creating a detached one on first
 // reference — notifications routed here before the subscriber ever connects
 // queue up for its first attach.
 func (h *Hub) session(sub string) *Session {
-	h.mu.RLock()
-	s := h.sessions[sub]
-	h.mu.RUnlock()
+	sh := h.shards[h.shardIndex(sub)]
+	sh.mu.RLock()
+	s := sh.sessions[sub]
+	sh.mu.RUnlock()
 	if s != nil {
 		return s
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s = h.sessions[sub]; s != nil {
+	sh.mu.Lock()
+	s = h.createLocked(sh, sub)
+	sh.mu.Unlock()
+	return s
+}
+
+// createLocked adds (or finds) sub's session in sh. Requires sh.mu held for
+// writing.
+func (h *Hub) createLocked(sh *shard, sub string) *Session {
+	if s := sh.sessions[sub]; s != nil {
 		return s
 	}
-	s = &Session{hub: h, sub: sub}
+	s := &Session{hub: h, sub: sub, shard: sh}
 	if h.cfg.Policy == CoalesceByDoc {
 		s.byDoc = make(map[uint64]*Event)
 	}
-	h.sessions[sub] = s
+	sh.sessions[sub] = s
 	// Add, not Set: several hubs may share one registry (one per cluster
 	// node), and the counter is the cluster-wide session total.
 	h.sessionsG.Add(1)
@@ -352,9 +536,10 @@ func (h *Hub) session(sub string) *Session {
 
 // Session returns the subscriber's session if one exists.
 func (h *Hub) Session(sub string) (*Session, bool) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	s, ok := h.sessions[sub]
+	sh := h.shards[h.shardIndex(sub)]
+	sh.mu.RLock()
+	s, ok := sh.sessions[sub]
+	sh.mu.RUnlock()
 	return s, ok
 }
 
@@ -365,12 +550,109 @@ func (h *Hub) Deliver(sub string, docID uint64, filters []model.FilterID, terms 
 	h.session(sub).enqueue(docID, filters, terms)
 }
 
+// deliverScratch is the pooled workspace of one DeliverBatch call: bySh
+// groups notification indexes by shard, sess holds the resolved session per
+// notification.
+type deliverScratch struct {
+	bySh [][]int32
+	sess []*Session
+}
+
+// DeliverBatch enqueues one document's notifications for many subscribers at
+// once — the session-owner side of a msgDeliverBatch frame. Lookups are
+// grouped by registry shard so a thousand-subscriber fan-out takes one
+// read-lock acquisition per touched shard instead of one per subscriber.
+func (h *Hub) DeliverBatch(docID uint64, terms []string, notifs []Notification) {
+	if len(notifs) == 0 {
+		return
+	}
+	var sc *deliverScratch
+	if v := h.scratchPool.Get(); v != nil {
+		sc = v.(*deliverScratch)
+	} else {
+		sc = &deliverScratch{}
+	}
+	if len(sc.bySh) < len(h.shards) {
+		sc.bySh = make([][]int32, len(h.shards))
+	}
+	if cap(sc.sess) < len(notifs) {
+		sc.sess = make([]*Session, len(notifs))
+	}
+	sess := sc.sess[:len(notifs)]
+	for i := range notifs {
+		si := h.shardIndex(notifs[i].Sub)
+		sc.bySh[si] = append(sc.bySh[si], int32(i))
+	}
+	for si := range sc.bySh {
+		idxs := sc.bySh[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := h.shards[si]
+		miss := false
+		sh.mu.RLock()
+		for _, i := range idxs {
+			s := sh.sessions[notifs[i].Sub]
+			sess[i] = s
+			if s == nil {
+				miss = true
+			}
+		}
+		sh.mu.RUnlock()
+		if miss {
+			sh.mu.Lock()
+			for _, i := range idxs {
+				if sess[i] == nil {
+					sess[i] = h.createLocked(sh, notifs[i].Sub)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		sc.bySh[si] = idxs[:0]
+	}
+	for i := range notifs {
+		sess[i].enqueue(docID, notifs[i].Filters, terms)
+		sess[i] = nil
+	}
+	h.scratchPool.Put(sc)
+}
+
 // Ack applies a cumulative ack for a subscriber (in-process sinks that have
 // no read loop of their own).
 func (h *Hub) Ack(sub string, seq uint64) {
 	if s, ok := h.Session(sub); ok {
 		s.Ack(seq)
 	}
+}
+
+// ObserveFlush records one physical connection write that carried frames
+// coalesced frames over bytes wire bytes. Coalescing writers (the server's
+// wireConn, bench sinks) call it once per syscall-sized flush so
+// delivery.flush.frames_per_syscall and delivery.flush.bytes prove the
+// batching.
+func (h *Hub) ObserveFlush(frames, bytes int) {
+	if frames <= 0 {
+		return
+	}
+	h.flushFramesC.Add(int64(frames))
+	h.flushSyscallsC.Inc()
+	h.flushBytesC.Add(int64(bytes))
+	// The ratio histogram stores milli-frames so sub-integer percentiles
+	// survive the log bucketing: 1 frame/syscall → 1000.
+	h.hFlushFrames.Observe(time.Duration(frames) * 1000)
+	h.hFlushBytes.Observe(time.Duration(bytes))
+}
+
+// FlushStats returns the aggregate coalescing ratio (frames per physical
+// write) and total frames/syscalls/bytes recorded by ObserveFlush.
+func (h *Hub) FlushStats() (framesPerSyscall float64, frames, syscalls, bytes int64) {
+	frames = h.flushFramesC.Value()
+	syscalls = h.flushSyscallsC.Value()
+	bytes = h.flushBytesC.Value()
+	if syscalls > 0 {
+		framesPerSyscall = float64(frames) / float64(syscalls)
+	}
+	return framesPerSyscall, frames, syscalls, bytes
 }
 
 // Attach binds a connection to the subscriber's session, applies the
@@ -389,7 +671,7 @@ func (h *Hub) Attach(sub string, conn Conn, resumeAck uint64) (*Session, HelloIn
 		s.state = StateDetached
 	}
 	s.ackLocked(resumeAck)
-	s.resend = append(s.resend[:0], s.window...)
+	s.resend = append(s.resend[:0], s.window[s.whead:]...)
 	s.conn = conn
 	s.state = StateAttached
 	s.touchLocked()
@@ -415,40 +697,126 @@ func (h *Hub) Attach(sub string, conn Conn, resumeAck uint64) (*Session, HelloIn
 	return s, info, nil
 }
 
-// schedule marks a session ready to flush. The scheduled flag keeps at most
-// one ready-queue entry per session; it is cleared by the worker before the
-// flush, so an enqueue racing a flush re-schedules rather than getting lost.
+// schedule pushes a session onto its shard's ready ring. The scheduled flag
+// keeps at most one ring entry per session; it is cleared by the worker
+// before the flush, so an enqueue racing a flush re-schedules rather than
+// getting lost.
 func (h *Hub) schedule(s *Session) {
 	if !s.scheduled.CompareAndSwap(false, true) {
 		return
 	}
-	h.readyMu.Lock()
-	if h.stopped {
-		h.readyMu.Unlock()
+	sh := s.shard
+	sh.rmu.Lock()
+	if h.stopped.Load() {
+		sh.rmu.Unlock()
 		s.scheduled.Store(false)
 		return
 	}
-	h.ready = append(h.ready, s)
-	h.readyCond.Signal()
-	h.readyMu.Unlock()
+	sh.ring = append(sh.ring, s)
+	h.readyN.Add(1)
+	sh.rmu.Unlock()
+	h.wakeOne()
 }
 
-func (h *Hub) worker() {
-	defer h.wg.Done()
-	for {
-		h.readyMu.Lock()
-		for len(h.ready) == 0 && !h.stopped {
-			h.readyCond.Wait()
+// deferSchedule parks a session on its shard's deferred list for the
+// coalescer to schedule within ~2x FlushDelay — the deadline half of the
+// "size- and deadline-bounded" coalescing rule. Falls back to an immediate
+// schedule when the hub is stopping or has no coalescer.
+func (h *Hub) deferSchedule(s *Session) {
+	if !s.deferred.CompareAndSwap(false, true) {
+		return
+	}
+	sh := s.shard
+	sh.dmu.Lock()
+	if h.stopped.Load() {
+		sh.dmu.Unlock()
+		s.deferred.Store(false)
+		return
+	}
+	sh.deferred = append(sh.deferred, s)
+	sh.dmu.Unlock()
+}
+
+// wakeOne unparks one idle worker, if any. The nparked fast path makes this
+// a single atomic load when every worker is already busy — the steady state
+// at high flush rates, where the old readyCond.Signal took the mutex every
+// time.
+func (h *Hub) wakeOne() {
+	if h.nparked.Load() == 0 {
+		return
+	}
+	h.parkMu.Lock()
+	n := len(h.parked)
+	if n == 0 {
+		h.parkMu.Unlock()
+		return
+	}
+	c := h.parked[n-1]
+	h.parked[n-1] = nil
+	h.parked = h.parked[:n-1]
+	h.nparked.Store(int32(n - 1))
+	h.parkMu.Unlock()
+	c <- struct{}{}
+}
+
+// popReady pops the next ready session, scanning the worker's home shard
+// first and then stealing round-robin from sibling shards. Returns nil when
+// every ring is empty.
+func (h *Hub) popReady(home int) *Session {
+	if h.readyN.Load() == 0 {
+		return nil
+	}
+	n := len(h.shards)
+	for i := 0; i < n; i++ {
+		sh := h.shards[(home+i)&int(h.shardMask)]
+		sh.rmu.Lock()
+		if sh.rhead < len(sh.ring) {
+			s := sh.ring[sh.rhead]
+			sh.ring[sh.rhead] = nil
+			sh.rhead++
+			if sh.rhead == len(sh.ring) {
+				sh.ring, sh.rhead = sh.ring[:0], 0
+			}
+			h.readyN.Add(-1)
+			sh.rmu.Unlock()
+			return s
 		}
-		if len(h.ready) == 0 {
-			h.readyMu.Unlock()
+		sh.rmu.Unlock()
+	}
+	return nil
+}
+
+// worker is one flush goroutine: drain the home shard, steal when dry, park
+// when everything is dry. The park protocol re-checks readyN after
+// registering so a concurrent schedule (whose nparked read raced the
+// registration) is never lost, and re-checks stopped so shutdown never
+// leaves a worker parked.
+func (h *Hub) worker(home int) {
+	defer h.wg.Done()
+	wake := make(chan struct{}, 1)
+	for {
+		if s := h.popReady(home); s != nil {
+			s.scheduled.Store(false)
+			s.flush()
+			continue
+		}
+		if h.stopped.Load() {
 			return
 		}
-		s := h.ready[0]
-		h.ready = h.ready[1:]
-		h.readyMu.Unlock()
-		s.scheduled.Store(false)
-		s.flush()
+		h.parkMu.Lock()
+		h.parked = append(h.parked, wake)
+		h.nparked.Store(int32(len(h.parked)))
+		if h.readyN.Load() > 0 || h.stopped.Load() {
+			// Work (or shutdown) arrived between the empty scan and the
+			// registration: unpark ourselves. We still hold parkMu, so no
+			// wakeOne can have popped (or signaled) our channel.
+			h.parked = h.parked[:len(h.parked)-1]
+			h.nparked.Store(int32(len(h.parked)))
+			h.parkMu.Unlock()
+			continue
+		}
+		h.parkMu.Unlock()
+		<-wake
 	}
 }
 
@@ -458,12 +826,50 @@ func (h *Hub) janitor() {
 	defer t.Stop()
 	for {
 		select {
-		case <-h.stopJanitor:
+		case <-h.stopCh:
 			return
 		case <-t.C:
 			h.Sweep()
 		}
 	}
+}
+
+// coalescer drains the shards' deferred lists every FlushDelay, scheduling
+// each parked session. An event deferred right after a tick waits at most
+// ~2x FlushDelay before its flush is scheduled.
+func (h *Hub) coalescer() {
+	defer h.wg.Done()
+	t := time.NewTicker(h.cfg.FlushDelay)
+	defer t.Stop()
+	var batch []*Session
+	for {
+		select {
+		case <-h.stopCh:
+			return
+		case <-t.C:
+			batch = h.drainDeferred(batch)
+		}
+	}
+}
+
+// drainDeferred runs one coalescer tick: every deferred session is cleared
+// and scheduled. scratch is reused across ticks; the (possibly grown) slice
+// is returned.
+func (h *Hub) drainDeferred(scratch []*Session) []*Session {
+	for _, sh := range h.shards {
+		sh.dmu.Lock()
+		scratch = append(scratch[:0], sh.deferred...)
+		for i := range sh.deferred {
+			sh.deferred[i] = nil
+		}
+		sh.deferred = sh.deferred[:0]
+		sh.dmu.Unlock()
+		for _, s := range scratch {
+			s.deferred.Store(false)
+			h.schedule(s)
+		}
+	}
+	return scratch[:0]
 }
 
 // Sweep runs one janitor pass: idle connections are kicked (detached with a
@@ -472,50 +878,52 @@ func (h *Hub) janitor() {
 // Exported so tests (and hubs with no janitor goroutine) can drive it.
 func (h *Hub) Sweep() {
 	now := h.now()
-	h.mu.RLock()
-	sessions := make([]*Session, 0, len(h.sessions))
-	for _, s := range h.sessions {
-		sessions = append(sessions, s)
-	}
-	h.mu.RUnlock()
-	for _, s := range sessions {
-		var kicked, ping Conn
-		s.mu.Lock()
-		switch s.state {
-		case StateAttached, StateStalled:
-			if h.cfg.IdleTimeout > 0 && now.Sub(s.lastActivity) > h.cfg.IdleTimeout {
-				kicked = s.detachLocked()
-				break
-			}
-			if s.state == StateStalled {
-				s.state = StateAttached
-			}
-			if h.cfg.HeartbeatEvery > 0 && now.Sub(s.lastPing) >= h.cfg.HeartbeatEvery {
-				s.lastPing = now
-				ping = s.conn
-			}
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
 		}
-		retry := s.state == StateAttached && s.flushableLocked()
-		s.mu.Unlock()
-		if kicked != nil {
-			h.idleKicksC.Inc()
-			_ = kicked.SendBye("idle-timeout")
-			_ = kicked.Close()
-			continue
-		}
-		if ping != nil {
-			if err := ping.SendPing(); err != nil {
-				s.mu.Lock()
-				if s.conn == ping {
-					_ = s.detachLocked()
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			var kicked, ping Conn
+			s.mu.Lock()
+			switch s.state {
+			case StateAttached, StateStalled:
+				if h.cfg.IdleTimeout > 0 && now.Sub(s.lastActivity) > h.cfg.IdleTimeout {
+					kicked = s.detachLocked()
+					break
 				}
-				s.mu.Unlock()
-				_ = ping.Close()
+				if s.state == StateStalled {
+					s.state = StateAttached
+				}
+				if h.cfg.HeartbeatEvery > 0 && now.Sub(s.lastPing) >= h.cfg.HeartbeatEvery {
+					s.lastPing = now
+					ping = s.conn
+				}
+			}
+			retry := s.state == StateAttached && s.flushableLocked()
+			s.mu.Unlock()
+			if kicked != nil {
+				h.idleKicksC.Inc()
+				_ = kicked.SendBye("idle-timeout")
+				_ = kicked.Close()
 				continue
 			}
-		}
-		if retry {
-			h.schedule(s)
+			if ping != nil {
+				if err := ping.SendPing(); err != nil {
+					s.mu.Lock()
+					if s.conn == ping {
+						_ = s.detachLocked()
+					}
+					s.mu.Unlock()
+					_ = ping.Close()
+					continue
+				}
+			}
+			if retry {
+				h.schedule(s)
+			}
 		}
 	}
 }
@@ -548,52 +956,101 @@ func (h *Hub) Snapshot(sub string) (SessionSnapshot, bool) {
 
 // Each calls fn with a snapshot of every session.
 func (h *Hub) Each(fn func(SessionSnapshot)) {
-	h.mu.RLock()
-	sessions := make([]*Session, 0, len(h.sessions))
-	for _, s := range h.sessions {
-		sessions = append(sessions, s)
-	}
-	h.mu.RUnlock()
-	for _, s := range sessions {
-		fn(s.snapshot())
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			fn(s.snapshot())
+		}
 	}
 }
 
 // SessionCount returns the number of sessions (attached or not).
 func (h *Hub) SessionCount() int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return len(h.sessions)
+	total := 0
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		total += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // Pending returns the total number of queued plus unacked events across all
 // sessions — the drain gauge /healthz exposes.
 func (h *Hub) Pending() int {
 	total := 0
-	h.Each(func(ss SessionSnapshot) { total += ss.Queued + ss.Window })
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			s.mu.Lock()
+			total += len(s.queue) - s.qhead + len(s.window) - s.whead
+			s.mu.Unlock()
+		}
+	}
 	return total
+}
+
+// getEvent takes a recycled Event from the pool (or allocates the pool's
+// first copies). Fields the caller does not set are zero.
+func (h *Hub) getEvent() *Event {
+	if v := h.eventPool.Get(); v != nil {
+		return v.(*Event)
+	}
+	return &Event{}
+}
+
+// putEvent recycles an Event. Callers must guarantee no other goroutine can
+// still reach it: the event was either never sent (queue drop) or every
+// SendEvents that carried it has returned and the subscriber acked it.
+func (h *Hub) putEvent(ev *Event) {
+	ev.Seq = 0
+	ev.DocID = 0
+	ev.Filters = ev.Filters[:0]
+	ev.Terms = nil
+	ev.enqueuedAt = time.Time{}
+	ev.sentAt = time.Time{}
+	h.eventPool.Put(ev)
 }
 
 // Session is one subscriber's delivery state. All fields are guarded by mu;
 // flushMu serializes flushes so events reach the connection in sequence
 // order even when two workers pick the session up back-to-back.
 type Session struct {
-	hub *Hub
-	sub string
+	hub   *Hub
+	shard *shard
+	sub   string
 
 	flushMu sync.Mutex
 
 	mu    sync.Mutex
 	state State
 	conn  Conn
-	// queue holds not-yet-sent events (no Seq). byDoc indexes it by DocID
-	// under CoalesceByDoc.
+	// queue[qhead:] holds not-yet-sent events (no Seq); the head index (with
+	// reset-on-empty and bounded compaction) keeps the backing array stable
+	// so the warm path never reallocates. byDoc indexes the live portion by
+	// DocID under CoalesceByDoc.
 	queue []*Event
+	qhead int
 	byDoc map[uint64]*Event
-	// window holds sent-but-unacked events in Seq order; resend stages the
-	// window slice scheduled for redelivery after an attach.
+	// window[whead:] holds sent-but-unacked events in Seq order; resend
+	// stages the window slice scheduled for redelivery after an attach.
 	window []*Event
+	whead  int
 	resend []*Event
+	// retired collects acked events awaiting recycling: the flush loop
+	// returns them to the pool under flushMu, which serializes with any
+	// SendEvents call that might still be reading them.
+	retired []*Event
 	// sendSeq is the last assigned sequence number; ackSeq the cumulative
 	// ack cursor (everything <= ackSeq is acknowledged).
 	sendSeq uint64
@@ -603,6 +1060,7 @@ type Session struct {
 	lastPing     time.Time
 
 	scheduled atomic.Bool
+	deferred  atomic.Bool
 }
 
 // Sub returns the subscriber name.
@@ -614,6 +1072,9 @@ func (s *Session) State() State {
 	defer s.mu.Unlock()
 	return s.state
 }
+
+// qlen returns the live queue length (requires mu).
+func (s *Session) qlen() int { return len(s.queue) - s.qhead }
 
 // touchLocked records inbound activity (requires mu).
 func (s *Session) touchLocked() { s.lastActivity = s.hub.now() }
@@ -653,12 +1114,13 @@ func (s *Session) Detach(conn Conn) {
 }
 
 // enqueue admits one notification, applying the slow-consumer policy on
-// overflow.
+// overflow. When the hub has a FlushDelay coalescing window, a short queue
+// defers its flush to the coalescer; a queue at FlushBatch or more schedules
+// immediately (the size bound).
 func (s *Session) enqueue(docID uint64, filters []model.FilterID, terms []string) {
 	h := s.hub
-	var dropped []*Event
+	var droppedEv *Event
 	var killed Conn
-	reason := ""
 
 	s.mu.Lock()
 	if s.state == StateClosed {
@@ -677,13 +1139,12 @@ func (s *Session) enqueue(docID uint64, filters []model.FilterID, terms []string
 			return
 		}
 	}
-	if len(s.queue) >= h.cfg.QueueCap {
+	if s.qlen() >= h.cfg.QueueCap {
 		switch h.cfg.Policy {
 		case Disconnect:
 			killed = s.detachLocked()
-			dropped = s.shedAllLocked()
+			dropped := s.shedAllLocked()
 			s.state = StateClosed
-			reason = DropReasonDisconnect
 			s.mu.Unlock()
 			h.dropDisconnC.Add(int64(len(dropped) + 1))
 			if h.cfg.OnDrop != nil {
@@ -693,57 +1154,90 @@ func (s *Session) enqueue(docID uint64, filters []model.FilterID, terms []string
 				h.cfg.OnDrop(s.sub, docID, DropReasonDisconnect)
 			}
 			if killed != nil {
-				_ = killed.SendBye("slow-consumer: " + reason)
+				_ = killed.SendBye("slow-consumer: " + DropReasonDisconnect)
 				_ = killed.Close()
 			}
 			return
 		default: // DropOldest, and the CoalesceByDoc fallback
-			old := s.queue[0]
-			s.queue = s.queue[1:]
+			droppedEv = s.queue[s.qhead]
+			s.queue[s.qhead] = nil
+			s.qhead++
 			if s.byDoc != nil {
-				delete(s.byDoc, old.DocID)
+				delete(s.byDoc, droppedEv.DocID)
 			}
-			dropped = append(dropped, old)
-			reason = DropReasonOldest
 		}
 	}
-	ev := &Event{
-		DocID:      docID,
-		Filters:    append([]model.FilterID(nil), filters...),
-		Terms:      terms,
-		enqueuedAt: h.now(),
-	}
-	s.queue = append(s.queue, ev)
+	ev := h.getEvent()
+	ev.DocID = docID
+	ev.Filters = append(ev.Filters[:0], filters...)
+	ev.Terms = terms
+	ev.enqueuedAt = h.now()
+	s.appendQueueLocked(ev)
 	if s.byDoc != nil {
 		s.byDoc[docID] = ev
 	}
-	depth := len(s.queue)
+	depth := s.qlen()
 	ready := s.state == StateAttached
 	s.mu.Unlock()
 
 	h.enqueuedC.Inc()
 	h.hQueueDepth.Observe(time.Duration(depth))
-	if len(dropped) > 0 {
-		h.dropOldestC.Add(int64(len(dropped)))
+	if droppedEv != nil {
+		docID := droppedEv.DocID
+		// Never sent, so no other goroutine can hold it: recycle now.
+		h.putEvent(droppedEv)
+		h.dropOldestC.Inc()
 		if h.cfg.OnDrop != nil {
-			for _, d := range dropped {
-				h.cfg.OnDrop(s.sub, d.DocID, reason)
-			}
+			h.cfg.OnDrop(s.sub, docID, DropReasonOldest)
 		}
 	}
 	if ready {
-		h.schedule(s)
+		// The size half of the coalescing rule: with a flush delay
+		// configured, let the queue accumulate a multi-frame payload and
+		// schedule immediately only once it is half full — the coalescer
+		// tick handles everything shallower within ~2x FlushDelay. At half
+		// capacity the session flushes ahead of the tick so the window
+		// never converts coalescing latency into policy drops.
+		if h.cfg.FlushDelay > 0 && depth*2 < h.cfg.QueueCap {
+			h.deferSchedule(s)
+		} else {
+			h.schedule(s)
+		}
 	}
+}
+
+// appendQueueLocked appends to the queue tail, compacting the head-index gap
+// first when it has grown past QueueCap (requires mu). The compaction keeps
+// the backing array bounded at ~2x QueueCap without ever reallocating on the
+// warm path.
+func (s *Session) appendQueueLocked(ev *Event) {
+	if s.qhead > 0 {
+		if s.qhead == len(s.queue) {
+			s.queue, s.qhead = s.queue[:0], 0
+		} else if s.qhead >= s.hub.cfg.QueueCap {
+			n := copy(s.queue, s.queue[s.qhead:])
+			for i := n; i < len(s.queue); i++ {
+				s.queue[i] = nil
+			}
+			s.queue, s.qhead = s.queue[:n], 0
+		}
+	}
+	s.queue = append(s.queue, ev)
 }
 
 // shedAllLocked empties the queue and window (requires mu) and returns the
 // shed events: the queue plus the unacked window. Resend entries alias
-// window entries, so the window alone covers them.
+// window entries, so the window alone covers them. The shed events are NOT
+// recycled — window events may still be referenced by an in-flight
+// SendEvents, so they are left to the garbage collector (disconnects are the
+// cold path).
 func (s *Session) shedAllLocked() []*Event {
-	shed := make([]*Event, 0, len(s.queue)+len(s.window))
-	shed = append(shed, s.queue...)
-	shed = append(shed, s.window...)
-	s.queue, s.window, s.resend = nil, nil, nil
+	shed := make([]*Event, 0, s.qlen()+len(s.window)-s.whead)
+	shed = append(shed, s.queue[s.qhead:]...)
+	shed = append(shed, s.window[s.whead:]...)
+	s.queue, s.qhead = nil, 0
+	s.window, s.whead = nil, 0
+	s.resend = nil
 	if s.byDoc != nil {
 		clear(s.byDoc)
 	}
@@ -755,43 +1249,60 @@ func (s *Session) flushableLocked() bool {
 	if len(s.resend) > 0 {
 		return true
 	}
-	return len(s.queue) > 0 && len(s.window) < s.hub.cfg.WindowCap
+	return s.qlen() > 0 && len(s.window)-s.whead < s.hub.cfg.WindowCap
 }
 
 // flush drains the session to its connection: staged redeliveries first,
 // then fresh queue events (assigned their sequence numbers here, at send
 // time, so coalesce merges never leave gaps). Stops when the window is full,
-// the queue is empty, the connection fails, or the session detaches.
+// the queue is empty, the connection fails, or the session detaches — then
+// flushes the connection's coalescing buffer if it has one. Also the
+// recycling point: events acked since the last flush are returned to the
+// pool here, under flushMu, where no SendEvents can still be reading them.
 func (s *Session) flush() {
 	h := s.hub
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
+	bp := h.batchPool.Get().(*[]*Event)
+	var fconn Conn
 	for {
 		s.mu.Lock()
+		if len(s.retired) > 0 {
+			for i, ev := range s.retired {
+				h.putEvent(ev)
+				s.retired[i] = nil
+			}
+			s.retired = s.retired[:0]
+		}
 		if s.state != StateAttached || s.conn == nil {
 			s.mu.Unlock()
-			return
+			break
 		}
-		batch := make([]*Event, 0, h.cfg.FlushBatch)
+		batch := (*bp)[:0]
 		for len(s.resend) > 0 && len(batch) < h.cfg.FlushBatch {
 			batch = append(batch, s.resend[0])
 			s.resend = s.resend[1:]
 		}
 		resent := len(batch)
-		for len(s.queue) > 0 && len(s.window) < h.cfg.WindowCap && len(batch) < h.cfg.FlushBatch {
-			ev := s.queue[0]
-			s.queue = s.queue[1:]
+		for s.qhead < len(s.queue) && len(s.window)-s.whead < h.cfg.WindowCap && len(batch) < h.cfg.FlushBatch {
+			ev := s.queue[s.qhead]
+			s.queue[s.qhead] = nil
+			s.qhead++
 			if s.byDoc != nil {
 				delete(s.byDoc, ev.DocID)
 			}
 			s.sendSeq++
 			ev.Seq = s.sendSeq
-			s.window = append(s.window, ev)
+			s.appendWindowLocked(ev)
 			batch = append(batch, ev)
 		}
+		if s.qhead == len(s.queue) {
+			s.queue, s.qhead = s.queue[:0], 0
+		}
+		*bp = batch
 		if len(batch) == 0 {
 			s.mu.Unlock()
-			return
+			break
 		}
 		conn := s.conn
 		now := h.now()
@@ -802,6 +1313,7 @@ func (s *Session) flush() {
 
 		err := conn.SendEvents(batch)
 		if err == nil {
+			fconn = conn
 			h.deliveredC.Add(int64(len(batch) - resent))
 			h.redeliveredC.Add(int64(resent))
 			h.hFlushBatch.Observe(time.Duration(len(batch)))
@@ -811,23 +1323,67 @@ func (s *Session) flush() {
 		if s.conn == conn {
 			if errors.Is(err, ErrStalled) {
 				// The stream survived the timeout: park and let the janitor
-				// retry. The sent-side staging is already undone — batch
-				// events live in the window and will be re-staged on the
-				// next attach or resent by the retry.
+				// retry. The batch slice is pooled, so the unsent events are
+				// copied (not aliased) back onto the resend stage.
 				s.state = StateStalled
-				s.resend = append(batch, s.resend...)
+				ns := make([]*Event, 0, len(batch)+len(s.resend))
+				ns = append(ns, batch...)
+				ns = append(ns, s.resend...)
+				s.resend = ns
+				s.mu.Unlock()
 			} else {
 				conn = s.detachLocked()
 				s.mu.Unlock()
 				if conn != nil {
 					_ = conn.Close()
 				}
-				return
+				fconn = nil
 			}
+		} else {
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
+		break
+	}
+	h.batchPool.Put(bp)
+	if fconn == nil {
 		return
 	}
+	f, ok := fconn.(Flusher)
+	if !ok {
+		return
+	}
+	if err := f.Flush(); err != nil {
+		// A failed physical flush is a hard connection error: frames are
+		// gone mid-stream, so detach; the window redelivers on reconnect.
+		s.mu.Lock()
+		if s.conn == fconn {
+			c := s.detachLocked()
+			s.mu.Unlock()
+			if c != nil {
+				_ = c.Close()
+			}
+			return
+		}
+		s.mu.Unlock()
+	}
+}
+
+// appendWindowLocked appends to the window tail, compacting the acked head
+// gap once it passes WindowCap (requires mu) — same bounded-array discipline
+// as appendQueueLocked.
+func (s *Session) appendWindowLocked(ev *Event) {
+	if s.whead > 0 {
+		if s.whead == len(s.window) {
+			s.window, s.whead = s.window[:0], 0
+		} else if s.whead >= s.hub.cfg.WindowCap {
+			n := copy(s.window, s.window[s.whead:])
+			for i := n; i < len(s.window); i++ {
+				s.window[i] = nil
+			}
+			s.window, s.whead = s.window[:n], 0
+		}
+	}
+	s.window = append(s.window, ev)
 }
 
 // Ack applies a cumulative acknowledgement: every event with Seq <= seq is
@@ -849,7 +1405,8 @@ func (s *Session) Ack(seq uint64) {
 
 // ackLocked advances the cumulative ack cursor (requires mu). Returns how
 // many window events were confirmed and whether the freed window space makes
-// the session flushable again.
+// the session flushable again. Confirmed events move to the retired list;
+// the next flush recycles them (see Session.retired).
 func (s *Session) ackLocked(seq uint64) (acked int, canFlush bool) {
 	if seq > s.sendSeq {
 		seq = s.sendSeq
@@ -859,18 +1416,23 @@ func (s *Session) ackLocked(seq uint64) (acked int, canFlush bool) {
 	}
 	s.ackSeq = seq
 	now := s.hub.now()
-	i := 0
-	for i < len(s.window) && s.window[i].Seq <= seq {
-		s.hub.hAckLatency.Observe(now.Sub(s.window[i].sentAt))
-		i++
+	for s.whead < len(s.window) && s.window[s.whead].Seq <= seq {
+		ev := s.window[s.whead]
+		s.hub.hAckLatency.Observe(now.Sub(ev.sentAt))
+		s.retired = append(s.retired, ev)
+		s.window[s.whead] = nil
+		s.whead++
+		acked++
 	}
-	s.window = s.window[i:]
+	if s.whead == len(s.window) {
+		s.window, s.whead = s.window[:0], 0
+	}
 	j := 0
 	for j < len(s.resend) && s.resend[j].Seq <= seq {
 		j++
 	}
 	s.resend = s.resend[j:]
-	return i, s.state == StateAttached && s.flushableLocked()
+	return acked, s.state == StateAttached && s.flushableLocked()
 }
 
 // snapshot captures the session state for tests and accounting.
@@ -882,19 +1444,19 @@ func (s *Session) snapshot() SessionSnapshot {
 		State:   s.state,
 		AckSeq:  s.ackSeq,
 		SendSeq: s.sendSeq,
-		Queued:  len(s.queue),
-		Window:  len(s.window),
+		Queued:  s.qlen(),
+		Window:  len(s.window) - s.whead,
 	}
-	if len(s.queue) > 0 {
-		ss.QueuedDocs = make([]uint64, len(s.queue))
-		for i, ev := range s.queue {
-			ss.QueuedDocs[i] = ev.DocID
+	if ss.Queued > 0 {
+		ss.QueuedDocs = make([]uint64, 0, ss.Queued)
+		for _, ev := range s.queue[s.qhead:] {
+			ss.QueuedDocs = append(ss.QueuedDocs, ev.DocID)
 		}
 	}
-	if len(s.window) > 0 {
-		ss.WindowDocs = make([]uint64, len(s.window))
-		for i, ev := range s.window {
-			ss.WindowDocs[i] = ev.DocID
+	if ss.Window > 0 {
+		ss.WindowDocs = make([]uint64, 0, ss.Window)
+		for _, ev := range s.window[s.whead:] {
+			ss.WindowDocs = append(ss.WindowDocs, ev.DocID)
 		}
 	}
 	return ss

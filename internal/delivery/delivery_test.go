@@ -11,11 +11,13 @@ import (
 )
 
 // testConn is an in-process Conn that records everything the hub sends and
-// can be switched into a failure mode between calls.
+// can be switched into a failure mode between calls. Events are copied by
+// value — the hub owns the *Event objects and recycles them after acks, so a
+// Conn must not retain the pointers.
 type testConn struct {
 	mu       sync.Mutex
 	hellos   []HelloInfo
-	events   []*Event
+	events   []Event
 	attempts int
 	pings    int
 	byes     []string
@@ -37,7 +39,11 @@ func (c *testConn) SendEvents(evs []*Event) error {
 	if c.sendErr != nil {
 		return c.sendErr
 	}
-	c.events = append(c.events, evs...)
+	for _, ev := range evs {
+		cp := *ev
+		cp.Filters = append([]model.FilterID(nil), ev.Filters...)
+		c.events = append(c.events, cp)
+	}
 	return nil
 }
 
@@ -74,10 +80,10 @@ func (c *testConn) setErr(err error) {
 	c.sendErr = err
 }
 
-func (c *testConn) received() []*Event {
+func (c *testConn) received() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]*Event(nil), c.events...)
+	return append([]Event(nil), c.events...)
 }
 
 func (c *testConn) lastBye() string {
@@ -183,7 +189,7 @@ func TestPolicyCoalesceByDoc(t *testing.T) {
 
 	s, _ := h.Session("s")
 	s.mu.Lock()
-	gotFilters := fmt.Sprint(s.queue[0].Filters)
+	gotFilters := fmt.Sprint(s.queue[s.qhead].Filters)
 	s.mu.Unlock()
 	if want := fmt.Sprint([]model.FilterID{10, 11, 14}); gotFilters != want {
 		t.Fatalf("coalesced filters = %v, want %v", gotFilters, want)

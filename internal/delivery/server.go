@@ -91,7 +91,7 @@ func (s *Server) forget(c net.Conn) {
 func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
 	defer s.forget(c)
-	wc := &wireConn{c: c, writeTimeout: s.writeTimeout}
+	wc := &wireConn{c: c, writeTimeout: s.writeTimeout, hub: s.hub, maxBuf: s.hub.CoalesceBytes()}
 
 	// First frame must be the hello.
 	payload, err := ReadFrame(c)
@@ -159,45 +159,101 @@ func (s *Server) handle(c net.Conn) {
 // the server's write timeout. A timed-out write returns the raw error — not
 // ErrStalled — because the stream may carry a partial frame and must be
 // dropped, not retried.
+//
+// Event frames coalesce: SendEvents appends the length-prefixed frame to a
+// pending buffer instead of issuing a syscall, and the buffer goes to the
+// wire in one Write when the hub's flush round ends (Flush), when the buffer
+// passes maxBuf (the size bound), or when a control frame (hello, ping, bye)
+// needs the stream ordered now. One SetWriteDeadline covers each physical
+// flush, not each frame.
 type wireConn struct {
 	c            net.Conn
 	writeTimeout time.Duration
+	hub          *Hub
+	maxBuf       int
 
 	wmu    sync.Mutex
 	closed bool
+	buf    []byte
+	frames int
 }
 
 var errConnClosed = errors.New("delivery: connection closed")
 
-func (w *wireConn) writeFrame(build func(enc *codec.Writer)) error {
+// appendFrame encodes one frame into the pending buffer (requires wmu).
+func (w *wireConn) appendFrameLocked(build func(enc *codec.Writer)) error {
 	enc := codec.GetWriter()
 	defer codec.PutWriter(enc)
 	build(enc)
+	var err error
+	if w.buf, err = AppendFrame(w.buf, enc.Bytes()); err != nil {
+		return err
+	}
+	w.frames++
+	return nil
+}
+
+// flushLocked writes every pending frame in one syscall under one write
+// deadline (requires wmu).
+func (w *wireConn) flushLocked() error {
+	if w.frames == 0 {
+		return nil
+	}
+	if w.writeTimeout > 0 {
+		_ = w.c.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+	}
+	frames, bytes := w.frames, len(w.buf)
+	_, err := w.c.Write(w.buf)
+	w.buf = w.buf[:0]
+	w.frames = 0
+	if w.hub != nil {
+		w.hub.ObserveFlush(frames, bytes)
+	}
+	return err
+}
+
+// writeFrame buffers one frame; immediate forces the buffer to the wire
+// before returning (control frames and standalone writers).
+func (w *wireConn) writeFrame(immediate bool, build func(enc *codec.Writer)) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	if w.closed {
 		return errConnClosed
 	}
-	if w.writeTimeout > 0 {
-		_ = w.c.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+	if err := w.appendFrameLocked(build); err != nil {
+		return err
 	}
-	return WriteFrame(w.c, enc.Bytes())
+	if immediate || len(w.buf) >= w.maxBuf || w.maxBuf <= 0 {
+		return w.flushLocked()
+	}
+	return nil
 }
 
 func (w *wireConn) SendHello(info HelloInfo) error {
-	return w.writeFrame(func(enc *codec.Writer) { AppendHelloOK(enc, info) })
+	return w.writeFrame(true, func(enc *codec.Writer) { AppendHelloOK(enc, info) })
 }
 
 func (w *wireConn) SendEvents(evs []*Event) error {
-	return w.writeFrame(func(enc *codec.Writer) { AppendEvents(enc, evs) })
+	return w.writeFrame(false, func(enc *codec.Writer) { AppendEvents(enc, evs) })
 }
 
 func (w *wireConn) SendPing() error {
-	return w.writeFrame(func(enc *codec.Writer) { enc.Uint8(framePing) })
+	return w.writeFrame(true, func(enc *codec.Writer) { enc.Uint8(framePing) })
 }
 
 func (w *wireConn) SendBye(reason string) error {
-	return w.writeFrame(func(enc *codec.Writer) { AppendBye(enc, reason) })
+	return w.writeFrame(true, func(enc *codec.Writer) { AppendBye(enc, reason) })
+}
+
+// Flush implements Flusher: the hub calls it at the end of each flush round
+// to put the coalesced event frames on the wire.
+func (w *wireConn) Flush() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if w.closed {
+		return errConnClosed
+	}
+	return w.flushLocked()
 }
 
 func (w *wireConn) Close() error {
@@ -207,6 +263,8 @@ func (w *wireConn) Close() error {
 		return nil
 	}
 	w.closed = true
+	w.buf = nil
+	w.frames = 0
 	w.wmu.Unlock()
 	return w.c.Close()
 }

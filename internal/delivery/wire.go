@@ -228,6 +228,20 @@ func DecodeBatch(r *codec.Reader) (*Batch, error) {
 	return b, nil
 }
 
+// AppendFrame appends one length-prefixed frame to dst — the coalescing
+// writer's building block: several frames appended back-to-back form one
+// contiguous buffer a single Write puts on the wire. The payload must start
+// with a frame-type byte.
+func AppendFrame(dst []byte, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrame {
+		return dst, fmt.Errorf("delivery: frame of %d bytes exceeds max %d", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
 // WriteFrame writes one length-prefixed frame. The payload must start with
 // a frame-type byte.
 func WriteFrame(w io.Writer, payload []byte) error {

@@ -36,10 +36,10 @@ func (n *Node) handleDeliverBatch(r *codec.Reader) error {
 		return err
 	}
 	if hub := n.cfg.Delivery; hub != nil {
-		for i := range b.Notifs {
-			nt := &b.Notifs[i]
-			hub.Deliver(nt.Sub, b.DocID, nt.Filters, b.Terms)
-		}
+		// One batched call: session lookups group by registry shard, so a
+		// thousand-subscriber fan-out costs a handful of lock acquisitions
+		// instead of one per subscriber.
+		hub.DeliverBatch(b.DocID, b.Terms, b.Notifs)
 		return nil
 	}
 	for i := range b.Notifs {
