@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn soak-delivery bench-delivery bench-aggregate ci
+.PHONY: build vet test race bench fuzz-smoke bench-publish bench-alloc soak-churn bench-churn soak-delivery bench-delivery bench-aggregate bench-wire ci
 
 build:
 	$(GO) build ./...
@@ -103,4 +103,26 @@ endif
 bench-aggregate:
 	$(GO) run ./cmd/movebench -fig aggregate -out BENCH_aggregate.json -baseline BENCH_aggregate.json
 
-ci: vet build race fuzz-smoke soak-churn soak-delivery bench-publish bench-alloc bench-churn bench-delivery bench-aggregate
+# Regenerate the checked-in real-TCP wire baseline (BENCH_wire.json): the
+# harness launches WIRE_NODES separate moved processes on loopback TCP,
+# attaches WIRE_SUBS live subscriber sessions, and drives WIRE_DOCS
+# concurrent batched publishes per round through real sockets — once with
+# the coalescing RPC writer and once with per-frame writes — verifying
+# every match set and the full delivery fan-out against a brute-force
+# oracle. Hard gates: the coalesced config must merge > 2.0 frames per
+# write syscall and beat coalescing-off by >= 20% docs/sec; a >10%
+# docs/sec regression against the checked-in baseline fails the target
+# (and CI) before the file is overwritten.
+#
+# Knobs: WIRE_NODES (daemon count), WIRE_DOCS (documents per measured
+# round), WIRE_SUBS (live sessions), WIRE_FLUSH_DELAY (the writer's
+# coalescing window; 0 = natural coalescing only). The same window is
+# passed to every daemon's -rpc.flush-delay and the bench client.
+WIRE_NODES ?= 8
+WIRE_DOCS ?= 1600
+WIRE_SUBS ?= 800
+WIRE_FLUSH_DELAY ?= 200us
+bench-wire:
+	$(GO) run ./cmd/movebench -fig wire -wire-nodes $(WIRE_NODES) -wire-docs $(WIRE_DOCS) -wire-subs $(WIRE_SUBS) -wire-flush-delay $(WIRE_FLUSH_DELAY) -out BENCH_wire.json -baseline BENCH_wire.json
+
+ci: vet build race fuzz-smoke soak-churn soak-delivery bench-publish bench-alloc bench-churn bench-delivery bench-aggregate bench-wire

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"text/tabwriter"
+	"time"
 
 	"github.com/movesys/move/internal/cluster"
 	"github.com/movesys/move/internal/dataset"
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, delivery, aggregate, all")
+	fig := flag.String("fig", "all", "figure to regenerate: stats, 4, 5, 6, 7, 8a, 8b, 8c, 9a, 9b, 9c, 9d, ablation, trace, bench, alloc, churn, delivery, aggregate, wire, all")
 	scale := flag.Float64("scale", float64(experiments.DefaultScale), "workload scale relative to the paper (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")
 	filtersTrace := flag.String("filters-trace", "", "trace file of preprocessed filters (one per line) for -fig trace")
@@ -50,6 +51,13 @@ func main() {
 	deliveryWave := flag.Int("delivery-wave", 1, "documents published before each drain barrier for -fig delivery (1 = drain per doc)")
 	deliveryFlushBatch := flag.Int("delivery-flush-batch", 256, "max events per SendEvents frame for -fig delivery")
 	deliveryFlushDelay := flag.Duration("delivery-flush-delay", 0, "writer coalescing window for -fig delivery (0 = flush immediately)")
+	wireNodes := flag.Int("wire-nodes", 8, "moved processes to launch for -fig wire")
+	wireSubs := flag.Int("wire-subs", 800, "live TCP subscriber sessions for -fig wire")
+	wireDocs := flag.Int("wire-docs", 1600, "published documents per round for -fig wire")
+	wireConcurrency := flag.Int("wire-concurrency", 128, "concurrent publisher workers for -fig wire")
+	wireFlushDelay := flag.Duration("wire-flush-delay", 200*time.Microsecond, "RPC writer coalescing window for -fig wire (0 = natural coalescing only)")
+	wireMoved := flag.String("wire-moved", "", "prebuilt moved binary for -fig wire ('' = go build ./cmd/moved)")
+	wirePeers := flag.String("wire-peers", "", "existing cluster map id=host:port,... for -fig wire (multi-host mode: publish-only, no spawning, no gates)")
 	aggFilters := flag.Int("aggregate-filters", 1_000_000, "registered synthetic Zipf filters for -fig aggregate")
 	aggCatalog := flag.Int("aggregate-catalog", 150_000, "distinct predicate catalog size for -fig aggregate (instances are Zipf-drawn from it)")
 	aggTerms := flag.Int("aggregate-distinct-terms", 20_000, "filter/document vocabulary size for -fig aggregate")
@@ -73,7 +81,16 @@ func main() {
 	if *subs > 0 {
 		dopts.Subs = *subs
 	}
-	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, dopts, *aggFilters, *aggCatalog, *aggTerms, *aggDocs)
+	wopts := wireOpts{
+		Nodes:       *wireNodes,
+		Subs:        *wireSubs,
+		Docs:        *wireDocs,
+		Concurrency: *wireConcurrency,
+		FlushDelay:  *wireFlushDelay,
+		MovedBin:    *wireMoved,
+		Peers:       *wirePeers,
+	}
+	err = dispatch(*fig, *scale, *seed, *filtersTrace, *docsTrace, *nodes, *out, *baseline, *benchFilters, *benchDocs, dopts, wopts, *aggFilters, *aggCatalog, *aggTerms, *aggDocs)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -83,8 +100,13 @@ func main() {
 	}
 }
 
-func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs int, dopts deliveryOpts, aggFilters, aggCatalog, aggTerms, aggDocs int) error {
+func dispatch(fig string, scale float64, seed int64, filtersTrace, docsTrace string, nodes int, out, baseline string, benchFilters, benchDocs int, dopts deliveryOpts, wopts wireOpts, aggFilters, aggCatalog, aggTerms, aggDocs int) error {
 	switch fig {
+	case "wire":
+		if out == "" {
+			out = "BENCH_wire.json"
+		}
+		return runWireFig(out, baseline, wopts, seed)
 	case "aggregate":
 		if out == "" {
 			out = "BENCH_aggregate.json"

@@ -55,6 +55,11 @@ func run() error {
 	subShards := flag.Int("subscribe.shards", delivery.DefaultShards, "session registry shard count (rounded up to a power of two)")
 	subFlushDelay := flag.Duration("subscribe.flush-delay", 0, "event coalescing window (0 = flush immediately; higher trades latency for frames per syscall)")
 
+	rpcConns := flag.Int("rpc.conns", 0, "striped TCP connections per peer (0 = derive from GOMAXPROCS)")
+	rpcNoCoalesce := flag.Bool("rpc.no-coalesce", false, "disable the coalescing RPC writer (one write syscall pair per frame; comparison baseline)")
+	rpcFlushDelay := flag.Duration("rpc.flush-delay", 0, "RPC writer coalescing window (0 = natural coalescing only)")
+	rpcCoalesceBytes := flag.Int("rpc.coalesce-bytes", 0, "RPC flush-round size bound in bytes (0 = 64KiB)")
+
 	retryAttempts := flag.Int("retry-attempts", 3, "max RPC attempts per destination (1 disables retries)")
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per attempt, full jitter)")
 	retryMax := flag.Duration("retry-max", time.Second, "backoff cap")
@@ -160,7 +165,13 @@ func run() error {
 		fmt.Printf("moved: subscriber sessions on %s (policy=%s queue=%d shards=%d)\n", subSrv.Addr(), *subPolicy, *subQueue, hub.Shards())
 	}
 
-	tn, err := transport.NewTCP(ring.NodeID(*id), *listen, nd.Handle, transport.StaticResolver(peers))
+	tn, err := transport.NewTCPOpts(ring.NodeID(*id), *listen, nd.Handle, transport.StaticResolver(peers), transport.TCPOptions{
+		Conns:         *rpcConns,
+		NoCoalesce:    *rpcNoCoalesce,
+		FlushDelay:    *rpcFlushDelay,
+		CoalesceBytes: *rpcCoalesceBytes,
+		Metrics:       reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -198,6 +209,14 @@ func run() error {
 				}
 				if pending != 0 {
 					h["pending_epoch"] = pending
+				}
+				ts := tn.Stats()
+				h["transport_peers"] = ts.Peers
+				h["transport_conns"] = ts.Conns
+				h["transport_inbound"] = ts.Inbound
+				h["transport_queued_bytes"] = ts.QueuedBytes
+				if len(ts.PerPeer) > 0 {
+					h["transport_peer_conns"] = ts.PerPeer
 				}
 				if hub != nil {
 					h["delivery_sessions"] = hub.SessionCount()

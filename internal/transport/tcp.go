@@ -8,10 +8,16 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/movesys/move/internal/codec"
+	"github.com/movesys/move/internal/metrics"
+	"github.com/movesys/move/internal/resilience"
 	"github.com/movesys/move/internal/ring"
 )
 
@@ -19,6 +25,15 @@ import (
 // of terms, so 64 MiB leaves ample slack while stopping a corrupt length
 // prefix from allocating unbounded memory.
 const maxFrame = 64 << 20
+
+// maxRetainedReadBuf bounds the per-connection / pooled read buffers that
+// survive across frames; a rare giant frame is served from a one-shot
+// allocation instead of pinning its array forever.
+const maxRetainedReadBuf = 1 << 20
+
+func errFrameTooLarge(n int) error {
+	return fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+}
 
 // Resolver maps a node ID to its listen address ("host:port").
 type Resolver func(ring.NodeID) (string, error)
@@ -59,28 +74,111 @@ func StaticResolver(addrs map[ring.NodeID]string) Resolver {
 	}
 }
 
+// TCPOptions tunes the wire fast path (DESIGN.md §17). The zero value asks
+// for defaults everywhere: a GOMAXPROCS-derived stripe count, the
+// coalescing writer enabled with natural coalescing only (no added delay),
+// and dial backoff on.
+type TCPOptions struct {
+	// Conns is the number of striped connections kept per peer. Concurrent
+	// Sends round-robin across stripes so high in-flight counts stop
+	// serializing on one connection's send queue. 0 derives from
+	// GOMAXPROCS, clamped to [2, 8].
+	Conns int
+
+	// NoCoalesce disables the per-connection writer goroutine and reverts
+	// to one synchronous write per frame (two syscalls: header + body) —
+	// the pre-§17 behavior, kept as the honest comparison baseline for
+	// `movebench -fig wire`.
+	NoCoalesce bool
+
+	// FlushDelay is how long the writer lingers after waking before
+	// draining, letting concurrent senders pile onto the same syscall.
+	// 0 (the default) relies on natural coalescing: frames enqueued while
+	// the previous Write is on the wire share the next one.
+	FlushDelay time.Duration
+
+	// CoalesceBytes is the flush-round size bound: a queue at or past it
+	// drains immediately instead of waiting out FlushDelay. 0 → 64 KiB.
+	CoalesceBytes int
+
+	// QueueBytes bounds the per-connection send queue; enqueues past it
+	// block until the writer drains (backpressure, not buffering). 0 → 4 MiB.
+	QueueBytes int
+
+	// WriteTimeout bounds each flush syscall. 0 → 10s; negative disables.
+	WriteTimeout time.Duration
+
+	// DialBackoff is the cooldown after a failed dial during which further
+	// dial attempts to that peer fail fast with ErrNodeDown instead of
+	// redialing (per-peer breaker, threshold 1). 0 → 250ms; negative
+	// disables backoff.
+	DialBackoff time.Duration
+
+	// Metrics receives the transport.tcp.* counters, gauges, and
+	// histograms. nil uses a private registry (metrics still collected,
+	// just not exported anywhere).
+	Metrics *metrics.Registry
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.Conns <= 0 {
+		o.Conns = runtime.GOMAXPROCS(0) / 2
+		if o.Conns < 2 {
+			o.Conns = 2
+		}
+		if o.Conns > 8 {
+			o.Conns = 8
+		}
+	}
+	if o.CoalesceBytes <= 0 {
+		o.CoalesceBytes = 64 << 10
+	}
+	if o.QueueBytes <= 0 {
+		o.QueueBytes = 4 << 20
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	} else if o.WriteTimeout < 0 {
+		o.WriteTimeout = 0
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 250 * time.Millisecond
+	} else if o.DialBackoff < 0 {
+		o.DialBackoff = 0
+	}
+	return o
+}
+
 // TCPNode is a Transport over real TCP sockets: a listening server for
-// inbound requests plus a connection pool for outbound ones. Frames are
-// length-prefixed; responses are matched to requests by ID so connections
-// are pipelined.
+// inbound requests plus a striped per-peer connection pool for outbound
+// ones. Frames are length-prefixed; responses are matched to requests by ID
+// so connections are pipelined, and both directions go through a
+// frame-coalescing writer (one deadline-bounded syscall per flush round).
 type TCPNode struct {
 	id       ring.NodeID
 	handler  Handler
 	resolver Resolver
 	listener net.Listener
+	opts     TCPOptions
+	met      *wireMetrics
 
 	mu       sync.Mutex
-	conns    map[ring.NodeID]*tcpConn
-	accepted map[net.Conn]struct{}
+	pools    map[ring.NodeID]*peerPool
+	accepted map[net.Conn]*connWriter
 	closed   bool
 	wg       sync.WaitGroup
 }
 
 var _ Transport = (*TCPNode)(nil)
 
-// NewTCP starts a node endpoint listening on listenAddr. Pass ":0" to pick
-// an ephemeral port (see Addr).
+// NewTCP starts a node endpoint listening on listenAddr with default
+// options. Pass ":0" to pick an ephemeral port (see Addr).
 func NewTCP(id ring.NodeID, listenAddr string, h Handler, r Resolver) (*TCPNode, error) {
+	return NewTCPOpts(id, listenAddr, h, r, TCPOptions{})
+}
+
+// NewTCPOpts is NewTCP with explicit wire-path tuning.
+func NewTCPOpts(id ring.NodeID, listenAddr string, h Handler, r Resolver, opts TCPOptions) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
@@ -90,8 +188,10 @@ func NewTCP(id ring.NodeID, listenAddr string, h Handler, r Resolver) (*TCPNode,
 		handler:  h,
 		resolver: r,
 		listener: ln,
-		conns:    make(map[ring.NodeID]*tcpConn),
-		accepted: make(map[net.Conn]struct{}),
+		opts:     opts.withDefaults(),
+		met:      newWireMetrics(opts.Metrics),
+		pools:    make(map[ring.NodeID]*peerPool),
+		accepted: make(map[net.Conn]*connWriter),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -105,7 +205,7 @@ func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
 func (n *TCPNode) Self() ring.NodeID { return n.id }
 
 // Close shuts the listener and all pooled connections down and waits for
-// the serving goroutines to exit.
+// the serving, reading, and writing goroutines to exit.
 func (n *TCPNode) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -113,14 +213,14 @@ func (n *TCPNode) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := make([]*tcpConn, 0, len(n.conns))
-	for _, c := range n.conns {
-		conns = append(conns, c)
+	var conns []*tcpConn
+	for _, p := range n.pools {
+		conns = append(conns, p.drain()...)
 	}
-	n.conns = make(map[ring.NodeID]*tcpConn)
-	inbound := make([]net.Conn, 0, len(n.accepted))
-	for c := range n.accepted {
-		inbound = append(inbound, c)
+	n.pools = make(map[ring.NodeID]*peerPool)
+	inbound := make([]*connWriter, 0, len(n.accepted))
+	for _, w := range n.accepted {
+		inbound = append(inbound, w)
 	}
 	n.mu.Unlock()
 
@@ -129,12 +229,74 @@ func (n *TCPNode) Close() error {
 		c.close(ErrClosed)
 	}
 	// Accepted connections must be torn down too, or serveConn goroutines
-	// block in readFrame and wg.Wait never returns.
-	for _, c := range inbound {
-		_ = c.Close()
+	// block in readFrame and wg.Wait never returns. Stopping the writer
+	// closes the raw conn either way.
+	for _, w := range inbound {
+		w.closeWith(ErrClosed)
 	}
 	n.wg.Wait()
 	return err
+}
+
+// TCPPeerStats is one peer's slice of Stats.
+type TCPPeerStats struct {
+	Conns       int `json:"conns"`
+	QueuedBytes int `json:"queued_bytes"`
+}
+
+// TCPStats is a point-in-time view of the wire state for /healthz.
+type TCPStats struct {
+	Peers       int                     `json:"peers"`
+	Conns       int                     `json:"conns"`
+	Inbound     int                     `json:"inbound"`
+	QueuedBytes int                     `json:"queued_bytes"`
+	PerPeer     map[string]TCPPeerStats `json:"per_peer,omitempty"`
+}
+
+// Stats reports live connection counts and send-queue depth per peer.
+func (n *TCPNode) Stats() TCPStats {
+	n.mu.Lock()
+	pools := make(map[ring.NodeID]*peerPool, len(n.pools))
+	for id, p := range n.pools {
+		pools[id] = p
+	}
+	inbound := make([]*connWriter, 0, len(n.accepted))
+	for _, w := range n.accepted {
+		inbound = append(inbound, w)
+	}
+	n.mu.Unlock()
+
+	st := TCPStats{PerPeer: make(map[string]TCPPeerStats, len(pools)), Inbound: len(inbound)}
+	for id, p := range pools {
+		var ps TCPPeerStats
+		for _, c := range p.snapshot() {
+			ps.Conns++
+			ps.QueuedBytes += c.wr.queuedBytes()
+		}
+		if ps.Conns == 0 {
+			continue
+		}
+		st.Peers++
+		st.Conns += ps.Conns
+		st.QueuedBytes += ps.QueuedBytes
+		st.PerPeer[string(id)] = ps
+	}
+	for _, w := range inbound {
+		st.QueuedBytes += w.queuedBytes()
+	}
+	st.Conns += st.Inbound
+	return st
+}
+
+// PeerList returns the peers with at least one live outbound connection,
+// sorted — a stable, compact form for health endpoints.
+func (s TCPStats) PeerList() []string {
+	out := make([]string, 0, len(s.PerPeer))
+	for id := range s.PerPeer {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (n *TCPNode) acceptLoop() {
@@ -144,48 +306,70 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		wr := newConnWriter(conn, n.opts, n.met)
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		n.accepted[conn] = struct{}{}
-		n.mu.Unlock()
+		n.accepted[conn] = wr
 		n.wg.Add(1)
-		go n.serveConn(conn)
+		if wr.coalesce {
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				wr.run()
+			}()
+		}
+		n.mu.Unlock()
+		n.met.conns.Add(1)
+		go n.serveConn(conn, wr)
 	}
 }
 
+// reqBufPool recycles inbound request-frame buffers across serveConn
+// goroutines. A buffer is returned only after handleFrame finishes: the
+// handler contract (§11) says the payload is transport-owned and must not
+// be retained, and the response has been copied into the send queue by
+// then, so no live reference can alias the recycled array.
+var reqBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // serveConn reads request frames from one inbound connection and dispatches
 // them to the handler, one goroutine per request so a slow match does not
-// head-of-line-block the connection.
-func (n *TCPNode) serveConn(conn net.Conn) {
+// head-of-line-block the connection. Responses funnel through the shared
+// coalescing writer.
+func (n *TCPNode) serveConn(conn net.Conn, wr *connWriter) {
 	defer n.wg.Done()
 	defer func() {
-		_ = conn.Close()
+		wr.closeWith(ErrClosed)
+		n.met.conns.Add(-1)
 		n.mu.Lock()
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, readBufSize)
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		frame, err := readFrame(br)
+		bp := reqBufPool.Get().(*[]byte)
+		frame, err := readFrameBuf(br, bp)
 		if err != nil {
+			reqBufPool.Put(bp)
 			return
 		}
 		reqWG.Add(1)
-		go func(frame []byte) {
+		go func(bp *[]byte, frame []byte) {
 			defer reqWG.Done()
-			n.handleFrame(conn, &writeMu, frame)
-		}(frame)
+			n.handleFrame(wr, frame)
+			if cap(*bp) <= maxRetainedReadBuf {
+				reqBufPool.Put(bp)
+			}
+		}(bp, frame)
 	}
 }
 
-func (n *TCPNode) handleFrame(conn net.Conn, writeMu *sync.Mutex, frame []byte) {
+func (n *TCPNode) handleFrame(wr *connWriter, frame []byte) {
 	r := codec.NewReader(frame)
 	reqID, err := r.Uvarint()
 	if err != nil {
@@ -201,9 +385,10 @@ func (n *TCPNode) handleFrame(conn net.Conn, writeMu *sync.Mutex, frame []byte) 
 	}
 	resp, herr := n.handler(context.Background(), ring.NodeID(from), body)
 
-	// The response framing buffer is pooled: its bytes are fully flushed to
-	// the socket under writeMu before the writer is recycled. (resp itself
-	// is handler-owned and merely copied through.)
+	// The response framing buffer is pooled: enqueue copies its bytes into
+	// the connection's send queue before returning, so the writer may be
+	// recycled immediately. (resp itself is handler-owned and merely copied
+	// through.)
 	w := codec.GetWriter()
 	w.Uvarint(reqID)
 	if herr != nil {
@@ -213,9 +398,7 @@ func (n *TCPNode) handleFrame(conn net.Conn, writeMu *sync.Mutex, frame []byte) 
 		w.Uint8(0)
 		w.Bytes0(resp)
 	}
-	writeMu.Lock()
-	_ = writeFrame(conn, w.Bytes())
-	writeMu.Unlock()
+	_ = wr.enqueue(w.Bytes())
 	codec.PutWriter(w)
 }
 
@@ -227,7 +410,8 @@ func (n *TCPNode) Send(ctx context.Context, to ring.NodeID, payload []byte) ([]b
 	}
 	resp, err := c.roundTrip(ctx, n.id, payload)
 	if err != nil {
-		// A broken connection is evicted so the next Send redials.
+		// A broken connection is evicted (only its stripe) so a later Send
+		// redials it; the peer's other stripes keep serving.
 		if !errors.Is(err, ErrRemote) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			n.evict(to, c)
 		}
@@ -236,67 +420,183 @@ func (n *TCPNode) Send(ctx context.Context, to ring.NodeID, payload []byte) ([]b
 	return resp, nil
 }
 
+// conn picks a striped connection to the peer, dialing its slot lazily.
 func (n *TCPNode) conn(to ring.NodeID) (*tcpConn, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return c, nil
+	p, ok := n.pools[to]
+	if !ok {
+		p = newPeerPool(n, to)
+		n.pools[to] = p
 	}
 	n.mu.Unlock()
+	return p.get()
+}
 
-	addr, err := n.resolver(to)
+func (n *TCPNode) evict(to ring.NodeID, c *tcpConn) {
+	n.mu.Lock()
+	p := n.pools[to]
+	n.mu.Unlock()
+	if p != nil {
+		p.evict(c)
+	}
+	c.close(ErrNodeDown)
+}
+
+// peerPool holds the striped outbound connections to one peer. Slots dial
+// lazily under a single-flight mutex; a per-peer breaker (threshold 1)
+// turns a dead peer into fast ErrNodeDown failures for DialBackoff instead
+// of a redial storm from every concurrent Send.
+type peerPool struct {
+	n      *TCPNode
+	to     ring.NodeID
+	rr     atomic.Uint32
+	redial *resilience.Breaker
+
+	dialMu sync.Mutex // single-flight: one dial to this peer at a time
+
+	mu    sync.Mutex
+	conns []*tcpConn // len == stripe count; nil slots not yet dialed
+}
+
+func newPeerPool(n *TCPNode, to ring.NodeID) *peerPool {
+	p := &peerPool{n: n, to: to, conns: make([]*tcpConn, n.opts.Conns)}
+	if n.opts.DialBackoff > 0 {
+		p.redial = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold:      1,
+			Cooldown:       n.opts.DialBackoff,
+			HalfOpenProbes: 1,
+		})
+	}
+	return p
+}
+
+func (p *peerPool) get() (*tcpConn, error) {
+	slot := int(p.rr.Add(1)) % len(p.conns)
+	p.mu.Lock()
+	c := p.conns[slot]
+	p.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	return p.dial(slot)
+}
+
+func (p *peerPool) dial(slot int) (*tcpConn, error) {
+	p.dialMu.Lock()
+	defer p.dialMu.Unlock()
+	p.mu.Lock()
+	if c := p.conns[slot]; c != nil {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	if p.redial != nil && !p.redial.Allow() {
+		p.n.met.redialSuppressed.Inc()
+		return nil, fmt.Errorf("dial %s suppressed by backoff: %w", p.to, ErrNodeDown)
+	}
+	addr, err := p.n.resolver(p.to)
 	if err != nil {
+		if p.redial != nil {
+			p.redial.RecordFailure()
+		}
 		return nil, err
 	}
+	p.n.met.dials.Inc()
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("dial %s (%s): %w", to, addr, ErrNodeDown)
+		p.n.met.dialFailures.Inc()
+		if p.redial != nil {
+			p.redial.RecordFailure()
+		}
+		return nil, fmt.Errorf("dial %s (%s): %w", p.to, addr, ErrNodeDown)
 	}
-	c := newTCPConn(raw)
+	if p.redial != nil {
+		p.redial.RecordSuccess()
+	}
+	c := newTCPConn(raw, p.n.opts, p.n.met)
 
+	n := p.n
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		c.close(ErrClosed)
 		return nil, ErrClosed
 	}
-	if existing, ok := n.conns[to]; ok {
-		// Lost the dial race; use the winner.
-		c.close(ErrClosed)
-		return existing, nil
-	}
-	n.conns[to] = c
+	p.mu.Lock()
+	p.conns[slot] = c
+	p.mu.Unlock()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		c.readLoop()
 	}()
+	if c.wr.coalesce {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			c.wr.run()
+		}()
+	}
+	n.mu.Unlock()
+	n.met.conns.Add(1)
 	return c, nil
 }
 
-func (n *TCPNode) evict(to ring.NodeID, c *tcpConn) {
-	n.mu.Lock()
-	if n.conns[to] == c {
-		delete(n.conns, to)
+// evict clears the broken connection's stripe only.
+func (p *peerPool) evict(c *tcpConn) {
+	p.mu.Lock()
+	for i, cc := range p.conns {
+		if cc == c {
+			p.conns[i] = nil
+		}
 	}
-	n.mu.Unlock()
-	c.close(ErrNodeDown)
+	p.mu.Unlock()
 }
 
-// tcpConn is one pooled outbound connection with pipelined round trips.
+// drain empties every stripe and returns the live connections.
+func (p *peerPool) drain() []*tcpConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*tcpConn
+	for i, c := range p.conns {
+		if c != nil {
+			out = append(out, c)
+			p.conns[i] = nil
+		}
+	}
+	return out
+}
+
+// snapshot returns the live connections without clearing them.
+func (p *peerPool) snapshot() []*tcpConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*tcpConn
+	for _, c := range p.conns {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// tcpConn is one striped outbound connection with pipelined round trips.
 type tcpConn struct {
 	raw net.Conn
-
-	writeMu sync.Mutex
+	wr  *connWriter
+	met *wireMetrics
 
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan result
 	err     error
+
+	closeOnce sync.Once
 }
 
 type result struct {
@@ -304,8 +604,13 @@ type result struct {
 	err  error
 }
 
-func newTCPConn(raw net.Conn) *tcpConn {
-	return &tcpConn{raw: raw, pending: make(map[uint64]chan result)}
+func newTCPConn(raw net.Conn, opts TCPOptions, met *wireMetrics) *tcpConn {
+	return &tcpConn{
+		raw:     raw,
+		wr:      newConnWriter(raw, opts, met),
+		met:     met,
+		pending: make(map[uint64]chan result),
+	}
 }
 
 func (c *tcpConn) roundTrip(ctx context.Context, from ring.NodeID, payload []byte) ([]byte, error) {
@@ -321,17 +626,14 @@ func (c *tcpConn) roundTrip(ctx context.Context, from ring.NodeID, payload []byt
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	// Pooled request framing buffer, recycled once the frame has been
-	// written to the socket; the caller's payload is copied into it, so the
-	// caller may recycle payload as soon as Send returns.
+	// Pooled request framing buffer: enqueue copies the frame into the send
+	// queue, so both the pooled writer and the caller's payload are free to
+	// be recycled as soon as Send returns.
 	w := codec.GetWriter()
 	w.Uvarint(id)
 	w.String(string(from))
 	w.Bytes0(payload)
-
-	c.writeMu.Lock()
-	err := writeFrame(c.raw, w.Bytes())
-	c.writeMu.Unlock()
+	err := c.wr.enqueue(w.Bytes())
 	codec.PutWriter(w)
 	if err != nil {
 		c.abandon(id)
@@ -353,11 +655,17 @@ func (c *tcpConn) abandon(id uint64) {
 	c.mu.Unlock()
 }
 
-// readLoop demultiplexes response frames to their waiting callers.
+// readLoop demultiplexes response frames to their waiting callers. The
+// frame buffer is reused across responses (single reader goroutine); the
+// body is copied to an exact-size slice only once a waiter is confirmed, so
+// the §11 ownership contract — response bytes transfer to the caller and
+// never alias transport buffers — still holds.
 func (c *tcpConn) readLoop() {
-	br := bufio.NewReader(c.raw)
+	br := bufio.NewReaderSize(c.raw, readBufSize)
+	var buf []byte
+	bp := &buf
 	for {
-		frame, err := readFrame(br)
+		frame, err := readFrameBuf(br, bp)
 		if err != nil {
 			c.close(fmt.Errorf("connection lost: %w", ErrNodeDown))
 			return
@@ -371,34 +679,40 @@ func (c *tcpConn) readLoop() {
 		if err != nil {
 			continue
 		}
-		var res result
+		var body []byte
+		var remoteErr error
 		if status == 0 {
-			body, err := r.Bytes0()
+			body, err = r.Bytes0()
 			if err != nil {
 				continue
 			}
-			// readFrame allocates a fresh buffer per frame, so the body
-			// may alias it without a defensive copy; ownership passes to
-			// the waiting caller.
-			res.body = body
 		} else {
 			msg, err := r.String()
 			if err != nil {
 				continue
 			}
-			res.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+			remoteErr = fmt.Errorf("%w: %s", ErrRemote, msg)
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
-		if ok {
-			ch <- res
+		if !ok {
+			continue // abandoned (context cancel); nothing to copy
+		}
+		var res result
+		res.err = remoteErr
+		if remoteErr == nil && body != nil {
+			res.body = append([]byte(nil), body...)
+		}
+		ch <- res
+		if cap(*bp) > maxRetainedReadBuf {
+			*bp = nil
 		}
 	}
 }
 
-// close fails all pending calls with err and closes the socket.
+// close fails all pending calls with err and tears the connection down.
 func (c *tcpConn) close(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -410,13 +724,16 @@ func (c *tcpConn) close(err error) {
 	for _, ch := range pending {
 		ch <- result{err: err}
 	}
-	_ = c.raw.Close()
+	c.wr.closeWith(err)
+	c.closeOnce.Do(func() { c.met.conns.Add(-1) })
 }
 
-// writeFrame writes a length-prefixed frame.
+// writeFrame writes a length-prefixed frame in two writes — the
+// non-coalescing path and the historical baseline the wire bench compares
+// against.
 func writeFrame(w io.Writer, frame []byte) error {
 	if len(frame) > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+		return errFrameTooLarge(len(frame))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
@@ -427,17 +744,36 @@ func writeFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
+// readBufSize sizes the per-connection bufio reader so one read syscall
+// can drain an entire coalesced flush round from the socket.
+const readBufSize = 64 << 10
+
+// readFrame reads one length-prefixed frame into a fresh buffer.
 func readFrame(r io.Reader) ([]byte, error) {
+	var buf []byte
+	frame, err := readFrameBuf(r, &buf)
+	if err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// readFrameBuf reads one length-prefixed frame into *bp, growing it as
+// needed. The returned slice aliases *bp and is valid until the next call
+// with the same buffer.
+func readFrameBuf(r io.Reader, bp *[]byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:])
+	size := int(binary.BigEndian.Uint32(hdr[:]))
 	if size > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+		return nil, errFrameTooLarge(size)
 	}
-	frame := make([]byte, size)
+	if cap(*bp) < size {
+		*bp = make([]byte, size)
+	}
+	frame := (*bp)[:size]
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,276 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/movesys/move/internal/metrics"
+)
+
+// wireMetrics is the transport.tcp.* instrumentation shared by every
+// connection of one TCPNode. The frames/syscall histogram stores
+// milli-frames (1 frame = 1000 units) so sub-integer ratios survive the
+// log-bucketed histogram, mirroring delivery.flush.frames_per_syscall.
+type wireMetrics struct {
+	flushFrames      *metrics.Counter   // transport.tcp.flush.frames
+	flushSyscalls    *metrics.Counter   // transport.tcp.flush.syscalls
+	framesPerSyscall *metrics.Histogram // transport.tcp.frames_per_syscall (milli-frames)
+	flushBytes       *metrics.Histogram // transport.tcp.flush.bytes
+	queueBytes       *metrics.Histogram // transport.tcp.queue.bytes (depth at enqueue)
+	conns            *metrics.Gauge     // transport.tcp.conns (live, both directions)
+	dials            *metrics.Counter   // transport.tcp.dials
+	dialFailures     *metrics.Counter   // transport.tcp.dial.failures
+	redialSuppressed *metrics.Counter   // transport.tcp.redial.suppressed
+}
+
+func newWireMetrics(reg *metrics.Registry) *wireMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &wireMetrics{
+		flushFrames:      reg.Counter("transport.tcp.flush.frames"),
+		flushSyscalls:    reg.Counter("transport.tcp.flush.syscalls"),
+		framesPerSyscall: reg.Histogram("transport.tcp.frames_per_syscall"),
+		flushBytes:       reg.Histogram("transport.tcp.flush.bytes"),
+		queueBytes:       reg.Histogram("transport.tcp.queue.bytes"),
+		conns:            reg.Gauge("transport.tcp.conns"),
+		dials:            reg.Counter("transport.tcp.dials"),
+		dialFailures:     reg.Counter("transport.tcp.dial.failures"),
+		redialSuppressed: reg.Counter("transport.tcp.redial.suppressed"),
+	}
+}
+
+// observeFlush records one physical write of frames frames / n bytes.
+func (m *wireMetrics) observeFlush(frames, n int) {
+	m.flushFrames.Add(int64(frames))
+	m.flushSyscalls.Inc()
+	m.framesPerSyscall.Observe(time.Duration(frames) * 1000)
+	m.flushBytes.Observe(time.Duration(n))
+}
+
+// observeFrameWrite records one legacy per-frame write: writeFrame issues
+// two syscalls (4-byte header, then body), so the non-coalescing baseline
+// honestly reports 0.5 frames per syscall.
+func (m *wireMetrics) observeFrameWrite(n int) {
+	m.flushFrames.Inc()
+	m.flushSyscalls.Add(2)
+	m.framesPerSyscall.Observe(500)
+	m.flushBytes.Observe(time.Duration(n))
+}
+
+// maxRetainedWriteBuf bounds the send buffers a connWriter keeps across
+// flush rounds; a rare giant round should not pin its backing array on an
+// idle connection forever.
+const maxRetainedWriteBuf = 1 << 20
+
+// connWriter owns the write half of one TCP connection — requests on
+// outbound conns, responses on inbound ones. With coalescing enabled a
+// dedicated writer goroutine drains a bounded send queue into one
+// deadline-bounded Write per round, so N concurrent senders cost one
+// syscall instead of N (DESIGN.md §17, mirroring the delivery writer's
+// size/delay/ordering bounds from §16):
+//
+//   - size bound: a queue passing CoalesceBytes nudges the writer to drain
+//     mid-delay instead of waiting out the window;
+//   - delay bound: with FlushDelay > 0 the writer lingers that long after
+//     waking so concurrent senders pile onto the same round (0 = natural
+//     coalescing only: frames arriving during the previous Write share the
+//     next one);
+//   - ordering bound: frames go to the wire in enqueue order; RPC responses
+//     carry request IDs, so no frame class needs to jump the queue.
+//
+// Enqueues past QueueBytes block until the writer drains — bounded-queue
+// backpressure, not unbounded buffering. With coalescing disabled, enqueue
+// degrades to the pre-§17 behavior: one locked writeFrame per frame.
+type connWriter struct {
+	raw net.Conn
+	met *wireMetrics
+
+	coalesce      bool
+	flushDelay    time.Duration
+	coalesceBytes int
+	queueBytes    int
+	writeTimeout  time.Duration
+
+	mu      sync.Mutex
+	notFull *sync.Cond
+	buf     []byte
+	frames  int
+	err     error
+	spare   []byte
+
+	wake    chan struct{} // buffered(1): frames pending
+	urgent  chan struct{} // buffered(1): size bound passed mid-delay
+	stop    chan struct{}
+	stopped sync.Once
+}
+
+func newConnWriter(raw net.Conn, opts TCPOptions, met *wireMetrics) *connWriter {
+	w := &connWriter{
+		raw:           raw,
+		met:           met,
+		coalesce:      !opts.NoCoalesce,
+		flushDelay:    opts.FlushDelay,
+		coalesceBytes: opts.CoalesceBytes,
+		queueBytes:    opts.QueueBytes,
+		writeTimeout:  opts.WriteTimeout,
+		wake:          make(chan struct{}, 1),
+		urgent:        make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+	}
+	w.notFull = sync.NewCond(&w.mu)
+	return w
+}
+
+// enqueue appends one length-prefixed frame to the send queue (copying
+// frame, so callers may recycle pooled encode buffers immediately) and
+// wakes the writer. Blocks while the queue is over QueueBytes. Without
+// coalescing it writes the frame synchronously under the queue lock.
+func (w *connWriter) enqueue(frame []byte) error {
+	if len(frame) > maxFrame {
+		return errFrameTooLarge(len(frame))
+	}
+	w.mu.Lock()
+	if !w.coalesce {
+		defer w.mu.Unlock()
+		if w.err != nil {
+			return w.err
+		}
+		if w.writeTimeout > 0 {
+			_ = w.raw.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+		}
+		err := writeFrame(w.raw, frame)
+		w.met.observeFrameWrite(len(frame) + 4)
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		return err
+	}
+	for w.err == nil && len(w.buf) >= w.queueBytes {
+		w.notFull.Wait()
+	}
+	if w.err != nil {
+		w.mu.Unlock()
+		return w.err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, frame...)
+	w.frames++
+	depth := len(w.buf)
+	w.mu.Unlock()
+
+	w.met.queueBytes.Observe(time.Duration(depth))
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	if depth >= w.coalesceBytes {
+		select {
+		case w.urgent <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// run is the writer goroutine: wake → (optional delay window) → one
+// deadline-bounded Write of every queued frame. It owns closing the raw
+// connection, so the read side unblocks as soon as the writer dies —
+// whether from a write error or a closeWith.
+func (w *connWriter) run() {
+	defer func() { _ = w.raw.Close() }()
+	for {
+		select {
+		case <-w.wake:
+		case <-w.stop:
+			_ = w.flushOnce() // best-effort final drain
+			return
+		}
+		if w.flushDelay > 0 {
+			w.mu.Lock()
+			small := len(w.buf) < w.coalesceBytes
+			w.mu.Unlock()
+			if small {
+				t := time.NewTimer(w.flushDelay)
+				select {
+				case <-t.C:
+				case <-w.urgent:
+					t.Stop()
+				case <-w.stop:
+					t.Stop()
+					_ = w.flushOnce()
+					return
+				}
+			}
+		}
+		if err := w.flushOnce(); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// flushOnce writes every queued frame in one syscall under one write
+// deadline. The queue buffer and a spare alternate, so senders append into
+// a warm array while the previous round is on the wire.
+func (w *connWriter) flushOnce() error {
+	w.mu.Lock()
+	if w.frames == 0 || w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	out := w.buf
+	frames := w.frames
+	w.buf = w.spare[:0]
+	w.spare = nil
+	w.frames = 0
+	w.notFull.Broadcast()
+	w.mu.Unlock()
+
+	if w.writeTimeout > 0 {
+		_ = w.raw.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+	}
+	_, err := w.raw.Write(out)
+	w.met.observeFlush(frames, len(out))
+
+	w.mu.Lock()
+	if w.spare == nil && cap(out) <= maxRetainedWriteBuf {
+		w.spare = out[:0]
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// fail marks the writer broken so blocked and future enqueues return err.
+// The raw conn closes when run returns, which unwinds the read loop.
+func (w *connWriter) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.notFull.Broadcast()
+	w.mu.Unlock()
+}
+
+// closeWith stops the writer with err and closes the raw connection, which
+// unblocks the connection's read loop. Idempotent, and safe whether or not
+// a writer goroutine is running.
+func (w *connWriter) closeWith(err error) {
+	w.fail(err)
+	w.stopped.Do(func() {
+		close(w.stop)
+		_ = w.raw.Close()
+	})
+}
+
+// queuedBytes reports the send-queue depth (for Stats and /healthz).
+func (w *connWriter) queuedBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
